@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the cache building blocks: the hot-path
+//! operations every simulated query exercises.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cachekit::{LruCache, LruList, SegmentedLru};
+use simclock::Rng;
+
+fn bench_lru_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_list");
+    g.bench_function("touch_hot_1k", |b| {
+        let mut l = LruList::new();
+        for k in 0..1_000u32 {
+            l.insert_mru(k);
+        }
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let k = rng.next_below(1_000) as u32;
+            black_box(l.touch(&k));
+        });
+    });
+    g.bench_function("insert_pop_cycle", |b| {
+        let mut l = LruList::new();
+        let mut next = 0u32;
+        b.iter(|| {
+            l.insert_mru(next);
+            next = next.wrapping_add(1);
+            if l.len() > 1_000 {
+                black_box(l.pop_lru());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_segmented(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmented_lru");
+    g.bench_function("best_in_window_w8", |b| {
+        let mut s = SegmentedLru::new(8);
+        for k in 0..1_000u32 {
+            s.insert_mru(k);
+        }
+        b.iter(|| black_box(s.best_in_replace_first(|&k| k)));
+    });
+    g.finish();
+}
+
+fn bench_lru_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    g.bench_function("mixed_get_insert", |b| {
+        b.iter_batched(
+            || (LruCache::<u32, u64>::new(64_000), Rng::new(7)),
+            |(mut cache, mut rng)| {
+                for _ in 0..1_000 {
+                    let k = rng.next_below(200) as u32;
+                    if cache.get(&k).is_none() {
+                        let _ = cache.insert(k, k as u64, 1_000);
+                    }
+                }
+                black_box(cache.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru_list, bench_segmented, bench_lru_cache);
+criterion_main!(benches);

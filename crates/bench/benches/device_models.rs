@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the device models: how fast the
+//! simulators themselves run (requests per wall-second), which bounds
+//! every figure sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hddsim::{HddDisk, HddParams};
+use simclock::Rng;
+use storagecore::{BlockDevice, Extent};
+use tracetools::{umass_like, StackDistance, TraceProfile, UmassSpec};
+
+fn bench_hdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hdd_model");
+    g.bench_function("random_read", |b| {
+        let mut d = HddDisk::new(HddParams::small_test_disk(1 << 30));
+        let sectors = d.geometry().sectors;
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let lba = rng.next_below(sectors - 64);
+            black_box(d.read(Extent::new(lba, 16)).expect("in range"))
+        });
+    });
+    g.bench_function("sequential_read", |b| {
+        let mut d = HddDisk::new(HddParams::small_test_disk(1 << 30));
+        let sectors = d.geometry().sectors;
+        let mut cursor = 0u64;
+        b.iter(|| {
+            cursor = (cursor + 16) % (sectors - 16);
+            black_box(d.read(Extent::new(cursor, 16)).expect("in range"))
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_tools");
+    g.sample_size(20);
+    let trace = umass_like(&UmassSpec {
+        requests: 20_000,
+        ..UmassSpec::default()
+    });
+    g.bench_function("profile_20k_events", |b| {
+        b.iter(|| black_box(TraceProfile::from_events(&trace).read_fraction));
+    });
+    g.bench_function("stack_distance_20k", |b| {
+        b.iter(|| {
+            let mut sd = StackDistance::new();
+            for e in &trace {
+                sd.record(e.extent.lba / 256);
+            }
+            black_box(sd.hit_ratio_at(64))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hdd, bench_trace_analysis);
+criterion_main!(benches);

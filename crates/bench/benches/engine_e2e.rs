@@ -1,0 +1,35 @@
+//! Criterion end-to-end benchmark: simulated wall-cost of running query
+//! batches through the full engine (index + cache + devices). This is the
+//! simulator's own speed, not the simulated system's — useful to keep the
+//! harness fast enough for the figure sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use engine::{EngineConfig, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_e2e");
+    g.sample_size(10);
+
+    g.bench_function("cached_100_queries", |b| {
+        let cache = HybridConfig::paper(2 << 20, 16 << 20, PolicyKind::Cblru);
+        let mut e = SearchEngine::new(EngineConfig::cached(100_000, cache, 1));
+        e.run(500); // warm
+        b.iter(|| black_box(e.run(100).postings_scanned));
+    });
+
+    g.bench_function("uncached_50_queries", |b| {
+        let mut e = SearchEngine::new(EngineConfig::no_cache(
+            100_000,
+            engine::IndexPlacement::Hdd,
+            1,
+        ));
+        b.iter(|| black_box(e.run(50).postings_scanned));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

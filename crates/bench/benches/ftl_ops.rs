@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the flash simulator: page-mapped FTL
+//! writes under sequential and random (GC-heavy) patterns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use flashsim::{FlashParams, Ftl, PageMapFtl};
+use simclock::Rng;
+
+fn params() -> FlashParams {
+    FlashParams::paper(8 << 20)
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_map_ftl");
+    g.bench_function("sequential_fill", |b| {
+        b.iter_batched(
+            || PageMapFtl::new(params()),
+            |mut ftl| {
+                let n = ftl.logical_pages();
+                for lpn in 0..n {
+                    black_box(ftl.write(lpn).expect("in range"));
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("random_overwrite_steady_state", |b| {
+        // Pre-filled device: every write is an overwrite, GC active.
+        b.iter_batched(
+            || {
+                let mut ftl = PageMapFtl::new(params());
+                let n = ftl.logical_pages();
+                for lpn in 0..n {
+                    ftl.write(lpn).expect("in range");
+                }
+                (ftl, Rng::new(3))
+            },
+            |(mut ftl, mut rng)| {
+                let n = ftl.logical_pages();
+                for _ in 0..1_000 {
+                    black_box(ftl.write(rng.next_below(n)).expect("in range"));
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("read_hot_page", |b| {
+        let mut ftl = PageMapFtl::new(params());
+        ftl.write(0).expect("in range");
+        b.iter(|| black_box(ftl.read(0).expect("mapped")));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ftl);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of top-K query processing over the
+//! synthetic index, with and without early termination.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use searchidx::{CorpusSpec, SyntheticIndex, TopKConfig, TopKProcessor};
+use simclock::Rng;
+use workload::{QueryLog, QueryLogSpec};
+
+fn bench_topk(c: &mut Criterion) {
+    let index = SyntheticIndex::new(CorpusSpec::enwiki_like(100_000, 5));
+    let log = QueryLog::new(QueryLogSpec::aol_like(
+        searchidx::IndexReader::num_terms(&index),
+        9,
+    ));
+    let mut g = c.benchmark_group("topk");
+    g.sample_size(30);
+
+    g.bench_function("log_query_early_term", |b| {
+        let proc = TopKProcessor::new(TopKConfig::default());
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let q = log.sample(&mut rng);
+            black_box(proc.process(&index, &q.terms).postings_scanned())
+        });
+    });
+
+    g.bench_function("head_term_query", |b| {
+        let proc = TopKProcessor::new(TopKConfig::default());
+        b.iter(|| black_box(proc.process(&index, &[0, 1]).postings_scanned()));
+    });
+
+    g.bench_function("rare_terms_exact", |b| {
+        let proc = TopKProcessor::new(TopKConfig {
+            epsilon: 0.0,
+            ..TopKConfig::default()
+        });
+        b.iter(|| black_box(proc.process(&index, &[5_000, 7_000]).postings_scanned()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation — FTL scheme under the cache workload.
+//!
+//! The paper fixes the ideal page-mapped FTL; here an equivalent CBLRU
+//! cache op mix (measured from a real engine run) is replayed against all
+//! four implemented schemes to show how much the FTL choice moves the
+//! flash-internal numbers.
+
+use bench::{cache_config, print_table, Scale};
+use engine::{EngineConfig, SearchEngine};
+use flashsim::{BlockMapFtl, Dftl, FastFtl, FlashParams, Ftl, PageMapFtl, SsdDisk};
+use hybridcache::PolicyKind;
+use simclock::SimDuration;
+use storagecore::{BlockDevice, Extent, IoKind, IoStats};
+
+/// Re-issue the measured op mix (kind, count, mean size) as block-aligned
+/// requests over the region, in a deterministic shuffled order.
+fn replay<F: Ftl>(mut disk: SsdDisk<F>, stats: &IoStats, region_sectors: u64) -> (u64, SimDuration) {
+    let mut rng = simclock::Rng::new(61);
+    let spb = 256u64; // sectors per 128 KB block
+    let mut plan: Vec<(IoKind, u64)> = Vec::new();
+    for kind in [IoKind::Write, IoKind::Read, IoKind::Trim] {
+        let k = stats.kind(kind);
+        if k.ops() > 0 {
+            plan.extend(std::iter::repeat_n((kind, (k.sectors() / k.ops()).max(1)), k.ops() as usize));
+        }
+    }
+    rng.shuffle(&mut plan);
+    let mut total = SimDuration::ZERO;
+    let blocks = (region_sectors / spb).max(1);
+    for (kind, sectors) in plan {
+        let lba = rng.next_below(blocks) * spb;
+        let sectors = sectors.min(region_sectors - lba);
+        if let Ok(t) = disk.submit(kind, Extent::new(lba, sectors)) {
+            total += t;
+        }
+    }
+    (disk.ftl().nand().stats().block_erases, total)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let queries = scale.queries();
+    let cfg = cache_config(scale.bytes(20 << 20), scale.bytes(200 << 20), PolicyKind::Cblru);
+    let footprint = (cfg.ssd_sectors() * 512).max(4 << 20);
+
+    // Run the real experiment once; its cache-device stats define the mix.
+    let mut e = SearchEngine::new(EngineConfig::cached(docs, cfg, 53));
+    e.run(queries);
+    let stats = e.cache().expect("cached config").device().stats().clone();
+    let region_sectors = footprint / 512;
+    let params = || FlashParams::paper(footprint);
+
+    let rows = vec![
+        ("page-map", replay(SsdDisk::with_ftl(PageMapFtl::new(params())), &stats, region_sectors)),
+        ("block-map", replay(SsdDisk::with_ftl(BlockMapFtl::new(params())), &stats, region_sectors)),
+        ("FAST", replay(SsdDisk::with_ftl(FastFtl::new(params())), &stats, region_sectors)),
+        ("DFTL", replay(SsdDisk::with_ftl(Dftl::new(params(), 8192)), &stats, region_sectors)),
+    ]
+    .into_iter()
+    .map(|(name, (erases, total))| {
+        vec![
+            name.to_string(),
+            erases.to_string(),
+            format!("{:.1}", total.as_millis_f64()),
+        ]
+    })
+    .collect::<Vec<_>>();
+
+    print_table(
+        "Ablation: FTL scheme under the CBLRU cache op mix",
+        &["ftl", "erases", "total_io_ms"],
+        &rows,
+    );
+    println!(
+        "reading: the cache's block-aligned writes are kind to every FTL —\n\
+         even block-map survives — but the page-mapped family stays\n\
+         cheapest, which is why the paper baselines on the ideal\n\
+         page-mapped scheme."
+    );
+}

@@ -1,0 +1,45 @@
+//! Ablation — CBSLRU's static-partition fraction.
+//!
+//! 0 % degenerates to CBLRU; 100 % would freeze the whole cache. The
+//! sweet spot pins the provably-hot head while leaving room for the
+//! dynamic tail.
+
+use bench::{cache_config, pct, print_table, run_cached, Scale};
+use hybridcache::PolicyKind;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let queries = scale.queries();
+    let mem = scale.bytes(20 << 20);
+    let ssd = scale.bytes(200 << 20);
+
+    let fractions = vec![0.0f64, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let results = parallel_map(fractions, 0, |f| {
+        let policy = if f == 0.0 {
+            PolicyKind::Cblru
+        } else {
+            PolicyKind::Cbslru { static_fraction: f }
+        };
+        let r = run_cached(docs, cache_config(mem, ssd, policy), queries, 43);
+        let flash = r.flash.expect("cache SSD present");
+        vec![
+            format!("{:.0}%", f * 100.0),
+            pct(r.hit_ratio()),
+            format!("{:.2}", r.mean_response.as_millis_f64()),
+            flash.host_writes.to_string(),
+            flash.block_erases.to_string(),
+        ]
+    });
+    print_table(
+        "Ablation: CBSLRU static fraction",
+        &["static", "hit_%", "resp_ms", "ssd_writes", "erases"],
+        &results,
+    );
+    println!(
+        "reading: pinning the log-analysis head cuts write traffic (the\n\
+         static set never churns) and erases fall with it; overshooting\n\
+         the fraction leaves too little dynamic room and hit ratio sags."
+    );
+}

@@ -1,0 +1,40 @@
+//! Ablation — the replace-first window `W`.
+//!
+//! W = 0 degenerates CBLRU's victim search to strict LRU order; large W
+//! approaches global cost-based search (more policy freedom, more scan
+//! work and less recency protection).
+
+use bench::{cache_config, pct, print_table, run_cached, Scale};
+use hybridcache::PolicyKind;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let queries = scale.queries();
+    let mem = scale.bytes(20 << 20);
+    let ssd = scale.bytes(200 << 20);
+
+    let windows = vec![0usize, 2, 4, 8, 16, 32, 64];
+    let results = parallel_map(windows, 0, |w| {
+        let mut cfg = cache_config(mem, ssd, PolicyKind::Cblru);
+        cfg.window = w;
+        let r = run_cached(docs, cfg, queries, 37);
+        let flash = r.flash.expect("cache SSD present");
+        vec![
+            w.to_string(),
+            pct(r.hit_ratio()),
+            format!("{:.2}", r.mean_response.as_millis_f64()),
+            flash.block_erases.to_string(),
+        ]
+    });
+    print_table(
+        "Ablation: replace-first window W (CBLRU)",
+        &["W", "hit_%", "resp_ms", "erases"],
+        &results,
+    );
+    println!(
+        "reading: a modest window already captures most of the benefit —\n\
+         the victim search needs only a small recency-bounded candidate set."
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerate the entire evaluation: every table and figure, in order.
+//! Each section is also available as its own binary (`--bin fig14` etc.).
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets = [
+        "table1", "table2", "table3", "fig01", "fig03", "fig04", "fig14", "fig15", "fig16",
+        "fig17", "fig18", "fig19",
+    ];
+    for t in targets {
+        println!("\n################ {t} ################\n");
+        let path = dir.join(t);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{t} exited with {status}");
+    }
+    println!("\nall tables and figures regenerated.");
+}

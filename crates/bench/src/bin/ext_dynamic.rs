@@ -1,0 +1,46 @@
+//! Extension — the dynamic scenario (paper Sec. IV-B, deferred to future
+//! work): cached data carries a TTL; expired entries are recomputed from
+//! the HDD. Sweeps the TTL to show the freshness ↔ performance trade.
+
+use bench::{cache_config, pct, print_table, Scale};
+use engine::{EngineConfig, SearchEngine};
+use hybridcache::PolicyKind;
+use simclock::SimDuration;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let queries = scale.queries();
+    let mem = scale.bytes(20 << 20);
+    let ssd = scale.bytes(200 << 20);
+
+    // TTLs in *virtual* seconds; None = the paper's static scenario.
+    let ttls: Vec<Option<u64>> = vec![None, Some(600), Some(120), Some(30), Some(5), Some(1)];
+    let results = parallel_map(ttls, 0, |ttl| {
+        let mut cfg = cache_config(mem, ssd, PolicyKind::Cblru);
+        cfg.ttl = ttl.map(SimDuration::from_secs);
+        let mut e = SearchEngine::new(EngineConfig::cached(docs, cfg, 59));
+        let r = e.run(queries);
+        let ((rf, rx), (lf, lx)) = e.cache().expect("cached").ttl_stats();
+        vec![
+            ttl.map_or("static".to_string(), |t| format!("{t}s")),
+            pct(r.hit_ratio()),
+            format!("{:.2}", r.mean_response.as_millis_f64()),
+            (rx + lx).to_string(),
+            (rf + lf).to_string(),
+            r.flash.expect("cache SSD").block_erases.to_string(),
+        ]
+    });
+    print_table(
+        "Extension: TTL sweep (dynamic scenario, CBLRU)",
+        &["TTL", "hit_%", "resp_ms", "expirations", "fresh_hits", "erases"],
+        &results,
+    );
+    println!(
+        "reading: generous TTLs cost almost nothing — the Zipf head is\n\
+         re-referenced well inside its lifetime; aggressive TTLs convert\n\
+         hits back into HDD computations and response time climbs toward\n\
+         the uncached level, which is why the paper could defer dynamism."
+    );
+}

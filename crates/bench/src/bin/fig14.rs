@@ -1,0 +1,119 @@
+//! Fig. 14 — hit-ratio comparisons.
+//!
+//! (a) result cache (RC) vs inverted-list cache (IC) vs both (RIC) as the
+//!     cache capacity grows;
+//! (b) LRU vs CBLRU vs CBSLRU.
+
+use bench::{cache_config, pct, policies, print_table, run_cached, Scale};
+use hybridcache::PolicyKind;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let queries = scale.queries();
+
+    // (a) The paper sweeps ~20–200 MB for 5 M docs; scaled 1:10.
+    let sizes: Vec<u64> = (1..=10).map(|i| scale.bytes((i * 20) << 20)).collect();
+    let points: Vec<(u64, &'static str)> = sizes
+        .iter()
+        .flat_map(|&s| [(s, "RC"), (s, "IC"), (s, "RIC")])
+        .collect();
+    let results = parallel_map(points, 0, |(size, kind)| {
+        let mut cfg = cache_config(size, size * 10, PolicyKind::Cblru);
+        match kind {
+            "RC" => {
+                // All capacity to results.
+                cfg.mem_result_bytes = size;
+                cfg.mem_list_bytes = 0;
+                cfg.ssd_result_bytes = size * 10;
+                cfg.ssd_list_bytes = 0;
+            }
+            "IC" => {
+                cfg.mem_result_bytes = 0;
+                cfg.mem_list_bytes = size;
+                cfg.ssd_result_bytes = 0;
+                cfg.ssd_list_bytes = size * 10;
+            }
+            _ => {} // RIC: the 20/80 default
+        }
+        let r = run_cached(docs, cfg, queries, 3);
+        (size, kind, r.hit_ratio())
+    });
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&s| {
+            let find = |kind: &str| {
+                results
+                    .iter()
+                    .find(|(rs, rk, _)| *rs == s && *rk == kind)
+                    .map(|(_, _, h)| pct(*h))
+                    .expect("swept")
+            };
+            vec![
+                (s >> 20).to_string(),
+                find("RC"),
+                find("IC"),
+                find("RIC"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 14(a) hit ratio: RC vs IC vs RIC",
+        &["cache_MB", "RC_%", "IC_%", "RIC_%"],
+        &rows,
+    );
+
+    // (b) policy comparison across cache sizes.
+    let points: Vec<(u64, PolicyKind)> = sizes
+        .iter()
+        .flat_map(|&s| policies().into_iter().map(move |p| (s, p)))
+        .collect();
+    let results = parallel_map(points, 0, |(size, policy)| {
+        let r = run_cached(docs, cache_config(size, size * 10, policy), queries, 3);
+        (size, policy.label(), r.hit_ratio())
+    });
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&s| {
+            let find = |label: &str| {
+                results
+                    .iter()
+                    .find(|(rs, rl, _)| *rs == s && *rl == label)
+                    .map(|(_, _, h)| pct(*h))
+                    .expect("swept")
+            };
+            vec![
+                (s >> 20).to_string(),
+                find("LRU"),
+                find("CBLRU"),
+                find("CBSLRU"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 14(b) hit ratio: LRU vs CBLRU vs CBSLRU",
+        &["cache_MB", "LRU_%", "CBLRU_%", "CBSLRU_%"],
+        &rows,
+    );
+
+    // Paper headline: CBLRU +9.05%, CBSLRU +13.31% average over LRU.
+    let avg = |label: &str| {
+        let xs: Vec<f64> = results
+            .iter()
+            .filter(|(_, l, _)| *l == label)
+            .map(|(_, _, h)| *h)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let (lru, cblru, cbslru) = (avg("LRU"), avg("CBLRU"), avg("CBSLRU"));
+    println!(
+        "average hit ratio: LRU {:.2}%  CBLRU {:.2}% (+{:.2} pts)  CBSLRU {:.2}% (+{:.2} pts)",
+        lru * 100.0,
+        cblru * 100.0,
+        (cblru - lru) * 100.0,
+        cbslru * 100.0,
+        (cbslru - lru) * 100.0
+    );
+    println!("paper: CBLRU +9.05%, CBSLRU +13.31% over LRU (averaged).");
+}

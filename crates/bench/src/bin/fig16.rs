@@ -1,0 +1,119 @@
+//! Fig. 16 — one-level vs two-level cache.
+//!
+//! (a) 1LC(R) with index on HDD vs on SSD;
+//! (b) 1LC(R)-HDD vs 2LC(R)-HDD vs 2LC(RI)-HDD.
+//!
+//! Per the paper: the SSD result cache is 10× the memory result cache and
+//! the SSD list cache is 100× the memory list cache.
+
+use bench::{cache_config, ms, print_table, Scale};
+use engine::{EngineConfig, IndexPlacement, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+use workload::parallel_map;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    OneLevelRHdd,
+    OneLevelRSsd,
+    TwoLevelRHdd,
+    TwoLevelRiHdd,
+}
+
+fn build(docs: u64, scale_bytes: u64, variant: Variant) -> engine::RunReport {
+    let mem = scale_bytes;
+    let mut cfg: HybridConfig = cache_config(mem, mem * 20, PolicyKind::Cblru);
+    match variant {
+        Variant::OneLevelRHdd | Variant::OneLevelRSsd => {
+            cfg.mem_result_bytes = mem;
+            cfg.mem_list_bytes = 0;
+            cfg.ssd_result_bytes = 0;
+            cfg.ssd_list_bytes = 0;
+        }
+        Variant::TwoLevelRHdd => {
+            cfg.mem_result_bytes = mem;
+            cfg.mem_list_bytes = 0;
+            cfg.ssd_result_bytes = mem * 10;
+            cfg.ssd_list_bytes = 0;
+        }
+        Variant::TwoLevelRiHdd => {
+            cfg.mem_result_bytes = mem / 5;
+            cfg.mem_list_bytes = mem - mem / 5;
+            cfg.ssd_result_bytes = (mem / 5) * 10;
+            cfg.ssd_list_bytes = (mem - mem / 5) * 100;
+        }
+    }
+    let mut e = SearchEngine::new(EngineConfig {
+        index_placement: if variant == Variant::OneLevelRSsd {
+            IndexPlacement::Ssd
+        } else {
+            IndexPlacement::Hdd
+        },
+        ..EngineConfig::cached(docs, cfg, 9)
+    });
+    e.run(4_000)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mem = scale.bytes(10 << 20);
+    let points: Vec<(u64, Variant)> = scale
+        .doc_points()
+        .into_iter()
+        .flat_map(|d| {
+            [
+                (d, Variant::OneLevelRHdd),
+                (d, Variant::OneLevelRSsd),
+                (d, Variant::TwoLevelRHdd),
+                (d, Variant::TwoLevelRiHdd),
+            ]
+        })
+        .collect();
+    let results = parallel_map(points, 0, |(docs, v)| (docs, v, build(docs, mem, v)));
+    let get = |d: u64, v: Variant| {
+        results
+            .iter()
+            .find(|(rd, rv, _)| *rd == d && *rv == v)
+            .map(|(_, _, r)| r)
+            .expect("swept")
+    };
+
+    let rows: Vec<Vec<String>> = scale
+        .doc_points()
+        .iter()
+        .map(|&d| {
+            vec![
+                d.to_string(),
+                ms(get(d, Variant::OneLevelRHdd).mean_response),
+                ms(get(d, Variant::OneLevelRSsd).mean_response),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 16(a) 1LC(R): index on HDD vs SSD — response time (ms)",
+        &["docs", "1LC(R)-HDD_ms", "1LC(R)-SSD_ms"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = scale
+        .doc_points()
+        .iter()
+        .map(|&d| {
+            vec![
+                d.to_string(),
+                ms(get(d, Variant::OneLevelRHdd).mean_response),
+                ms(get(d, Variant::TwoLevelRHdd).mean_response),
+                ms(get(d, Variant::TwoLevelRiHdd).mean_response),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 16(b) 1LC(R) vs 2LC(R) vs 2LC(RI), index on HDD — response time (ms)",
+        &["docs", "1LC(R)_ms", "2LC(R)_ms", "2LC(RI)_ms"],
+        &rows,
+    );
+    println!(
+        "shape check: swapping the index device helps only a little (a);\n\
+         adding the SSD cache level helps a lot, and caching results AND\n\
+         inverted lists (RI) is best (b) — the paper's reading of Fig. 16."
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig. 17 — two-level cache with LRU vs CBLRU vs CBSLRU: average
+//! response time and throughput across collection sizes.
+
+use bench::{cache_config, ms, policies, print_table, run_cached, Scale};
+use hybridcache::PolicyKind;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let queries = scale.queries();
+    let mem = scale.bytes(20 << 20);
+    let ssd = scale.bytes(200 << 20);
+
+    let points: Vec<(u64, PolicyKind)> = scale
+        .doc_points()
+        .into_iter()
+        .flat_map(|d| policies().into_iter().map(move |p| (d, p)))
+        .collect();
+    let results = parallel_map(points, 0, |(docs, policy)| {
+        let r = run_cached(docs, cache_config(mem, ssd, policy), queries, 13);
+        (docs, policy.label(), r)
+    });
+    let get = |d: u64, l: &str| {
+        results
+            .iter()
+            .find(|(rd, rl, _)| *rd == d && *rl == l)
+            .map(|(_, _, r)| r)
+            .expect("swept")
+    };
+
+    let rows: Vec<Vec<String>> = scale
+        .doc_points()
+        .iter()
+        .map(|&d| {
+            vec![
+                d.to_string(),
+                ms(get(d, "LRU").mean_response),
+                ms(get(d, "CBLRU").mean_response),
+                ms(get(d, "CBSLRU").mean_response),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 17(a) response time (ms): LRU vs CBLRU vs CBSLRU",
+        &["docs", "LRU_ms", "CBLRU_ms", "CBSLRU_ms"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = scale
+        .doc_points()
+        .iter()
+        .map(|&d| {
+            vec![
+                d.to_string(),
+                format!("{:.1}", get(d, "LRU").throughput_qps),
+                format!("{:.1}", get(d, "CBLRU").throughput_qps),
+                format!("{:.1}", get(d, "CBSLRU").throughput_qps),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 17(b) throughput (q/s): LRU vs CBLRU vs CBSLRU",
+        &["docs", "LRU_qps", "CBLRU_qps", "CBSLRU_qps"],
+        &rows,
+    );
+
+    // Headline deltas averaged over the sweep.
+    let avg_resp = |l: &str| {
+        let xs: Vec<f64> = scale
+            .doc_points()
+            .iter()
+            .map(|&d| get(d, l).mean_response.as_nanos() as f64)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let avg_tput = |l: &str| {
+        let xs: Vec<f64> = scale
+            .doc_points()
+            .iter()
+            .map(|&d| get(d, l).throughput_qps)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let (rl, rc, rs) = (avg_resp("LRU"), avg_resp("CBLRU"), avg_resp("CBSLRU"));
+    let (tl, tc, ts) = (avg_tput("LRU"), avg_tput("CBLRU"), avg_tput("CBSLRU"));
+    println!(
+        "response time vs LRU: CBLRU {:.2}%  CBSLRU {:.2}%  (paper: -35.27% / -41.05%)",
+        (rc / rl - 1.0) * 100.0,
+        (rs / rl - 1.0) * 100.0
+    );
+    println!(
+        "throughput vs LRU:   CBLRU +{:.2}%  CBSLRU +{:.2}%  (paper: +55.29% / +70.47%)",
+        (tc / tl - 1.0) * 100.0,
+        (ts / tl - 1.0) * 100.0
+    );
+}

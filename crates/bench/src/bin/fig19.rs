@@ -1,0 +1,79 @@
+//! Fig. 19 — inside the SSD: (a) block erasure count and (b) flash
+//! average access time as the query count grows, for LRU / CBLRU / CBSLRU.
+
+use bench::{cache_config, policies, print_table, run_cached, Scale};
+use hybridcache::PolicyKind;
+use workload::parallel_map;
+
+fn main() {
+    let scale = Scale::from_args();
+    let docs = scale.docs_5m();
+    let mem = scale.bytes(20 << 20);
+    let ssd = scale.bytes(200 << 20);
+    let query_points = scale.query_points();
+
+    let points: Vec<(usize, PolicyKind)> = query_points
+        .iter()
+        .flat_map(|&q| policies().into_iter().map(move |p| (q, p)))
+        .collect();
+    let results = parallel_map(points, 0, |(queries, policy)| {
+        let r = run_cached(docs, cache_config(mem, ssd, policy), queries, 19);
+        let flash = r.flash.expect("cache SSD present");
+        (queries, policy.label(), flash)
+    });
+    let get = |q: usize, l: &str| {
+        results
+            .iter()
+            .find(|(rq, rl, _)| *rq == q && *rl == l)
+            .map(|(_, _, f)| *f)
+            .expect("swept")
+    };
+
+    let rows: Vec<Vec<String>> = query_points
+        .iter()
+        .map(|&q| {
+            vec![
+                q.to_string(),
+                get(q, "LRU").block_erases.to_string(),
+                get(q, "CBLRU").block_erases.to_string(),
+                get(q, "CBSLRU").block_erases.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 19(a) block erasure count vs query count",
+        &["queries", "LRU", "CBLRU", "CBSLRU"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = query_points
+        .iter()
+        .map(|&q| {
+            vec![
+                q.to_string(),
+                format!("{:.3}", get(q, "LRU").mean_access.as_millis_f64()),
+                format!("{:.3}", get(q, "CBLRU").mean_access.as_millis_f64()),
+                format!("{:.3}", get(q, "CBSLRU").mean_access.as_millis_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 19(b) flash average access time (ms) vs query count",
+        &["queries", "LRU_ms", "CBLRU_ms", "CBSLRU_ms"],
+        &rows,
+    );
+
+    // Headline deltas at the largest query count.
+    let &q = query_points.last().expect("non-empty sweep");
+    let (l, c, s) = (get(q, "LRU"), get(q, "CBLRU"), get(q, "CBSLRU"));
+    println!(
+        "erases vs LRU at {q} queries: CBLRU {:.2}%  CBSLRU {:.2}%  (paper: -59.92% / -71.52%)",
+        (c.block_erases as f64 / l.block_erases.max(1) as f64 - 1.0) * 100.0,
+        (s.block_erases as f64 / l.block_erases.max(1) as f64 - 1.0) * 100.0
+    );
+    println!(
+        "access time vs LRU:          CBLRU {:.2}%  CBSLRU {:.2}%  (paper: -13.20% / -43.83%)",
+        (c.mean_access.as_nanos() as f64 / l.mean_access.as_nanos().max(1) as f64 - 1.0) * 100.0,
+        (s.mean_access.as_nanos() as f64 / l.mean_access.as_nanos().max(1) as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,119 @@
+//! Byte-capacity accounting for variable-sized cache entries.
+
+/// Tracks `used <= capacity` in bytes. Pure arithmetic — the caller decides
+/// what to evict; the budget just refuses to go negative or over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteBudget {
+    capacity: u64,
+    used: u64,
+}
+
+impl ByteBudget {
+    /// A budget of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        ByteBudget { capacity, used: 0 }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Whether `bytes` more would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Whether an entry of `bytes` could *ever* fit (even into an empty
+    /// budget).
+    pub fn admissible(&self, bytes: u64) -> bool {
+        bytes <= self.capacity
+    }
+
+    /// Charge `bytes`. Panics on overflow — the caller must evict first.
+    pub fn charge(&mut self, bytes: u64) {
+        assert!(
+            self.fits(bytes),
+            "budget overflow: {} + {bytes} > {}",
+            self.used,
+            self.capacity
+        );
+        self.used += bytes;
+    }
+
+    /// Release `bytes`. Panics on underflow — that's double-free of space.
+    pub fn credit(&mut self, bytes: u64) {
+        assert!(bytes <= self.used, "budget underflow: {bytes} > {}", self.used);
+        self.used -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_credit_roundtrip() {
+        let mut b = ByteBudget::new(100);
+        assert!(b.fits(100));
+        b.charge(60);
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.free(), 40);
+        assert!(!b.fits(41));
+        assert!(b.fits(40));
+        b.credit(20);
+        assert_eq!(b.used(), 40);
+        assert!((b.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admissible_vs_fits() {
+        let mut b = ByteBudget::new(100);
+        b.charge(90);
+        assert!(!b.fits(50));
+        assert!(b.admissible(50), "would fit after eviction");
+        assert!(!b.admissible(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overcharge_panics() {
+        let mut b = ByteBudget::new(10);
+        b.charge(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn overcredit_panics() {
+        let mut b = ByteBudget::new(10);
+        b.charge(5);
+        b.credit(6);
+    }
+
+    #[test]
+    fn zero_capacity_budget() {
+        let b = ByteBudget::new(0);
+        assert!(!b.fits(1));
+        assert!(b.fits(0));
+        assert_eq!(b.utilization(), 1.0, "empty-capacity reads as full");
+    }
+}

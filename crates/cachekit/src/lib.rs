@@ -1,0 +1,27 @@
+//! Cache building blocks.
+//!
+//! The paper's replacement machinery (Sec. VI-C) is assembled from a small
+//! set of primitives, kept here so the baseline LRU and the proposed
+//! CBLRU/CBSLRU share identical bookkeeping and differ *only* in policy:
+//!
+//! * [`LruList`] — an order-maintaining list with O(1) touch / insert /
+//!   remove, backed by a slab and a hash index;
+//! * [`SegmentedLru`] — an [`LruList`] split into the paper's **Working
+//!   Region** and **Replace-First Region** of window `W` (Figs. 11 & 13);
+//! * [`ByteBudget`] — capacity accounting for variable-sized entries;
+//! * [`FreqCounter`] — access-frequency tracking used by the efficiency
+//!   value `EV = Freq / SC`;
+//! * [`LruCache`] — the classic byte-budgeted LRU cache, the baseline
+//!   every experiment compares against.
+
+pub mod budget;
+pub mod freq;
+pub mod lru;
+pub mod lru_cache;
+pub mod segmented;
+
+pub use budget::ByteBudget;
+pub use freq::FreqCounter;
+pub use lru::LruList;
+pub use lru_cache::LruCache;
+pub use segmented::SegmentedLru;

@@ -1,0 +1,36 @@
+//! The second-level (SSD) cache: the log-based cache file of Sec. VI-B/C.
+//!
+//! The SSD cache file is carved into 128 KB blocks ([`slots::SlotRegion`]).
+//! The **result region** stores assembled result blocks
+//! ([`results::ResultStore`]); the **list region** stores block-granular
+//! inverted-list entries ([`lists::ListStore`]). Both track the paper's
+//! free / normal / replaceable state machine (Figs. 8–9) and implement the
+//! CBLRU / CBSLRU victim selection as well as the plain-LRU baseline.
+//!
+//! A faithfulness note (recorded in DESIGN.md): a multi-block list entry's
+//! blocks need not be physically adjacent in LBA space — the mapping table
+//! scatters them, as any FTL-backed file does. Eviction *policy* semantics
+//! (who is replaced, in what order, at what write granularity) are exactly
+//! the paper's; every write the stores issue is still a whole 128 KB
+//! block, which is what preserves the sequential-write benefit at the
+//! flash level.
+
+pub mod lists;
+pub mod results;
+pub mod slots;
+
+pub use lists::ListStore;
+pub use results::ResultStore;
+pub use slots::{SlotId, SlotRegion};
+
+/// Liveness state of a cached SSD entry (paper Fig. 9). `Free` is
+/// represented by absence from the mapping tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Valid, read-only, not a preferred victim.
+    Normal,
+    /// Still valid and still serving hits, but preferred for overwrite —
+    /// its data has been read back to memory (hybrid scheme) or
+    /// superseded.
+    Replaceable,
+}

@@ -1,0 +1,643 @@
+//! The L2 result cache ("L2 RC"): result blocks on the SSD.
+//!
+//! Under the cost-based policies, evicted result entries are staged in a
+//! write buffer and flushed as whole 128 KB **result blocks** (Fig. 10(b)
+//! — "several small random writes can be assembled into a large
+//! sequential write"); the replacement victim is the result block with the
+//! largest invalid-entry count (IREN) inside the replace-first region
+//! (Fig. 11). Under the LRU baseline every entry is written individually
+//! at its slot position — the small-random-write behaviour the paper
+//! charges against LRU — and the victim is the strict LRU entry.
+
+use std::collections::HashMap;
+
+use cachekit::SegmentedLru;
+use simclock::SimDuration;
+use storagecore::BlockDevice;
+
+use crate::ssd::slots::{SlotId, SlotRegion};
+use crate::ssd::EntryState;
+use crate::QueryId;
+
+/// A stored result entry.
+#[derive(Debug, Clone)]
+struct Stored<V> {
+    value: V,
+    freq: u64,
+    state: EntryState,
+}
+
+/// Result-block metadata: Fig. 7(b)'s `<ptr, flag>` — the pointer is the
+/// slot, the flag bitmap is `entries` (Some = valid bit set).
+#[derive(Debug, Clone)]
+struct Rb {
+    entries: Vec<Option<QueryId>>,
+    is_static: bool,
+}
+
+impl Rb {
+    fn new(capacity: usize, is_static: bool) -> Self {
+        Rb {
+            entries: vec![None; capacity],
+            is_static,
+        }
+    }
+}
+
+/// Store-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResultStoreStats {
+    /// Whole-RB writes issued (cost-based path).
+    pub rb_writes: u64,
+    /// Individual entry writes issued (LRU path).
+    pub entry_writes: u64,
+    /// Flushes avoided because a replaceable copy was still valid.
+    pub rewrites_avoided: u64,
+    /// Valid entries destroyed by RB overwrites.
+    pub collateral_evictions: u64,
+    /// Trims issued for fully-invalid RBs.
+    pub trims: u64,
+}
+
+/// The SSD result store.
+#[derive(Debug, Clone)]
+pub struct ResultStore<V> {
+    region: SlotRegion,
+    entries_per_rb: usize,
+    entry_bytes: u64,
+    cost_based: bool,
+    /// RB recency list (cost-based victim domain; static RBs excluded).
+    rb_lru: SegmentedLru<SlotId>,
+    /// Entry recency list (LRU-baseline victim domain).
+    entry_lru: SegmentedLru<QueryId>,
+    rbs: HashMap<SlotId, Rb>,
+    /// Fig. 7(a): query → (RB, index).
+    map: HashMap<QueryId, (SlotId, u8)>,
+    payload: HashMap<QueryId, Stored<V>>,
+    /// LRU mode: open entry positions available for small writes.
+    free_entries: Vec<(SlotId, u8)>,
+    /// CB mode: staged evictions awaiting assembly.
+    write_buffer: Vec<(QueryId, V, u64)>,
+    /// Slots reserved for (and consumed by) the CBSLRU static partition.
+    static_slots: u32,
+    stats: ResultStoreStats,
+}
+
+impl<V: Clone> ResultStore<V> {
+    /// Create over `region`, holding `entries_per_rb` entries of
+    /// `entry_bytes` per result block. `window` is the replace-first
+    /// window over RBs (cost-based) or entries (LRU).
+    pub fn new(
+        region: SlotRegion,
+        entries_per_rb: usize,
+        entry_bytes: u64,
+        cost_based: bool,
+        window: usize,
+        static_fraction: f64,
+    ) -> Self {
+        assert!(entries_per_rb > 0);
+        let static_slots = (region.capacity() as f64 * static_fraction).floor() as u32;
+        ResultStore {
+            region,
+            entries_per_rb,
+            entry_bytes,
+            cost_based,
+            rb_lru: SegmentedLru::new(window),
+            entry_lru: SegmentedLru::new(window),
+            rbs: HashMap::new(),
+            map: HashMap::new(),
+            payload: HashMap::new(),
+            free_entries: Vec::new(),
+            write_buffer: Vec::new(),
+            static_slots,
+            stats: ResultStoreStats::default(),
+        }
+    }
+
+    /// Store counters.
+    pub fn stats(&self) -> ResultStoreStats {
+        self.stats
+    }
+
+    /// Cached entry count (staged write-buffer entries excluded).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `id` is cached on the SSD.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Invalid-result-entry number of an RB: invalid slots plus
+    /// replaceable entries (Fig. 11's IREN).
+    fn iren(&self, slot: SlotId) -> usize {
+        let rb = &self.rbs[&slot];
+        rb.entries
+            .iter()
+            .filter(|e| match e {
+                None => true,
+                Some(q) => self.payload[q].state == EntryState::Replaceable,
+            })
+            .count()
+    }
+
+    /// Serve a hit: reads the entry's sub-extent from the SSD and, under
+    /// the hybrid scheme, turns the copy replaceable. Returns the payload,
+    /// its frequency and the device latency.
+    pub fn lookup<D: BlockDevice>(
+        &mut self,
+        id: QueryId,
+        device: &mut D,
+        mark_replaceable: bool,
+    ) -> Option<(V, u64, SimDuration)> {
+        let &(slot, idx) = self.map.get(&id)?;
+        let extent = self
+            .region
+            .sub_extent(slot, idx as u64 * self.entry_bytes, self.entry_bytes);
+        let latency = device.read(extent).expect("result extent is in-region");
+        let is_static = self.rbs[&slot].is_static;
+        let stored = self.payload.get_mut(&id).expect("map/payload agree");
+        if mark_replaceable && !is_static {
+            stored.state = EntryState::Replaceable;
+        }
+        let out = (stored.value.clone(), stored.freq, latency);
+        if !is_static {
+            if self.cost_based {
+                self.rb_lru.touch(&slot);
+            } else {
+                self.entry_lru.touch(&id);
+            }
+        }
+        Some(out)
+    }
+
+    /// Accept an entry evicted from memory. Admission is the manager's
+    /// decision; this handles dedup, staging and writes. Returns the SSD
+    /// latency incurred now (a buffered stage costs nothing until the RB
+    /// flushes).
+    pub fn offer<D: BlockDevice>(
+        &mut self,
+        id: QueryId,
+        value: V,
+        freq: u64,
+        device: &mut D,
+    ) -> SimDuration {
+        // Dedup: a replaceable copy of the same query is still on the SSD
+        // — flip it back to normal instead of rewriting (Sec. VI-C1).
+        if let Some(stored) = self.payload.get_mut(&id) {
+            stored.state = EntryState::Normal;
+            stored.freq = stored.freq.max(freq);
+            self.stats.rewrites_avoided += 1;
+            let (slot, _) = self.map[&id];
+            if !self.rbs[&slot].is_static {
+                if self.cost_based {
+                    self.rb_lru.touch(&slot);
+                } else {
+                    self.entry_lru.touch(&id);
+                }
+            }
+            return SimDuration::ZERO;
+        }
+        if self.cost_based {
+            // The same query may be evicted again before its first staging
+            // flushes (miss → recompute → re-evict); refresh the staged
+            // entry rather than duplicating it in the RB.
+            if let Some(staged) = self.write_buffer.iter_mut().find(|(q, _, _)| *q == id) {
+                staged.1 = value;
+                staged.2 = staged.2.max(freq);
+                return SimDuration::ZERO;
+            }
+            self.write_buffer.push((id, value, freq));
+            if self.write_buffer.len() >= self.entries_per_rb {
+                self.flush_buffer(device)
+            } else {
+                SimDuration::ZERO
+            }
+        } else {
+            self.write_single(id, value, freq, device)
+        }
+    }
+
+    /// Whether a query is waiting in the write buffer.
+    pub fn buffered(&self, id: QueryId) -> bool {
+        self.write_buffer.iter().any(|(q, _, _)| *q == id)
+    }
+
+    /// CB path: assemble the buffered entries into one RB and write it as
+    /// a single large request.
+    fn flush_buffer<D: BlockDevice>(&mut self, device: &mut D) -> SimDuration {
+        let Some(slot) = self.take_rb_slot() else {
+            // Dynamic region has zero capacity (all static): drop.
+            self.write_buffer.clear();
+            return SimDuration::ZERO;
+        };
+        let staged: Vec<(QueryId, V, u64)> = self.write_buffer.drain(..).collect();
+        let mut rb = Rb::new(self.entries_per_rb, false);
+        for (i, (id, value, freq)) in staged.into_iter().enumerate() {
+            rb.entries[i] = Some(id);
+            self.map.insert(id, (slot, i as u8));
+            self.payload.insert(
+                id,
+                Stored {
+                    value,
+                    freq,
+                    state: EntryState::Normal,
+                },
+            );
+        }
+        self.rbs.insert(slot, rb);
+        self.rb_lru.insert_mru(slot);
+        self.stats.rb_writes += 1;
+        device
+            .write(self.region.extent(slot))
+            .expect("RB extent is in-region")
+    }
+
+    /// A slot for a fresh RB: free pool first, then the CBLRU victim —
+    /// the replace-first-region RB with the largest IREN.
+    fn take_rb_slot(&mut self) -> Option<SlotId> {
+        if self.region.used_count() < self.region.capacity() - self.dynamic_reserved() {
+            if let Some(slot) = self.region.alloc() {
+                return Some(slot);
+            }
+        }
+        let victim = self.rb_lru.best_in_replace_first(|&s| self.iren(s)).copied()?;
+        self.destroy_rb(victim);
+        Some(victim)
+    }
+
+    /// Slots the static partition may still claim.
+    fn dynamic_reserved(&self) -> u32 {
+        self.static_slots
+            .saturating_sub(self.rbs.values().filter(|rb| rb.is_static).count() as u32)
+    }
+
+    /// Drop an RB's remaining valid entries and unmap it (the slot is
+    /// reused by the caller, so no trim).
+    fn destroy_rb(&mut self, slot: SlotId) {
+        let rb = self.rbs.remove(&slot).expect("victim exists");
+        for id in rb.entries.into_iter().flatten() {
+            self.map.remove(&id);
+            let stored = self.payload.remove(&id).expect("map/payload agree");
+            if stored.state == EntryState::Normal {
+                self.stats.collateral_evictions += 1;
+            }
+        }
+        self.rb_lru.remove(&slot);
+    }
+
+    /// LRU path: write one entry into an open position (a small random
+    /// write), evicting the strict LRU entry when no position is open.
+    fn write_single<D: BlockDevice>(
+        &mut self,
+        id: QueryId,
+        value: V,
+        freq: u64,
+        device: &mut D,
+    ) -> SimDuration {
+        let position = self.free_entries.pop().or_else(|| {
+            if let Some(slot) = self.region.alloc() {
+                self.rbs.insert(slot, Rb::new(self.entries_per_rb, false));
+                self.free_entries
+                    .extend((1..self.entries_per_rb as u8).map(|i| (slot, i)));
+                return Some((slot, 0));
+            }
+            let victim = self.entry_lru.pop_lru()?;
+            let (slot, idx) = self.map.remove(&victim).expect("victim mapped");
+            self.payload.remove(&victim);
+            self.rbs.get_mut(&slot).expect("rb exists").entries[idx as usize] = None;
+            self.stats.collateral_evictions += 1;
+            Some((slot, idx))
+        });
+        let Some((slot, idx)) = position else {
+            return SimDuration::ZERO; // zero-capacity region
+        };
+        self.rbs.get_mut(&slot).expect("rb exists").entries[idx as usize] = Some(id);
+        self.map.insert(id, (slot, idx));
+        self.payload.insert(
+            id,
+            Stored {
+                value,
+                freq,
+                state: EntryState::Normal,
+            },
+        );
+        self.entry_lru.insert_mru(id);
+        self.stats.entry_writes += 1;
+        device
+            .write(
+                self.region
+                    .sub_extent(slot, idx as u64 * self.entry_bytes, self.entry_bytes),
+            )
+            .expect("entry extent is in-region")
+    }
+
+    /// Remove an entry (exclusive scheme, or explicit invalidation). When
+    /// the RB ends up fully invalid under the cost-based policy, the whole
+    /// block is trimmed and returned to the free pool.
+    pub fn invalidate<D: BlockDevice>(&mut self, id: QueryId, device: &mut D) -> SimDuration {
+        let Some((slot, idx)) = self.map.remove(&id) else {
+            return SimDuration::ZERO;
+        };
+        self.payload.remove(&id);
+        let rb = self.rbs.get_mut(&slot).expect("rb exists");
+        rb.entries[idx as usize] = None;
+        let is_static = rb.is_static;
+        if self.cost_based {
+            if !is_static && self.rbs[&slot].entries.iter().all(Option::is_none) {
+                self.rbs.remove(&slot);
+                self.rb_lru.remove(&slot);
+                self.stats.trims += 1;
+                let t = device
+                    .trim(self.region.extent(slot))
+                    .expect("RB extent is in-region");
+                self.region.release(slot);
+                return t;
+            }
+        } else {
+            self.entry_lru.remove(&id);
+            self.free_entries.push((slot, idx));
+        }
+        SimDuration::ZERO
+    }
+
+    /// Seed the CBSLRU static partition: the most valuable entries, known
+    /// from query-log analysis, written once and pinned. Entries beyond
+    /// the static capacity are ignored. Returns the write latency.
+    pub fn seed_static<D: BlockDevice>(
+        &mut self,
+        entries: Vec<(QueryId, V, u64)>,
+        device: &mut D,
+    ) -> SimDuration {
+        let mut latency = SimDuration::ZERO;
+        let capacity = self.static_slots as usize * self.entries_per_rb;
+        for chunk in entries
+            .into_iter()
+            .take(capacity)
+            .collect::<Vec<_>>()
+            .chunks(self.entries_per_rb)
+        {
+            let Some(slot) = self.region.alloc() else { break };
+            let mut rb = Rb::new(self.entries_per_rb, true);
+            for (i, (id, value, freq)) in chunk.iter().enumerate() {
+                rb.entries[i] = Some(*id);
+                self.map.insert(*id, (slot, i as u8));
+                self.payload.insert(
+                    *id,
+                    Stored {
+                        value: value.clone(),
+                        freq: *freq,
+                        state: EntryState::Normal,
+                    },
+                );
+            }
+            self.rbs.insert(slot, rb);
+            self.stats.rb_writes += 1;
+            latency += device
+                .write(self.region.extent(slot))
+                .expect("RB extent is in-region");
+        }
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimDuration;
+    use storagecore::{IoKind, RamDisk};
+
+    const ENTRY: u64 = 20_000;
+    const BLOCK: u64 = 128 * 1024;
+
+    fn device() -> RamDisk {
+        RamDisk::with_capacity_bytes(64 << 20, SimDuration::from_micros(10))
+    }
+
+    fn store(slots: u32, cost_based: bool) -> ResultStore<u32> {
+        ResultStore::new(
+            SlotRegion::new(0, BLOCK, slots),
+            6,
+            ENTRY,
+            cost_based,
+            2,
+            0.0,
+        )
+    }
+
+    fn fill_rb(s: &mut ResultStore<u32>, dev: &mut RamDisk, ids: std::ops::Range<u64>) {
+        for id in ids {
+            s.offer(id, id as u32, 1, dev);
+        }
+    }
+
+    #[test]
+    fn cb_mode_buffers_until_full_rb() {
+        let mut s = store(4, true);
+        let mut dev = device();
+        for id in 0..5 {
+            assert_eq!(s.offer(id, 0, 1, &mut dev), SimDuration::ZERO);
+            assert!(s.buffered(id));
+            assert!(!s.contains(id));
+        }
+        // Sixth entry completes the RB: one large write.
+        let t = s.offer(5, 0, 1, &mut dev);
+        assert!(t > SimDuration::ZERO);
+        assert_eq!(dev.stats().ops(IoKind::Write), 1);
+        assert_eq!(dev.stats().kind(IoKind::Write).bytes(), BLOCK);
+        for id in 0..6 {
+            assert!(s.contains(id));
+        }
+        assert_eq!(s.stats().rb_writes, 1);
+    }
+
+    #[test]
+    fn lru_mode_writes_each_entry_small() {
+        let mut s = store(4, false);
+        let mut dev = device();
+        s.offer(0, 0, 1, &mut dev);
+        s.offer(1, 0, 1, &mut dev);
+        assert_eq!(dev.stats().ops(IoKind::Write), 2, "two small writes");
+        assert!(dev.stats().kind(IoKind::Write).bytes() < BLOCK);
+        assert!(s.contains(0) && s.contains(1));
+        assert_eq!(s.stats().entry_writes, 2);
+    }
+
+    #[test]
+    fn lookup_reads_entry_extent_and_marks_replaceable() {
+        let mut s = store(4, true);
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6);
+        let (v, freq, t) = s.lookup(3, &mut dev, true).expect("hit");
+        assert_eq!(v, 3);
+        assert_eq!(freq, 1);
+        assert!(t > SimDuration::ZERO);
+        // Entry 3 is now replaceable: the RB's IREN is 1.
+        let (slot, _) = s.map[&3];
+        assert_eq!(s.iren(slot), 1);
+        // A second lookup still hits (replaceable data stays readable).
+        assert!(s.lookup(3, &mut dev, true).is_some());
+    }
+
+    #[test]
+    fn lookup_miss() {
+        let mut s = store(4, true);
+        let mut dev = device();
+        assert!(s.lookup(42, &mut dev, true).is_none());
+    }
+
+    #[test]
+    fn dedup_avoids_rewrite() {
+        let mut s = store(4, true);
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6);
+        s.lookup(2, &mut dev, true); // replaceable now
+        let writes_before = dev.stats().ops(IoKind::Write);
+        let t = s.offer(2, 2, 5, &mut dev);
+        assert_eq!(t, SimDuration::ZERO);
+        assert_eq!(dev.stats().ops(IoKind::Write), writes_before);
+        assert_eq!(s.stats().rewrites_avoided, 1);
+        // Back to normal: IREN drops to 0.
+        let (slot, _) = s.map[&2];
+        assert_eq!(s.iren(slot), 0);
+    }
+
+    #[test]
+    fn cb_victim_is_max_iren_in_window() {
+        let mut s = store(2, true); // 2 slots only
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6); // RB A (slot LRU order: A)
+        fill_rb(&mut s, &mut dev, 6..12); // RB B
+        // Make RB B dirtier: two of its entries replaceable; but touch it
+        // MRU afterwards? Window = 2 covers both. A has IREN 0, B has 2.
+        s.lookup(6, &mut dev, true);
+        s.lookup(7, &mut dev, true);
+        // Third RB must overwrite B (max IREN), not A.
+        fill_rb(&mut s, &mut dev, 12..18);
+        assert!(s.contains(0), "RB A untouched");
+        assert!(!s.contains(8), "RB B's normal entries were destroyed");
+        assert!(s.contains(12));
+        assert!(s.stats().collateral_evictions >= 4, "B had 4 normal entries");
+    }
+
+    #[test]
+    fn lru_victim_is_strict_lru_entry() {
+        let mut s = store(1, false); // 6 entry positions total
+        let mut dev = device();
+        for id in 0..6 {
+            s.offer(id, 0, 1, &mut dev);
+        }
+        s.lookup(0, &mut dev, false); // touch 0
+        s.offer(6, 0, 1, &mut dev); // evicts 1 (LRU), not 0
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(s.contains(6));
+    }
+
+    #[test]
+    fn invalidate_trims_fully_invalid_rb() {
+        let mut s = store(4, true);
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6);
+        for id in 0..6 {
+            s.invalidate(id, &mut dev);
+        }
+        assert_eq!(s.stats().trims, 1);
+        assert_eq!(dev.stats().ops(IoKind::Trim), 1);
+        assert!(s.is_empty());
+        // The slot is reusable.
+        fill_rb(&mut s, &mut dev, 10..16);
+        assert!(s.contains(10));
+    }
+
+    #[test]
+    fn static_partition_is_pinned() {
+        let mut s: ResultStore<u32> = ResultStore::new(
+            SlotRegion::new(0, BLOCK, 4),
+            6,
+            ENTRY,
+            true,
+            2,
+            0.5, // 2 of 4 slots static
+        );
+        let mut dev = device();
+        let seeds: Vec<(QueryId, u32, u64)> = (100..112).map(|q| (q, q as u32, 9)).collect();
+        s.seed_static(seeds, &mut dev);
+        assert!(s.contains(100) && s.contains(111));
+        // Lookups on static entries never turn them replaceable.
+        s.lookup(100, &mut dev, true);
+        let (slot, _) = s.map[&100];
+        assert_eq!(s.iren(slot), 0);
+        // Fill the dynamic remainder twice over: static entries survive.
+        for batch in 0..4u64 {
+            fill_rb(&mut s, &mut dev, batch * 6..batch * 6 + 6);
+        }
+        assert!(s.contains(100) && s.contains(111), "static entries pinned");
+    }
+
+    #[test]
+    fn lru_invalidate_frees_the_entry_position() {
+        let mut s = store(1, false); // 6 positions, LRU mode
+        let mut dev = device();
+        for id in 0..6 {
+            s.offer(id, id as u32, 1, &mut dev);
+        }
+        // Invalidate one entry: its position must be reused by the next
+        // offer instead of evicting the LRU entry.
+        s.invalidate(3, &mut dev);
+        assert!(!s.contains(3));
+        s.offer(9, 9, 1, &mut dev);
+        assert!(s.contains(9));
+        for id in [0u64, 1, 2, 4, 5] {
+            assert!(s.contains(id), "entry {id} must have survived");
+        }
+    }
+
+    #[test]
+    fn restaged_entry_refreshes_payload() {
+        // The same query staged twice before its RB flushes must keep the
+        // newest payload and one RB slot only.
+        let mut s = store(4, true);
+        let mut dev = device();
+        s.offer(7, 100, 1, &mut dev);
+        s.offer(7, 200, 3, &mut dev); // restage with new value + freq
+        for id in 0..5 {
+            s.offer(id, id as u32, 1, &mut dev); // fills and flushes the RB
+        }
+        let (v, freq, _) = s.lookup(7, &mut dev, true).expect("flushed");
+        assert_eq!(v, 200);
+        assert_eq!(freq, 3);
+    }
+
+    #[test]
+    fn cb_mode_overwrite_victim_when_no_free_slot() {
+        let mut s = store(1, true); // single slot: every flush overwrites
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6);
+        fill_rb(&mut s, &mut dev, 10..16);
+        for id in 0..6 {
+            assert!(!s.contains(id), "first RB was overwritten");
+        }
+        for id in 10..16 {
+            assert!(s.contains(id));
+        }
+        assert!(s.stats().collateral_evictions >= 6);
+    }
+
+    #[test]
+    fn zero_capacity_region_drops_gracefully() {
+        let mut s = store(0, true);
+        let mut dev = device();
+        fill_rb(&mut s, &mut dev, 0..6);
+        assert!(s.is_empty());
+        let mut s = store(0, false);
+        s.offer(0, 0, 1, &mut dev);
+        assert!(s.is_empty());
+    }
+}

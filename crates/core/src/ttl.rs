@@ -1,0 +1,129 @@
+//! The dynamic scenario: TTL-based freshness (the paper's Sec. IV-B).
+//!
+//! The paper evaluates the static case and sketches the dynamic one:
+//! "Suppose that each cached data has a 'TTL' (Time-to-Live); when the
+//! cached data expire, the search engines will read the latest data from
+//! HDD for computing." [`TtlTracker`] implements exactly that sketch: it
+//! remembers when each cached key was (re)installed, answers whether it
+//! is still fresh at a given instant, and hands the manager the expired
+//! keys so both cache levels can drop them.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use simclock::{SimDuration, SimTime};
+
+/// Install-time registry with a fixed TTL.
+#[derive(Debug, Clone)]
+pub struct TtlTracker<K> {
+    ttl: SimDuration,
+    born: HashMap<K, SimTime>,
+    /// Lookups answered from data that was still fresh.
+    fresh_hits: u64,
+    /// Lookups that found expired data (treated as misses).
+    expirations: u64,
+}
+
+impl<K: Eq + Hash + Clone> TtlTracker<K> {
+    /// Tracker with the given TTL.
+    pub fn new(ttl: SimDuration) -> Self {
+        TtlTracker {
+            ttl,
+            born: HashMap::new(),
+            fresh_hits: 0,
+            expirations: 0,
+        }
+    }
+
+    /// The TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Record (re-)installation of `key` at `now`.
+    pub fn installed(&mut self, key: K, now: SimTime) {
+        self.born.insert(key, now);
+    }
+
+    /// Whether `key`'s data is fresh at `now`. Keys never installed are
+    /// treated as fresh (they were never cached, so nothing can be
+    /// stale); counting happens only for tracked keys.
+    pub fn check(&mut self, key: &K, now: SimTime) -> bool {
+        match self.born.get(key) {
+            None => true,
+            Some(&born) => {
+                if now.since(born) <= self.ttl {
+                    self.fresh_hits += 1;
+                    true
+                } else {
+                    self.expirations += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Forget a key (its cache entries were dropped).
+    pub fn forget(&mut self, key: &K) {
+        self.born.remove(key);
+    }
+
+    /// `(fresh_hits, expirations)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.fresh_hits, self.expirations)
+    }
+
+    /// Tracked keys.
+    pub fn len(&self) -> usize {
+        self.born.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.born.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn fresh_until_ttl_elapses() {
+        let mut tr = TtlTracker::new(SimDuration::from_millis(10));
+        tr.installed("k", t(0));
+        assert!(tr.check(&"k", t(5)));
+        assert!(tr.check(&"k", t(10)), "boundary is inclusive");
+        assert!(!tr.check(&"k", t(11)));
+        assert_eq!(tr.stats(), (2, 1));
+    }
+
+    #[test]
+    fn untracked_keys_are_fresh_and_uncounted() {
+        let mut tr: TtlTracker<u64> = TtlTracker::new(SimDuration::from_millis(1));
+        assert!(tr.check(&9, t(1_000)));
+        assert_eq!(tr.stats(), (0, 0));
+    }
+
+    #[test]
+    fn reinstall_resets_the_clock() {
+        let mut tr = TtlTracker::new(SimDuration::from_millis(10));
+        tr.installed(1u32, t(0));
+        assert!(!tr.check(&1, t(20)));
+        tr.installed(1u32, t(20));
+        assert!(tr.check(&1, t(25)));
+    }
+
+    #[test]
+    fn forget_removes_tracking() {
+        let mut tr = TtlTracker::new(SimDuration::from_millis(10));
+        tr.installed(1u32, t(0));
+        tr.forget(&1);
+        assert!(tr.is_empty());
+        assert!(tr.check(&1, t(1_000)), "forgotten keys read as fresh");
+    }
+}

@@ -1,0 +1,503 @@
+//! The simulated search engine.
+
+use cachekit::FreqCounter;
+use hddsim::{HddDisk, HddParams};
+use flashsim::{PageMapFtl, SsdDisk};
+use hybridcache::{CacheManager, Tier};
+use searchidx::{
+    CorpusSpec, DocStore, IndexLayout, IndexReader, ResultEntry, SyntheticIndex, TopKProcessor,
+};
+use simclock::{Clock, Histogram, RunningStats, SimDuration, SimTime};
+use storagecore::{BlockDevice, Extent, Geometry, IoError, IoEvent, IoStats, TraceSink};
+use storagecore::trace::TracedDevice;
+use workload::{Query, QueryLog, QueryLogSpec};
+
+use crate::config::{EngineConfig, IndexPlacement};
+use crate::report::{FlashReport, RunReport};
+use crate::situations::{classify_list, Situation, SituationTable};
+
+/// The device holding the index files.
+#[derive(Debug)]
+pub enum IndexDevice {
+    /// Mechanical disk (the paper's WD3200AAJS).
+    Hdd(Box<HddDisk>),
+    /// Flash SSD with the paper's page-mapped FTL.
+    Ssd(Box<SsdDisk<PageMapFtl>>),
+}
+
+impl BlockDevice for IndexDevice {
+    fn geometry(&self) -> Geometry {
+        match self {
+            IndexDevice::Hdd(d) => d.geometry(),
+            IndexDevice::Ssd(d) => d.geometry(),
+        }
+    }
+
+    fn read(&mut self, extent: Extent) -> Result<SimDuration, IoError> {
+        match self {
+            IndexDevice::Hdd(d) => d.read(extent),
+            IndexDevice::Ssd(d) => d.read(extent),
+        }
+    }
+
+    fn write(&mut self, extent: Extent) -> Result<SimDuration, IoError> {
+        match self {
+            IndexDevice::Hdd(d) => d.write(extent),
+            IndexDevice::Ssd(d) => d.write(extent),
+        }
+    }
+
+    fn stats(&self) -> &IoStats {
+        match self {
+            IndexDevice::Hdd(d) => d.stats(),
+            IndexDevice::Ssd(d) => d.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            IndexDevice::Hdd(d) => d.reset_stats(),
+            IndexDevice::Ssd(d) => d.reset_stats(),
+        }
+    }
+}
+
+/// Trace sink that buffers only when enabled.
+#[derive(Debug, Default)]
+struct ToggleSink {
+    events: Option<Vec<IoEvent>>,
+}
+
+impl TraceSink for ToggleSink {
+    fn record(&mut self, event: IoEvent) {
+        if let Some(events) = &mut self.events {
+            events.push(event);
+        }
+    }
+}
+
+/// The end-to-end engine.
+#[derive(Debug)]
+pub struct SearchEngine {
+    config: EngineConfig,
+    index: SyntheticIndex,
+    layout: IndexLayout,
+    docstore: DocStore,
+    index_dev: TracedDevice<IndexDevice, ToggleSink>,
+    cache: Option<CacheManager<ResultEntry, SsdDisk<PageMapFtl>>>,
+    processor: TopKProcessor,
+    log: QueryLog,
+    clock: Clock,
+    situations: SituationTable,
+    response: RunningStats,
+    response_hist: Histogram,
+    queries_run: u64,
+    postings_scanned: u64,
+    /// Three-level mode: co-occurrence counts of (heaviest) term pairs.
+    pair_freq: FreqCounter<(u32, u32)>,
+    /// Intersection serves (hits) and installs, for reporting.
+    intersection_hits: u64,
+    intersection_installs: u64,
+}
+
+impl SearchEngine {
+    /// Build the whole testbed from a configuration. Construction is O(vocabulary).
+    pub fn new(config: EngineConfig) -> Self {
+        let index = SyntheticIndex::new(CorpusSpec::enwiki_like(config.docs, config.seed));
+        let layout = IndexLayout::build(&index, 0);
+        // Stored fields live right after the posting lists.
+        let docstore = DocStore::new(layout.end(), config.docs);
+        let index_dev = match config.index_placement {
+            IndexPlacement::Hdd => {
+                // The index occupies the low LBAs of a realistically-sized
+                // disk, so seek distances within the index stay honest.
+                let capacity = ((layout.bytes() + docstore.sectors() * 512) * 4).max(4 << 30);
+                IndexDevice::Hdd(Box::new(HddDisk::new(HddParams::small_test_disk(capacity))))
+            }
+            IndexPlacement::Ssd => IndexDevice::Ssd(Box::new(SsdDisk::paper(
+                layout.bytes() + docstore.sectors() * 512 + (64 << 20),
+            ))),
+        };
+        let sink = ToggleSink {
+            events: config.capture_trace.then(Vec::new),
+        };
+        let cache = config.cache.clone().map(|hc| {
+            let footprint = (hc.ssd_base_lba + hc.ssd_sectors()) * storagecore::SECTOR_SIZE as u64;
+            let device = SsdDisk::paper(footprint.max(4 << 20));
+            CacheManager::new(hc, device)
+        });
+        let log = QueryLog::new(QueryLogSpec::aol_like(index.num_terms(), config.seed ^ 0xBEEF));
+        SearchEngine {
+            processor: TopKProcessor::new(config.topk),
+            index,
+            layout,
+            docstore,
+            index_dev: TracedDevice::new(index_dev, sink),
+            cache,
+            log,
+            clock: Clock::new(),
+            situations: SituationTable::new(),
+            response: RunningStats::new(),
+            response_hist: Histogram::new(),
+            queries_run: 0,
+            postings_scanned: 0,
+            pair_freq: FreqCounter::new(),
+            intersection_hits: 0,
+            intersection_installs: 0,
+            config,
+        }
+    }
+
+    /// `(hits, installs)` of the intersection family (three-level mode).
+    pub fn intersection_stats(&self) -> (u64, u64) {
+        (self.intersection_hits, self.intersection_installs)
+    }
+
+    /// Expected size in bytes of the materialized intersection of two
+    /// terms, under the independence approximation
+    /// `|A∩B| ≈ df(A)·df(B)/N` (12 B per entry: doc + two tfs).
+    fn expected_intersection_bytes(&self, a: u32, b: u32) -> u64 {
+        let docs = self.index.num_docs().max(1);
+        let expect =
+            (self.index.doc_freq(a) as u128 * self.index.doc_freq(b) as u128 / docs as u128)
+                as u64;
+        (expect * 12).max(64)
+    }
+
+    /// The synthetic index.
+    pub fn index(&self) -> &SyntheticIndex {
+        &self.index
+    }
+
+    /// The on-device index layout.
+    pub fn layout(&self) -> &IndexLayout {
+        &self.layout
+    }
+
+    /// The query log generator.
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    /// The cache manager, when configured.
+    pub fn cache(&self) -> Option<&CacheManager<ResultEntry, SsdDisk<PageMapFtl>>> {
+        self.cache.as_ref()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.index_dev_now()
+    }
+
+    fn index_dev_now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Take the captured index-device trace (empty unless
+    /// `capture_trace` was set; capturing continues afterwards).
+    pub fn take_trace(&mut self) -> Vec<IoEvent> {
+        match &mut self.index_dev.sink_mut().events {
+            Some(events) => std::mem::take(events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Execute the next `n` queries of the log.
+    pub fn run(&mut self, n: usize) -> RunReport {
+        let queries: Vec<Query> = self.log.stream(n);
+        self.run_queries(&queries)
+    }
+
+    /// Execute an explicit query stream.
+    pub fn run_queries(&mut self, queries: &[Query]) -> RunReport {
+        let t0 = self.clock.now();
+        let before = self.queries_run;
+        for q in queries {
+            self.execute(q);
+        }
+        let elapsed = self.clock.now() - t0;
+        let ran = self.queries_run - before;
+        self.report(ran, elapsed)
+    }
+
+    /// Execute one query on the virtual clock, returning its response
+    /// time.
+    pub fn execute(&mut self, query: &Query) -> SimDuration {
+        let start = self.clock.now();
+        let cost = self.config.cost;
+        self.clock.advance(cost.per_query);
+        if let Some(cache) = self.cache.as_mut() {
+            // Feed the clock through for TTL expiry (dynamic scenario).
+            cache.set_now(start);
+        }
+
+        // Query management: the result cache first.
+        if let Some(cache) = self.cache.as_mut() {
+            let lookup_start = self.clock.now();
+            let (result, tier, latency) = cache.lookup_result(query.id);
+            self.clock.advance(latency);
+            if let Some(result) = result {
+                self.clock.advance(cost.mem_read(result.bytes()));
+                let service = self.clock.now() - lookup_start;
+                let situation = match tier {
+                    Tier::Mem => Situation::S1ResultMem,
+                    _ => Situation::S3ResultSsd,
+                };
+                self.situations.record(situation, service);
+                return self.finish(start);
+            }
+        }
+
+        // Compute from the index, charging list I/O per visited prefix.
+        let outcome = self.processor.process(&self.index, &query.terms);
+        self.postings_scanned += outcome.postings_scanned();
+
+        // Three-level mode: the two heaviest lists may be replaced by a
+        // cached intersection (Long & Suel's intermediate level).
+        let mut paired: Option<(u32, u32)> = None;
+        if self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.intersections_enabled())
+        {
+            let mut heavy: Vec<(u64, u32)> = outcome
+                .usage
+                .iter()
+                .filter(|u| u.scanned > 0)
+                .map(|u| (u.bytes_scanned(), u.term))
+                .collect();
+            if heavy.len() >= 2 {
+                heavy.sort_unstable_by_key(|&(bytes, _)| std::cmp::Reverse(bytes));
+                let pair = (heavy[0].1.min(heavy[1].1), heavy[0].1.max(heavy[1].1));
+                let est = self.expected_intersection_bytes(pair.0, pair.1);
+                let threshold = self
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.config().intersections)
+                    .map_or(u64::MAX, |x| x.pair_threshold);
+                let cache = self.cache.as_mut().expect("checked above");
+                if let Some(serve) = cache.lookup_intersection(pair, est) {
+                    // Served: the two lists' storage I/O is replaced by
+                    // reading the (much smaller) intersection.
+                    self.intersection_hits += 1;
+                    self.clock.advance(serve.ssd_latency);
+                    self.clock.advance(cost.mem_read(serve.from_mem));
+                    let situation = if serve.from_ssd > 0 {
+                        Situation::S4ListSsd
+                    } else {
+                        Situation::S2ListMem
+                    };
+                    self.situations
+                        .record(situation, serve.ssd_latency + cost.mem_read(serve.from_mem));
+                    paired = Some(pair);
+                } else if self.pair_freq.record(&pair) >= threshold {
+                    // Materialize it for next time (built from postings
+                    // already in hand this query — no extra storage I/O).
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.install_intersection(pair, est);
+                    self.intersection_installs += 1;
+                }
+            }
+        }
+
+        for u in &outcome.usage {
+            if u.scanned == 0 {
+                // "…or are not traversed at all" — no storage touched.
+                continue;
+            }
+            if let Some((a, b)) = paired {
+                if u.term == a || u.term == b {
+                    continue; // served by the cached intersection
+                }
+            }
+            let needed = u.bytes_scanned();
+            let pu = u.utilization();
+            let full = self.index.list_bytes(u.term);
+            let list_start = self.clock.now();
+            if let Some(cache) = self.cache.as_mut() {
+                let serve = cache.lookup_list(u.term, needed, full, pu);
+                self.clock.advance(serve.ssd_latency);
+                self.clock.advance(cost.mem_read(serve.from_mem));
+                if serve.from_hdd + serve.fill_from_hdd > 0 {
+                    // The request's own tail, plus whatever extra the
+                    // policy decided to fill (whole-list reads under the
+                    // traditional LRU baseline).
+                    let from = serve.from_mem + serve.from_ssd;
+                    let to = needed + serve.fill_from_hdd;
+                    let extent = self.layout.range_extent(u.term, from.min(to - 1), to);
+                    let t = self
+                        .index_dev
+                        .read(extent)
+                        .expect("index extents are on-device");
+                    self.clock.advance(t);
+                }
+                self.situations.record(
+                    classify_list(serve.from_mem, serve.from_ssd, serve.from_hdd),
+                    self.clock.now() - list_start,
+                );
+            } else {
+                let extent = self.layout.prefix_extent(u.term, needed);
+                let t = self
+                    .index_dev
+                    .read(extent)
+                    .expect("index extents are on-device");
+                self.clock.advance(t);
+                self.situations
+                    .record(Situation::S9ListHdd, self.clock.now() - list_start);
+            }
+        }
+
+        // Stored-field (snippet) fetches for the assembled page — small
+        // random reads the result cache exists to avoid.
+        let fetches = self.config.snippet_fetches.min(outcome.result.docs.len());
+        for d in &outcome.result.docs[..fetches] {
+            let t = self
+                .index_dev
+                .read(self.docstore.extent(d.doc))
+                .expect("doc store is on-device");
+            self.clock.advance(t);
+        }
+
+        // Scoring + result-page assembly CPU.
+        self.clock
+            .advance(cost.per_posting * outcome.postings_scanned());
+        self.clock
+            .advance(cost.per_result_doc * outcome.result.docs.len() as u64);
+
+        if let Some(cache) = self.cache.as_mut() {
+            let t = cache.complete_result(query.id, outcome.result);
+            self.clock.advance(t);
+        }
+        self.situations
+            .record(Situation::S8ResultHdd, self.clock.now() - start);
+        self.finish(start)
+    }
+
+    fn finish(&mut self, start: SimTime) -> SimDuration {
+        let response = self.clock.now() - start;
+        self.response.push_duration(response);
+        self.response_hist.record_duration(response);
+        self.queries_run += 1;
+        response
+    }
+
+    /// CBSLRU warm start: analyze the first `analysis_len` log entries
+    /// offline (uncharged — the paper's "by analyzing the query log") and
+    /// seed the static partitions with the hottest results and the most
+    /// efficient lists.
+    pub fn seed_static_from_log(&mut self, analysis_len: usize) {
+        use std::collections::HashMap;
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        if cache.config().policy.static_fraction() == 0.0 {
+            return;
+        }
+        let sb = cache.config().block_bytes;
+
+        let mut query_freq: HashMap<u64, u64> = HashMap::new();
+        for q in self.log.stream_iter(analysis_len) {
+            *query_freq.entry(q.id).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u64, u64)> = query_freq.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Process the hottest distinct queries once to learn term usage
+        // and produce the result payloads.
+        let analyze = ranked.len().min(512);
+        let mut term_stats: HashMap<u32, (u64, u64, f64)> = HashMap::new(); // freq, max bytes, pu sum
+        let mut result_seeds = Vec::new();
+        for &(qid, freq) in ranked.iter().take(analyze) {
+            let terms = self.log.terms_of(qid);
+            let outcome = self.processor.process(&self.index, &terms);
+            for u in &outcome.usage {
+                if u.scanned == 0 {
+                    continue;
+                }
+                let e = term_stats.entry(u.term).or_insert((0, 0, 0.0));
+                e.0 += freq;
+                e.1 = e.1.max(u.bytes_scanned());
+                e.2 += u.utilization() * freq as f64;
+            }
+            result_seeds.push((qid, outcome.result, freq));
+        }
+
+        let mut list_seeds: Vec<(u32, u64, f64, u64)> = term_stats
+            .into_iter()
+            .map(|(term, (freq, si, pu_sum))| (term, si, (pu_sum / freq as f64).min(1.0), freq))
+            .collect();
+        // Rank lists by efficiency value.
+        list_seeds.sort_by(|a, b| {
+            let ev = |x: &(u32, u64, f64, u64)| {
+                hybridcache::efficiency_value(x.3, hybridcache::sc_blocks(x.1, x.2, sb))
+            };
+            ev(b).partial_cmp(&ev(a)).expect("EV is finite")
+        });
+
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.seed_static_results(result_seeds);
+        cache.seed_static_lists(list_seeds);
+    }
+
+    /// Assemble the report for the queries run so far in this window.
+    fn report(&mut self, queries: u64, elapsed: SimDuration) -> RunReport {
+        let flash = self.cache.as_ref().map(|c| {
+            use flashsim::Ftl as _;
+            let dev = c.device();
+            let ftl = dev.ftl();
+            let nand = ftl.nand().stats();
+            let fstats = ftl.stats();
+            let io = dev.stats();
+            let spp = ftl.params().sectors_per_page().max(1);
+            let host_pages = (io.kind(storagecore::IoKind::Read).sectors()
+                + io.kind(storagecore::IoKind::Write).sectors())
+                / spp;
+            FlashReport {
+                block_erases: nand.block_erases,
+                page_reads: nand.page_reads,
+                page_programs: nand.page_programs,
+                host_writes: fstats.host_writes,
+                gc_runs: fstats.gc_runs,
+                pages_moved: fstats.pages_moved,
+                write_amplification: fstats.write_amplification(nand.page_programs),
+                mean_access: if host_pages == 0 {
+                    SimDuration::ZERO
+                } else {
+                    io.total_busy() / host_pages
+                },
+            }
+        });
+        let idx_stats = self.index_dev.stats();
+        RunReport {
+            queries,
+            elapsed,
+            mean_response: self.response.mean_duration(),
+            p99_response: SimDuration::from_nanos(self.response_hist.quantile(0.99)),
+            throughput_qps: if elapsed == SimDuration::ZERO {
+                0.0
+            } else {
+                queries as f64 / elapsed.as_secs_f64()
+            },
+            postings_scanned: self.postings_scanned,
+            cache: self.cache.as_ref().map(|c| c.stats().clone()),
+            flash,
+            index_ops: idx_stats.total_ops(),
+            index_mean_latency: idx_stats.mean_latency(),
+            situations: self.situations.clone(),
+        }
+    }
+
+    /// Reset measurement windows (cache contents and device wear persist —
+    /// use this to measure steady state after a warm-up run).
+    pub fn reset_measurements(&mut self) {
+        self.situations = SituationTable::new();
+        self.response = RunningStats::new();
+        self.response_hist = Histogram::new();
+        self.postings_scanned = 0;
+        self.index_dev.reset_stats();
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset_stats();
+            cache.device_mut().reset_stats();
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The analytic response-time model behind the paper's Table I.
+//!
+//! Table I decomposes retrieval into nine situations with probabilities
+//! `P₁..P₉` and time costs `T₁..T₉`; the implied mean response time is the
+//! expectation `Σ Pᵢ·Tᵢ` over the situations a query traverses. The
+//! engine *measures* both factors — so the model's prediction can be
+//! checked against the measured mean, which validates that the situation
+//! accounting actually explains where the time goes (if the two diverge,
+//! some cost escapes the Table-I decomposition).
+
+use simclock::SimDuration;
+
+use crate::report::RunReport;
+use crate::situations::Situation;
+
+/// Per-query cost components the Table-I decomposition does not attribute
+/// to a storage situation (fixed CPU work).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCosts {
+    /// Per-query overhead (parse/dispatch).
+    pub per_query: SimDuration,
+}
+
+/// The model's prediction alongside what was measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelCheck {
+    /// Σ over situations of (events per query) × (mean time), plus fixed
+    /// costs.
+    pub predicted: SimDuration,
+    /// The engine's measured mean response.
+    pub measured: SimDuration,
+}
+
+impl ModelCheck {
+    /// |predicted − measured| / measured.
+    pub fn relative_error(&self) -> f64 {
+        let m = self.measured.as_nanos() as f64;
+        if m == 0.0 {
+            return 0.0;
+        }
+        (self.predicted.as_nanos() as f64 - m).abs() / m
+    }
+}
+
+/// Predict the mean response time of a run from its Table-I breakdown.
+///
+/// Situations are recorded per *event* (one result lookup per query,
+/// one list lookup per scanned term), so the expectation uses events per
+/// query rather than raw probabilities:
+/// `E[response] ≈ fixed + Σᵢ (countᵢ / queries) · meanᵢ` — with one
+/// subtlety: S8 (computed result) *includes* the whole query's time in
+/// our accounting, so the list situations inside computed queries must
+/// not be double counted. The model therefore uses S1/S3/S8 only, whose
+/// recorded times already cover the full query-path each.
+pub fn predict(report: &RunReport, fixed: FixedCosts) -> ModelCheck {
+    let queries = report.queries.max(1);
+    let t = &report.situations;
+    let mut total_ns: f64 = 0.0;
+    for s in [
+        Situation::S1ResultMem,
+        Situation::S3ResultSsd,
+        Situation::S8ResultHdd,
+    ] {
+        let count = t.count(s) as f64;
+        let mean = t.mean_time(s).as_nanos() as f64;
+        total_ns += count * mean;
+    }
+    // S1/S3 events don't include the per-query fixed cost (their timing
+    // starts at the cache lookup); S8 does (it spans the whole query).
+    let uncovered =
+        (t.count(Situation::S1ResultMem) + t.count(Situation::S3ResultSsd)) as f64;
+    total_ns += uncovered * fixed.per_query.as_nanos() as f64;
+    ModelCheck {
+        predicted: SimDuration::from_nanos((total_ns / queries as f64).round() as u64),
+        measured: report.mean_response,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, IndexPlacement};
+    use crate::engine::SearchEngine;
+    use hybridcache::{HybridConfig, PolicyKind};
+
+    fn fixed(e: &EngineConfig) -> FixedCosts {
+        FixedCosts {
+            per_query: e.cost.per_query,
+        }
+    }
+
+    #[test]
+    fn model_explains_cached_run_within_ten_percent() {
+        let cfg = EngineConfig::cached(
+            60_000,
+            HybridConfig::paper(1 << 20, 8 << 20, PolicyKind::Cblru),
+            3,
+        );
+        let fx = fixed(&cfg);
+        let mut e = SearchEngine::new(cfg);
+        let report = e.run(1_500);
+        let check = predict(&report, fx);
+        assert!(
+            check.relative_error() < 0.10,
+            "Table-I decomposition must explain the response time: \
+             predicted {} vs measured {}",
+            check.predicted,
+            check.measured
+        );
+    }
+
+    #[test]
+    fn model_explains_uncached_run() {
+        let cfg = EngineConfig::no_cache(60_000, IndexPlacement::Hdd, 5);
+        let fx = fixed(&cfg);
+        let mut e = SearchEngine::new(cfg);
+        let report = e.run(400);
+        let check = predict(&report, fx);
+        // Uncached: every query is S8, so the model is near-exact.
+        assert!(
+            check.relative_error() < 0.02,
+            "predicted {} vs measured {}",
+            check.predicted,
+            check.measured
+        );
+    }
+
+    #[test]
+    fn relative_error_arithmetic() {
+        let c = ModelCheck {
+            predicted: SimDuration::from_millis(11),
+            measured: SimDuration::from_millis(10),
+        };
+        assert!((c.relative_error() - 0.1).abs() < 1e-9);
+        let zero = ModelCheck {
+            predicted: SimDuration::ZERO,
+            measured: SimDuration::ZERO,
+        };
+        assert_eq!(zero.relative_error(), 0.0);
+    }
+}

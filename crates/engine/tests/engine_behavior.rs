@@ -1,0 +1,298 @@
+//! End-to-end behavioural tests of the simulated search engine: the
+//! qualitative claims of the paper must emerge from the model.
+
+use engine::{EngineConfig, IndexPlacement, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+
+const DOCS: u64 = 50_000;
+const SEED: u64 = 20120901;
+
+fn small_cache(policy: PolicyKind) -> HybridConfig {
+    // 1 MB memory / 8 MB SSD with the paper's 20/80 split.
+    HybridConfig::paper(1 << 20, 8 << 20, policy)
+}
+
+#[test]
+fn no_cache_run_reads_the_index() {
+    let mut e = SearchEngine::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, SEED));
+    let report = e.run(300);
+    assert_eq!(report.queries, 300);
+    assert!(report.index_ops > 0, "every query must touch the index device");
+    assert!(report.mean_response > simclock::SimDuration::from_micros(100));
+    assert!(report.throughput_qps > 0.0);
+    assert!(report.hit_ratio() == 0.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut e = SearchEngine::new(EngineConfig::cached(
+            DOCS,
+            small_cache(PolicyKind::Cblru),
+            SEED,
+        ));
+        let r = e.run(400);
+        (
+            r.mean_response,
+            r.postings_scanned,
+            r.hit_ratio().to_bits(),
+            r.flash.map(|f| f.block_erases),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn caching_raises_hit_ratio_and_cuts_response_time() {
+    let mut plain = SearchEngine::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, SEED));
+    let uncached = plain.run(800);
+    let mut cached = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        small_cache(PolicyKind::Cblru),
+        SEED,
+    ));
+    let with_cache = cached.run(800);
+    assert!(with_cache.hit_ratio() > 0.2, "hit ratio {}", with_cache.hit_ratio());
+    assert!(
+        with_cache.mean_response < uncached.mean_response,
+        "cached {} vs uncached {}",
+        with_cache.mean_response,
+        uncached.mean_response
+    );
+    assert!(with_cache.throughput_qps > uncached.throughput_qps);
+}
+
+#[test]
+fn repeated_query_hits_memory() {
+    let mut e = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        small_cache(PolicyKind::Cblru),
+        SEED,
+    ));
+    let q = workload::Query {
+        id: 3,
+        terms: e.log().terms_of(3),
+    };
+    e.execute(&q);
+    e.execute(&q);
+    let stats = e.cache().expect("cached config").stats().clone();
+    assert_eq!(stats.results.mem_hits, 1);
+    assert_eq!(stats.results.misses, 1);
+}
+
+#[test]
+fn two_level_cache_beats_one_level_at_same_memory() {
+    let one_level = {
+        let mut cfg = small_cache(PolicyKind::Cblru);
+        cfg.ssd_result_bytes = 0;
+        cfg.ssd_list_bytes = 0;
+        let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cfg, SEED));
+        e.run(1500)
+    };
+    let two_level = {
+        let mut e = SearchEngine::new(EngineConfig::cached(
+            DOCS,
+            small_cache(PolicyKind::Cblru),
+            SEED,
+        ));
+        e.run(1500)
+    };
+    assert!(
+        two_level.hit_ratio() > one_level.hit_ratio(),
+        "2LC {} vs 1LC {}",
+        two_level.hit_ratio(),
+        one_level.hit_ratio()
+    );
+    assert!(
+        two_level.mean_response < one_level.mean_response,
+        "2LC {} vs 1LC {}",
+        two_level.mean_response,
+        one_level.mean_response
+    );
+}
+
+#[test]
+fn cost_based_policies_reduce_erasures() {
+    let erases = |policy| {
+        let mut e = SearchEngine::new(EngineConfig::cached(DOCS, small_cache(policy), SEED));
+        let r = e.run(2500);
+        r.flash.expect("cache SSD present").block_erases
+    };
+    let lru = erases(PolicyKind::Lru);
+    let cblru = erases(PolicyKind::Cblru);
+    assert!(
+        cblru < lru,
+        "CBLRU must erase less than LRU ({cblru} vs {lru})"
+    );
+}
+
+#[test]
+fn cost_based_policies_raise_hit_ratio() {
+    let hit = |policy| {
+        let mut e = SearchEngine::new(EngineConfig::cached(DOCS, small_cache(policy), SEED));
+        e.run(2500).hit_ratio()
+    };
+    let lru = hit(PolicyKind::Lru);
+    let cblru = hit(PolicyKind::Cblru);
+    assert!(
+        cblru > lru,
+        "CBLRU hit ratio {cblru} must beat LRU {lru}"
+    );
+}
+
+#[test]
+fn cbslru_seeding_works() {
+    let mut e = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        small_cache(PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        }),
+        SEED,
+    ));
+    e.seed_static_from_log(2_000);
+    let r = e.run(1500);
+    assert!(r.hit_ratio() > 0.2);
+    // Static seeding must have produced SSD hits (queries served from the
+    // static partition before ever being computed).
+    let stats = r.cache.expect("cached");
+    assert!(
+        stats.results.ssd_hits + stats.lists.ssd_hits > 0,
+        "static partition must serve hits"
+    );
+}
+
+#[test]
+fn ssd_index_beats_hdd_index_without_cache() {
+    let mean = |placement| {
+        let mut e = SearchEngine::new(EngineConfig::no_cache(DOCS, placement, SEED));
+        e.run(300).mean_response
+    };
+    let hdd = mean(IndexPlacement::Hdd);
+    let ssd = mean(IndexPlacement::Ssd);
+    assert!(ssd < hdd, "SSD index {ssd} must beat HDD index {hdd}");
+}
+
+#[test]
+fn trace_capture_records_read_dominant_io() {
+    let mut cfg = EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, SEED);
+    cfg.capture_trace = true;
+    let mut e = SearchEngine::new(cfg);
+    e.run(200);
+    let trace = e.take_trace();
+    assert!(!trace.is_empty());
+    let profile = tracetools::TraceProfile::from_events(&trace);
+    assert!(
+        profile.read_fraction > 0.99,
+        "search I/O is read-dominant ({})",
+        profile.read_fraction
+    );
+    // Taking the trace drains it but capture continues.
+    e.run(50);
+    assert!(!e.take_trace().is_empty());
+}
+
+#[test]
+fn situations_cover_the_table() {
+    use engine::Situation;
+    let mut e = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        small_cache(PolicyKind::Cblru),
+        SEED,
+    ));
+    let r = e.run(2000);
+    let t = &r.situations;
+    assert!(t.count(Situation::S1ResultMem) > 0, "memory result hits");
+    assert!(t.count(Situation::S8ResultHdd) > 0, "computed results");
+    assert!(t.count(Situation::S2ListMem) > 0, "memory list hits");
+    assert!(t.total() > 2000);
+    let p_sum: f64 = Situation::ALL.iter().map(|&s| t.probability(s)).sum();
+    assert!((p_sum - 1.0).abs() < 1e-9, "probabilities sum to 1");
+}
+
+#[test]
+fn three_level_mode_serves_intersections() {
+    let mut cfg = small_cache(PolicyKind::Cblru);
+    cfg.intersections = Some(hybridcache::IntersectionConfig {
+        mem_bytes: 256 << 10,
+        ssd_bytes: 2 << 20,
+        pair_threshold: 2,
+    });
+    let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cfg, SEED));
+    let r = e.run(4_000);
+    let (hits, installs) = e.intersection_stats();
+    assert!(installs > 0, "recurring pairs must be materialized");
+    assert!(hits > 0, "materialized intersections must serve hits");
+    let stats = r.cache.expect("cached");
+    assert_eq!(
+        stats.intersections.mem_hits + stats.intersections.ssd_hits,
+        hits
+    );
+}
+
+#[test]
+fn ttl_degrades_hit_ratio_gracefully() {
+    let run = |ttl: Option<simclock::SimDuration>| {
+        let mut cfg = small_cache(PolicyKind::Cblru);
+        cfg.ttl = ttl;
+        let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cfg, SEED));
+        e.run(2_000).hit_ratio()
+    };
+    let static_hit = run(None);
+    let generous = run(Some(simclock::SimDuration::from_secs(3_600)));
+    let harsh = run(Some(simclock::SimDuration::from_millis(1)));
+    assert!(
+        (generous - static_hit).abs() < 0.05,
+        "generous TTL ≈ static ({generous} vs {static_hit})"
+    );
+    assert!(
+        harsh < static_hit * 0.7,
+        "1 ms TTL must hurt ({harsh} vs {static_hit})"
+    );
+}
+
+#[test]
+fn snippet_fetches_cost_io_and_result_caching_avoids_them() {
+    let run = |snippets: usize| {
+        let mut cfg = EngineConfig::cached(DOCS, small_cache(PolicyKind::Cblru), SEED);
+        cfg.snippet_fetches = snippets;
+        let mut e = SearchEngine::new(cfg);
+        let r = e.run(800);
+        (r.mean_response, r.index_ops)
+    };
+    let (resp_off, ops_off) = run(0);
+    let (resp_on, ops_on) = run(10);
+    assert!(ops_on > ops_off, "snippet fetches must add index reads");
+    assert!(resp_on > resp_off, "and cost response time");
+    // Result-cache hits skip the fetches: a second identical window on a
+    // warm cache does fewer doc-store reads per query.
+    let mut cfg = EngineConfig::cached(DOCS, small_cache(PolicyKind::Cblru), SEED);
+    cfg.snippet_fetches = 10;
+    let mut e = SearchEngine::new(cfg);
+    e.run(800);
+    let cold_ops = {
+        let r = e.run(0);
+        r.index_ops
+    };
+    e.reset_measurements();
+    e.run(800);
+    let warm_ops = e.run(0).index_ops;
+    assert!(
+        warm_ops < cold_ops,
+        "warm result cache must cut doc-store traffic ({warm_ops} vs {cold_ops})"
+    );
+}
+
+#[test]
+fn measurement_reset_preserves_cache_warmth() {
+    let mut e = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        small_cache(PolicyKind::Cblru),
+        SEED,
+    ));
+    e.run(1000);
+    e.reset_measurements();
+    let steady = e.run(1000);
+    assert_eq!(steady.queries, 1000);
+    // A warm cache hits immediately in the new window.
+    assert!(steady.hit_ratio() > 0.2, "hit {}", steady.hit_ratio());
+}

@@ -1,0 +1,310 @@
+//! Block-level mapping FTL.
+//!
+//! The space-efficient scheme of Kim et al. (Compactflash): the map has one
+//! entry per *logical block*, and a page's offset inside the physical block
+//! is fixed. In-order first writes are cheap; any update behind the
+//! program frontier forces a **copy-merge**: copy the block's live pages
+//! into a fresh block (substituting the new data), remap, erase the old
+//! block. This is the scheme whose random-write pathology motivates
+//! log-based designs — it serves as the lower baseline in the FTL
+//! ablation.
+
+use simclock::SimDuration;
+
+use crate::ftl::{FreePool, Ftl, FtlError, FtlStats};
+use crate::nand::{BlockId, Lpn, Nand, PageContent};
+use crate::params::FlashParams;
+
+/// Block-mapped FTL with copy-merge updates.
+#[derive(Debug, Clone)]
+pub struct BlockMapFtl {
+    nand: Nand,
+    /// logical block → physical block.
+    map: Vec<Option<BlockId>>,
+    free: FreePool,
+    stats: FtlStats,
+}
+
+impl BlockMapFtl {
+    /// Fresh device.
+    pub fn new(params: FlashParams) -> Self {
+        let nand = Nand::new(params);
+        let logical_blocks = nand.params().logical_blocks();
+        let blocks = nand.params().blocks;
+        BlockMapFtl {
+            nand,
+            map: vec![None; logical_blocks as usize],
+            free: FreePool::new(0..blocks),
+            stats: FtlStats::default(),
+        }
+    }
+
+    #[inline]
+    fn split(&self, lpn: Lpn) -> (u64, u32) {
+        let ppb = self.nand.params().pages_per_block as u64;
+        (lpn / ppb, (lpn % ppb) as u32)
+    }
+
+    /// Physical page holding `lpn`, if mapped and valid.
+    fn ppn_of(&self, lpn: Lpn) -> Option<u64> {
+        let (lblock, offset) = self.split(lpn);
+        let pblock = self.map[lblock as usize]?;
+        let ppn = pblock * self.nand.params().pages_per_block as u64 + offset as u64;
+        match self.nand.page(ppn) {
+            PageContent::Valid(owner) => {
+                debug_assert_eq!(owner, lpn);
+                Some(ppn)
+            }
+            _ => None,
+        }
+    }
+
+    /// Copy-merge `lblock` into a fresh physical block, writing `new_lpn`
+    /// in place of its stale copy.
+    fn copy_merge(&mut self, lblock: u64, new_lpn: Lpn) -> Result<SimDuration, FtlError> {
+        let ppb = self.nand.params().pages_per_block as u64;
+        let old = self.map[lblock as usize].expect("merge of unmapped block");
+        let fresh = self.free.pop().ok_or(FtlError::DeviceFull)?;
+        let mut t = SimDuration::ZERO;
+        let (_, new_offset) = self.split(new_lpn);
+        for offset in 0..ppb as u32 {
+            let lpn = lblock * ppb + offset as u64;
+            if offset == new_offset {
+                // The updated page: program new data directly.
+                let (_, tw) = self.nand.program_at(fresh, offset, lpn);
+                t += tw;
+                continue;
+            }
+            let ppn = old * ppb + offset as u64;
+            if let PageContent::Valid(owner) = self.nand.page(ppn) {
+                debug_assert_eq!(owner, lpn);
+                t += self.nand.read(ppn);
+                let (_, tw) = self.nand.program_at(fresh, offset, lpn);
+                t += tw;
+                self.nand.invalidate(ppn);
+                self.stats.pages_moved += 1;
+            }
+        }
+        // Invalidate the stale copy of the updated page, if any, then
+        // erase the old block wholesale.
+        let old_ppn = old * ppb + new_offset as u64;
+        if let PageContent::Valid(_) = self.nand.page(old_ppn) {
+            self.nand.invalidate(old_ppn);
+        }
+        t += self.nand.erase(old);
+        self.free.push(old);
+        self.map[lblock as usize] = Some(fresh);
+        self.stats.merges += 1;
+        Ok(t)
+    }
+}
+
+impl Ftl for BlockMapFtl {
+    fn params(&self) -> &FlashParams {
+        self.nand.params()
+    }
+
+    fn nand(&self) -> &Nand {
+        &self.nand
+    }
+
+    fn read(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_reads += 1;
+        let mut t = self.params().controller_overhead;
+        if let Some(ppn) = self.ppn_of(lpn) {
+            t += self.nand.read(ppn);
+        }
+        Ok(t)
+    }
+
+    fn write(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_writes += 1;
+        let mut t = self.params().controller_overhead;
+        let (lblock, offset) = self.split(lpn);
+        match self.map[lblock as usize] {
+            None => {
+                let fresh = self.free.pop().ok_or(FtlError::DeviceFull)?;
+                self.map[lblock as usize] = Some(fresh);
+                let (_, tw) = self.nand.program_at(fresh, offset, lpn);
+                t += tw;
+            }
+            Some(pblock) => {
+                if offset >= self.nand.block_frontier(pblock) {
+                    // Ahead of the frontier: in-place append (possibly
+                    // burning skipped pages, as real block-mapped FTLs do).
+                    let (_, tw) = self.nand.program_at(pblock, offset, lpn);
+                    t += tw;
+                } else {
+                    // Behind the frontier: the expensive path.
+                    t += self.copy_merge(lblock, lpn)?;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_trims += 1;
+        if let Some(ppn) = self.ppn_of(lpn) {
+            self.nand.invalidate(ppn);
+            // If the whole block is now garbage, reclaim it eagerly.
+            let (lblock, _) = self.split(lpn);
+            let pblock = self.map[lblock as usize].expect("checked mapped");
+            if self.nand.block_valid(pblock) == 0 {
+                self.nand.erase(pblock);
+                self.free.push(pblock);
+                self.map[lblock as usize] = None;
+            }
+        }
+        Ok(self.params().controller_overhead)
+    }
+
+    fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FtlStats::default();
+        self.nand.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftl::PageMapFtl;
+
+    fn ftl() -> BlockMapFtl {
+        BlockMapFtl::new(FlashParams::tiny(8))
+    }
+
+    #[test]
+    fn first_fill_is_cheap() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        for lpn in 0..logical {
+            let t = f.write(lpn).unwrap();
+            assert_eq!(t, f.params().page_write, "sequential fill must not merge");
+        }
+        assert_eq!(f.stats().merges, 0);
+        for lpn in 0..logical {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+    }
+
+    #[test]
+    fn update_behind_frontier_copy_merges() {
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        let t = f.write(0).unwrap();
+        assert_eq!(f.stats().merges, 1);
+        // Merge = program new + copy (ppb-1) pages + erase.
+        assert!(t >= f.params().block_erase, "t = {t}");
+        // All pages still readable.
+        for lpn in 0..ppb {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+    }
+
+    #[test]
+    fn forward_skip_write_avoids_merge() {
+        let mut f = ftl();
+        f.write(0).unwrap();
+        // Offset 2 of the same block: ahead of the frontier.
+        let t = f.write(2).unwrap();
+        assert_eq!(t, f.params().page_write);
+        assert_eq!(f.stats().merges, 0);
+        // Offset 1 was burned: it now needs a merge.
+        f.write(1).unwrap();
+        assert_eq!(f.stats().merges, 1);
+        for lpn in 0..3 {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+    }
+
+    #[test]
+    fn random_overwrites_are_much_worse_than_page_map() {
+        let run_block = {
+            let mut f = ftl();
+            let logical = f.logical_pages();
+            let mut rng = simclock::Rng::new(11);
+            let mut total = SimDuration::ZERO;
+            for _ in 0..200 {
+                total += f.write(rng.next_below(logical)).unwrap();
+            }
+            total
+        };
+        let run_page = {
+            let mut f = PageMapFtl::new(FlashParams::tiny(8));
+            let logical = f.logical_pages();
+            let mut rng = simclock::Rng::new(11);
+            let mut total = SimDuration::ZERO;
+            for _ in 0..200 {
+                total += f.write(rng.next_below(logical)).unwrap();
+            }
+            total
+        };
+        // Page-map also pays GC under this much pressure (only 2 spare
+        // blocks), so the gap narrows — but block-map must still lose.
+        assert!(
+            run_block > run_page + run_page / 2,
+            "block-map {run_block} vs page-map {run_page}"
+        );
+    }
+
+    #[test]
+    fn trim_of_whole_block_reclaims_it() {
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        let free_before = f.free.len();
+        let erases_before = f.nand().stats().block_erases;
+        for lpn in 0..ppb {
+            f.trim(lpn).unwrap();
+        }
+        assert_eq!(f.free.len(), free_before + 1);
+        assert_eq!(f.nand().stats().block_erases, erases_before + 1);
+        assert_eq!(f.read(0).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unmapped_read_is_free() {
+        let mut f = ftl();
+        assert_eq!(f.read(7).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut f = ftl();
+        let lim = f.logical_pages();
+        assert!(f.write(lim).is_err());
+    }
+
+    #[test]
+    fn repeated_single_page_update_storm() {
+        // Hammer one page: every write after the block fills is a merge,
+        // but data must stay intact.
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        for _ in 0..20 {
+            f.write(1).unwrap();
+        }
+        assert_eq!(f.stats().merges, 20);
+        for lpn in 0..ppb {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+        // The logical block's pages remain exactly ppb valid pages.
+        assert_eq!(f.nand().valid_pages(), ppb);
+    }
+}

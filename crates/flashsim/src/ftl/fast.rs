@@ -1,0 +1,397 @@
+//! FAST-style hybrid log-block FTL.
+//!
+//! Data blocks are block-mapped; a small pool of **log blocks** absorbs
+//! updates with fully-associative page mapping (Lee et al.'s FAST). When
+//! the log pool is exhausted the oldest log block is reclaimed:
+//!
+//! * **switch merge** — the log block happens to contain exactly one
+//!   logical block written in order; it simply *becomes* the data block.
+//! * **full merge** — for every logical block with live pages in the
+//!   victim, gather the newest copy of each page (log pool first, then the
+//!   data block) into a fresh block, remap, erase the sources.
+//!
+//! In-order first writes go straight to the data block (the "in-place
+//! append" fast path), so sequential fills behave like the block-mapped
+//! scheme while random updates enjoy log-buffered writes.
+//!
+//! Invariant maintained throughout: a NAND page is `Valid` **iff** it is
+//! the newest copy of its logical page — superseded copies are invalidated
+//! at write time, which keeps erase-safety checkable by the medium.
+
+use std::collections::{HashMap, VecDeque};
+
+use simclock::SimDuration;
+
+use crate::ftl::{FreePool, Ftl, FtlError, FtlStats};
+use crate::nand::{BlockId, Lpn, Nand, PageContent, Ppn};
+use crate::params::FlashParams;
+
+/// Hybrid log-block FTL.
+#[derive(Debug, Clone)]
+pub struct FastFtl {
+    nand: Nand,
+    /// logical block → physical data block.
+    data_map: Vec<Option<BlockId>>,
+    /// Newest copy of a logical page living in the log pool.
+    log_map: HashMap<Lpn, Ppn>,
+    /// Log blocks, oldest first. The back one is the write frontier.
+    log_blocks: VecDeque<BlockId>,
+    /// Maximum log blocks before a merge is forced.
+    log_capacity: usize,
+    free: FreePool,
+    stats: FtlStats,
+    /// Switch merges performed (subset of `stats.merges`).
+    switch_merges: u64,
+}
+
+impl FastFtl {
+    /// Fresh device. The log pool gets the over-provisioned blocks minus
+    /// one merge-scratch block per the GC watermark.
+    pub fn new(params: FlashParams) -> Self {
+        let nand = Nand::new(params);
+        let p = nand.params();
+        let reserved = p.blocks - p.logical_blocks();
+        let log_capacity = (reserved.saturating_sub(p.gc_low_watermark)).max(1) as usize;
+        let logical_blocks = p.logical_blocks();
+        let blocks = p.blocks;
+        FastFtl {
+            nand,
+            data_map: vec![None; logical_blocks as usize],
+            log_map: HashMap::new(),
+            log_blocks: VecDeque::new(),
+            log_capacity,
+            free: FreePool::new(0..blocks),
+            stats: FtlStats::default(),
+            switch_merges: 0,
+        }
+    }
+
+    /// Log blocks currently in use.
+    pub fn log_blocks_in_use(&self) -> usize {
+        self.log_blocks.len()
+    }
+
+    /// Switch merges performed.
+    pub fn switch_merges(&self) -> u64 {
+        self.switch_merges
+    }
+
+    #[inline]
+    fn split(&self, lpn: Lpn) -> (u64, u32) {
+        let ppb = self.nand.params().pages_per_block as u64;
+        (lpn / ppb, (lpn % ppb) as u32)
+    }
+
+    /// The valid data-block page for `lpn`, if any.
+    fn data_ppn(&self, lpn: Lpn) -> Option<Ppn> {
+        let (lblock, offset) = self.split(lpn);
+        let pblock = self.data_map[lblock as usize]?;
+        let ppn = pblock * self.nand.params().pages_per_block as u64 + offset as u64;
+        matches!(self.nand.page(ppn), PageContent::Valid(_)).then_some(ppn)
+    }
+
+    /// Invalidate every live copy of `lpn` (log first, then data block).
+    fn supersede(&mut self, lpn: Lpn) {
+        if let Some(ppn) = self.log_map.remove(&lpn) {
+            self.nand.invalidate(ppn);
+        } else if let Some(ppn) = self.data_ppn(lpn) {
+            self.nand.invalidate(ppn);
+        }
+    }
+
+    /// A log block with room, allocating (and merging) as needed.
+    fn log_frontier(&mut self, latency: &mut SimDuration) -> Result<BlockId, FtlError> {
+        if let Some(&back) = self.log_blocks.back() {
+            if self.nand.block_has_room(back) {
+                return Ok(back);
+            }
+        }
+        let watermark = self.nand.params().gc_low_watermark;
+        if (self.log_blocks.len() >= self.log_capacity
+            || (self.free.len() as u64) <= watermark)
+            && !self.log_blocks.is_empty()
+        {
+            *latency += self.merge_oldest()?;
+        }
+        let fresh = self.free.pop().ok_or(FtlError::DeviceFull)?;
+        self.log_blocks.push_back(fresh);
+        Ok(fresh)
+    }
+
+    /// Whether `block` is a perfect in-order image of a single logical
+    /// block (the switch-merge condition).
+    fn switchable(&self, block: BlockId) -> Option<u64> {
+        let ppb = self.nand.params().pages_per_block;
+        let pages = self.nand.block_valid_pages(block);
+        if pages.len() != ppb as usize {
+            return None;
+        }
+        let (first_lblock, _) = self.split(pages[0].1);
+        for &(offset, lpn) in &pages {
+            let (lblock, loffset) = self.split(lpn);
+            if lblock != first_lblock || loffset != offset {
+                return None;
+            }
+        }
+        Some(first_lblock)
+    }
+
+    /// Reclaim the oldest log block.
+    fn merge_oldest(&mut self) -> Result<SimDuration, FtlError> {
+        let victim = self.log_blocks.pop_front().expect("log pool not empty");
+        self.stats.gc_runs += 1;
+        let mut t = SimDuration::ZERO;
+
+        if let Some(lblock) = self.switchable(victim) {
+            // Switch merge: the log block becomes the data block outright.
+            for (offset, lpn) in self.nand.block_valid_pages(victim) {
+                self.log_map.remove(&lpn);
+                let _ = offset;
+            }
+            if let Some(old) = self.data_map[lblock as usize].replace(victim) {
+                debug_assert_eq!(self.nand.block_valid(old), 0, "all pages were superseded");
+                t += self.nand.erase(old);
+                self.free.push(old);
+            }
+            self.stats.merges += 1;
+            self.switch_merges += 1;
+            return Ok(t);
+        }
+
+        // Full merge of every logical block with live pages in the victim.
+        while let Some((_, lpn)) = self.nand.block_valid_pages(victim).into_iter().next() {
+            let (lblock, _) = self.split(lpn);
+            t += self.full_merge(lblock)?;
+        }
+        t += self.nand.erase(victim);
+        self.free.push(victim);
+        Ok(t)
+    }
+
+    /// Gather the newest copy of every page of `lblock` into a fresh block.
+    fn full_merge(&mut self, lblock: u64) -> Result<SimDuration, FtlError> {
+        let ppb = self.nand.params().pages_per_block as u64;
+        let fresh = self.free.pop().ok_or(FtlError::DeviceFull)?;
+        let mut t = SimDuration::ZERO;
+        for offset in 0..ppb as u32 {
+            let lpn = lblock * ppb + offset as u64;
+            let src = self.log_map.get(&lpn).copied().or_else(|| self.data_ppn(lpn));
+            if let Some(ppn) = src {
+                t += self.nand.read(ppn);
+                let (_, tw) = self.nand.program_at(fresh, offset, lpn);
+                t += tw;
+                self.nand.invalidate(ppn);
+                self.log_map.remove(&lpn);
+                self.stats.pages_moved += 1;
+            }
+        }
+        if let Some(old) = self.data_map[lblock as usize].replace(fresh) {
+            debug_assert_eq!(self.nand.block_valid(old), 0);
+            t += self.nand.erase(old);
+            self.free.push(old);
+        }
+        self.stats.merges += 1;
+        Ok(t)
+    }
+}
+
+impl Ftl for FastFtl {
+    fn params(&self) -> &FlashParams {
+        self.nand.params()
+    }
+
+    fn nand(&self) -> &Nand {
+        &self.nand
+    }
+
+    fn read(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_reads += 1;
+        let mut t = self.params().controller_overhead;
+        let src = self.log_map.get(&lpn).copied().or_else(|| self.data_ppn(lpn));
+        if let Some(ppn) = src {
+            t += self.nand.read(ppn);
+        }
+        Ok(t)
+    }
+
+    fn write(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_writes += 1;
+        let mut t = self.params().controller_overhead;
+        let (lblock, offset) = self.split(lpn);
+
+        // Every logical block gets a data block at first touch (merging a
+        // log block first if the pool is tight). This keeps the invariant
+        // that log pages always have a data block behind them, so a full
+        // merge never consumes free blocks on net.
+        if self.data_map[lblock as usize].is_none() {
+            let watermark = self.nand.params().gc_low_watermark;
+            if (self.free.len() as u64) <= watermark && !self.log_blocks.is_empty() {
+                t += self.merge_oldest()?;
+            }
+            let fresh = self.free.pop().ok_or(FtlError::DeviceFull)?;
+            self.data_map[lblock as usize] = Some(fresh);
+        }
+        let pblock = self.data_map[lblock as usize].expect("just ensured");
+
+        self.supersede(lpn);
+        if offset >= self.nand.block_frontier(pblock) {
+            // In-order append into the data block.
+            let (_, tw) = self.nand.program_at(pblock, offset, lpn);
+            t += tw;
+        } else {
+            let log = self.log_frontier(&mut t)?;
+            let (ppn, tw) = self.nand.program(log, lpn);
+            t += tw;
+            self.log_map.insert(lpn, ppn);
+        }
+        Ok(t)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_trims += 1;
+        self.supersede(lpn);
+        Ok(self.params().controller_overhead)
+    }
+
+    fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FtlStats::default();
+        self.nand.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> FastFtl {
+        // 12 blocks × 4 pages, 25% OP → 3 reserved: 9 logical blocks,
+        // watermark 1 → log capacity 2.
+        FastFtl::new(FlashParams::tiny(12))
+    }
+
+    #[test]
+    fn sequential_fill_goes_in_place() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        for lpn in 0..logical {
+            let t = f.write(lpn).unwrap();
+            assert_eq!(t, f.params().page_write);
+        }
+        assert_eq!(f.log_blocks_in_use(), 0, "no log traffic on a fill");
+        assert_eq!(f.stats().merges, 0);
+        for lpn in 0..logical {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+    }
+
+    #[test]
+    fn update_lands_in_log_block() {
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        let t = f.write(0).unwrap();
+        assert_eq!(t, f.params().page_write, "one log write, no merge yet");
+        assert_eq!(f.log_blocks_in_use(), 1);
+        // Read must see the log copy.
+        assert_eq!(f.read(0).unwrap(), f.params().page_read);
+        assert_eq!(f.nand().valid_pages(), ppb, "exactly one live copy per page");
+    }
+
+    #[test]
+    fn log_exhaustion_triggers_merge() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        for lpn in 0..logical {
+            f.write(lpn).unwrap();
+        }
+        // Random-update storm far exceeding the log capacity.
+        let mut rng = simclock::Rng::new(5);
+        for _ in 0..100 {
+            f.write(rng.next_below(logical)).unwrap();
+        }
+        assert!(f.stats().merges > 0);
+        // Data still correct: every page readable, one live copy each.
+        for lpn in 0..logical {
+            assert_eq!(f.read(lpn).unwrap(), f.params().page_read);
+        }
+        assert_eq!(f.nand().valid_pages(), logical);
+    }
+
+    #[test]
+    fn switch_merge_detected_for_in_order_rewrite() {
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        let logical = f.logical_pages();
+        // Fill everything so updates can't go in-place.
+        for lpn in 0..logical {
+            f.write(lpn).unwrap();
+        }
+        // Rewrite logical block 0 in order: fills one log block perfectly.
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        // Force reclamation of that log block by rewriting another block
+        // in order, repeatedly, until merges happen.
+        for lpn in ppb..2 * ppb {
+            f.write(lpn).unwrap();
+        }
+        for lpn in 2 * ppb..3 * ppb {
+            f.write(lpn).unwrap();
+        }
+        assert!(
+            f.switch_merges() > 0,
+            "in-order log blocks must switch-merge (merges = {})",
+            f.stats().merges
+        );
+    }
+
+    #[test]
+    fn trim_drops_both_copies() {
+        let mut f = ftl();
+        let ppb = f.params().pages_per_block as u64;
+        for lpn in 0..ppb {
+            f.write(lpn).unwrap();
+        }
+        f.write(0).unwrap(); // log copy supersedes data copy
+        f.trim(0).unwrap();
+        assert_eq!(f.read(0).unwrap(), SimDuration::ZERO);
+        assert_eq!(f.nand().valid_pages(), ppb - 1);
+    }
+
+    #[test]
+    fn sustained_random_writes_never_corrupt() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        let mut rng = simclock::Rng::new(23);
+        let mut live = vec![false; logical as usize];
+        for _ in 0..500 {
+            let lpn = rng.next_below(logical);
+            f.write(lpn).unwrap();
+            live[lpn as usize] = true;
+        }
+        for lpn in 0..logical {
+            let t = f.read(lpn).unwrap();
+            if live[lpn as usize] {
+                assert_eq!(t, f.params().page_read, "lpn {lpn} must be mapped");
+            }
+        }
+        let mapped = live.iter().filter(|&&l| l).count() as u64;
+        assert_eq!(f.nand().valid_pages(), mapped);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut f = ftl();
+        let lim = f.logical_pages();
+        assert_eq!(f.write(lim), Err(FtlError::OutOfRange(lim)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Flash translation layers.
+//!
+//! Four schemes, spanning the design space the paper's related-work section
+//! surveys:
+//!
+//! * [`PageMapFtl`] — the ideal page-level mapping the paper adopts as its
+//!   baseline ("we take the ideal page-based FTL as the base line").
+//! * [`BlockMapFtl`] — block-level mapping with copy-merge on in-place
+//!   updates; cheap RAM, terrible random writes.
+//! * [`FastFtl`] — a FAST-style hybrid: block-mapped data blocks plus a
+//!   pool of fully-associative page-mapped log blocks, reclaimed by
+//!   switch/full merges.
+//! * [`Dftl`] — page-level mapping with a cached mapping table; misses and
+//!   dirty evictions pay translation-page traffic through the same NAND.
+//!
+//! All schemes run **foreground GC**: reclamation work is charged to the
+//! host request that triggered it.
+
+mod block_map;
+mod dftl;
+mod fast;
+mod page_map;
+
+pub use block_map::BlockMapFtl;
+pub use dftl::Dftl;
+pub use fast::FastFtl;
+pub use page_map::PageMapFtl;
+
+use core::fmt;
+
+use simclock::SimDuration;
+
+use crate::nand::{Lpn, Nand};
+use crate::params::FlashParams;
+
+/// FTL-level request errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtlError {
+    /// The logical page is beyond the exported capacity.
+    OutOfRange(Lpn),
+    /// Garbage collection could not reclaim space (the host wrote more
+    /// than the exported capacity, or over-provisioning is mis-sized).
+    DeviceFull,
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::OutOfRange(lpn) => write!(f, "logical page {lpn} out of range"),
+            FtlError::DeviceFull => write!(f, "no reclaimable space"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// Counters an FTL maintains above the raw medium.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FtlStats {
+    /// Host-issued page reads.
+    pub host_reads: u64,
+    /// Host-issued page writes.
+    pub host_writes: u64,
+    /// Host-issued page trims.
+    pub host_trims: u64,
+    /// Garbage-collection invocations.
+    pub gc_runs: u64,
+    /// Valid pages migrated by GC / merges.
+    pub pages_moved: u64,
+    /// Merge operations (block-map copy-merges, FAST full/switch merges).
+    pub merges: u64,
+}
+
+impl FtlStats {
+    /// Write amplification: medium programs per host write (1.0 is ideal).
+    /// Needs the medium's program counter, which the caller reads from
+    /// [`Nand::stats`].
+    pub fn write_amplification(&self, nand_programs: u64) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            nand_programs as f64 / self.host_writes as f64
+        }
+    }
+}
+
+/// The logical-page interface every translation scheme implements.
+pub trait Ftl {
+    /// Device parameters.
+    fn params(&self) -> &FlashParams;
+
+    /// The underlying medium (for wear / erase statistics).
+    fn nand(&self) -> &Nand;
+
+    /// Host-visible pages.
+    fn logical_pages(&self) -> u64 {
+        self.params().logical_pages()
+    }
+
+    /// Read one logical page. Unmapped pages cost controller overhead only
+    /// (the drive returns zeros without touching the medium).
+    fn read(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError>;
+
+    /// Write one logical page.
+    fn write(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError>;
+
+    /// Trim one logical page: drop the mapping, invalidate the flash copy.
+    fn trim(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError>;
+
+    /// FTL-level counters.
+    fn stats(&self) -> FtlStats;
+
+    /// Zero FTL and medium counters (wear state persists).
+    fn reset_stats(&mut self);
+
+    /// Bounds check helper.
+    fn check_lpn(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn < self.logical_pages() {
+            Ok(())
+        } else {
+            Err(FtlError::OutOfRange(lpn))
+        }
+    }
+}
+
+/// Free-block pool shared by the schemes: a FIFO of erased blocks.
+///
+/// Keeping allocation order FIFO (rather than LIFO) spreads wear across
+/// the pool — a crude but effective dynamic wear-leveling.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FreePool {
+    blocks: std::collections::VecDeque<u64>,
+}
+
+impl FreePool {
+    pub fn new<I: IntoIterator<Item = u64>>(blocks: I) -> Self {
+        FreePool {
+            blocks: blocks.into_iter().collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn pop(&mut self) -> Option<u64> {
+        self.blocks.pop_front()
+    }
+
+    pub fn push(&mut self, block: u64) {
+        self.blocks.push_back(block);
+    }
+}

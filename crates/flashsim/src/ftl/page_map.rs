@@ -1,0 +1,500 @@
+//! The ideal page-mapped FTL — the paper's baseline (Intel's 1998
+//! page-mapped scheme with the full map held in controller RAM).
+
+use simclock::SimDuration;
+
+use crate::ftl::{FreePool, Ftl, FtlError, FtlStats};
+use crate::nand::{BlockId, Lpn, Nand, Ppn};
+use crate::params::FlashParams;
+
+/// Page-level mapping with log-structured writes and greedy garbage
+/// collection.
+///
+/// * Host writes stream into the **host active block**; GC migrations
+///   stream into a separate **GC active block** (hot/cold separation, so a
+///   migrated cold page does not re-pollute the hot frontier).
+/// * GC runs when the free pool drops below the watermark and picks the
+///   block with the most invalid pages (ties: least-worn) — the classic
+///   greedy policy, which is near-optimal for the skewed workloads search
+///   engines generate.
+#[derive(Debug, Clone)]
+pub struct PageMapFtl {
+    nand: Nand,
+    /// lpn → ppn, `None` when unmapped.
+    map: Vec<Option<Ppn>>,
+    free: FreePool,
+    active_host: Option<BlockId>,
+    active_gc: Option<BlockId>,
+    stats: FtlStats,
+    /// Static wear-leveling threshold: when the erase-count spread
+    /// (max − min) exceeds this, cold data is migrated off the
+    /// least-worn block so it rejoins the rotation. 0 disables.
+    wear_threshold: u64,
+    /// Static wear-leveling migrations performed.
+    wl_migrations: u64,
+}
+
+impl PageMapFtl {
+    /// Fresh device.
+    pub fn new(params: FlashParams) -> Self {
+        let nand = Nand::new(params);
+        let logical = nand.params().logical_pages();
+        let blocks = nand.params().blocks;
+        PageMapFtl {
+            nand,
+            map: vec![None; logical as usize],
+            free: FreePool::new(0..blocks),
+            active_host: None,
+            active_gc: None,
+            stats: FtlStats::default(),
+            wear_threshold: 0,
+            wl_migrations: 0,
+        }
+    }
+
+    /// Enable static wear leveling: when the erase-count spread exceeds
+    /// `threshold`, the least-worn block's (cold) data is migrated so the
+    /// block rejoins the write rotation. Pass 0 to disable.
+    pub fn with_wear_leveling(params: FlashParams, threshold: u64) -> Self {
+        let mut ftl = Self::new(params);
+        ftl.wear_threshold = threshold;
+        ftl
+    }
+
+    /// Static wear-leveling migrations performed.
+    pub fn wear_migrations(&self) -> u64 {
+        self.wl_migrations
+    }
+
+    /// Static wear leveling (invoked after GC): if wear spread exceeds
+    /// the threshold, evacuate the least-worn non-free block — its pages
+    /// are cold (the block hasn't been erased while others cycled), and
+    /// moving them frees the young block for hot writes.
+    fn level_wear(&mut self) -> Result<SimDuration, FtlError> {
+        if self.wear_threshold == 0 {
+            return Ok(SimDuration::ZERO);
+        }
+        let (min, max, _) = self.nand.wear();
+        if max - min <= self.wear_threshold {
+            return Ok(SimDuration::ZERO);
+        }
+        // The least-worn block holding data (skip frontiers and free
+        // blocks: a block in the pool will naturally rotate).
+        let mut coldest: Option<(BlockId, u64)> = None;
+        for b in 0..self.nand.params().blocks {
+            if Some(b) == self.active_host || Some(b) == self.active_gc {
+                continue;
+            }
+            if self.nand.block_valid(b) == 0 {
+                continue;
+            }
+            let wear = self.nand.block_erase_count(b);
+            if coldest.is_none_or(|(_, w)| wear < w) {
+                coldest = Some((b, wear));
+            }
+        }
+        let Some((victim, wear)) = coldest else {
+            return Ok(SimDuration::ZERO);
+        };
+        if max - wear <= self.wear_threshold {
+            return Ok(SimDuration::ZERO);
+        }
+        self.wl_migrations += 1;
+        self.reclaim(victim)
+    }
+
+    /// Whether `lpn` currently has a flash copy.
+    pub fn is_mapped(&self, lpn: Lpn) -> bool {
+        self.map.get(lpn as usize).is_some_and(Option::is_some)
+    }
+
+    /// Number of free blocks in the pool.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocate a block for a write frontier, running GC first if the pool
+    /// is at or below the watermark, then levelling wear if enabled.
+    fn alloc_block(&mut self, latency: &mut SimDuration) -> Result<BlockId, FtlError> {
+        if (self.free.len() as u64) <= self.nand.params().gc_low_watermark {
+            *latency += self.collect_garbage()?;
+            *latency += self.level_wear()?;
+        }
+        self.free.pop().ok_or(FtlError::DeviceFull)
+    }
+
+    /// Greedy GC: reclaim until the pool exceeds the watermark. Returns the
+    /// time spent. Charged to the request that triggered it.
+    fn collect_garbage(&mut self) -> Result<SimDuration, FtlError> {
+        let watermark = self.nand.params().gc_low_watermark;
+        let mut spent = SimDuration::ZERO;
+        let mut ran = false;
+        while (self.free.len() as u64) <= watermark {
+            let Some(victim) = self.pick_victim() else {
+                // Nothing reclaimable. Fine if we already hold a block.
+                break;
+            };
+            ran = true;
+            spent += self.reclaim(victim)?;
+        }
+        if ran {
+            self.stats.gc_runs += 1;
+        }
+        if self.free.len() == 0 {
+            return Err(FtlError::DeviceFull);
+        }
+        Ok(spent)
+    }
+
+    /// The block with the most invalid pages; ties broken by erase count.
+    /// Active frontiers and free blocks are never victims. Returns `None`
+    /// when no block has any invalid page.
+    fn pick_victim(&self) -> Option<BlockId> {
+        let mut best: Option<(BlockId, u32, u64)> = None;
+        for b in 0..self.nand.params().blocks {
+            if Some(b) == self.active_host || Some(b) == self.active_gc {
+                continue;
+            }
+            let invalid = self.nand.block_invalid(b);
+            if invalid == 0 {
+                continue;
+            }
+            let wear = self.nand.block_erase_count(b);
+            let better = match best {
+                None => true,
+                Some((_, bi, bw)) => invalid > bi || (invalid == bi && wear < bw),
+            };
+            if better {
+                best = Some((b, invalid, wear));
+            }
+        }
+        best.map(|(b, _, _)| b)
+    }
+
+    /// Migrate the victim's valid pages to the GC frontier and erase it.
+    fn reclaim(&mut self, victim: BlockId) -> Result<SimDuration, FtlError> {
+        let mut spent = SimDuration::ZERO;
+        for (offset, lpn) in self.nand.block_valid_pages(victim) {
+            let old_ppn = victim * self.nand.params().pages_per_block as u64 + offset as u64;
+            spent += self.nand.read(old_ppn);
+            // Ensure a GC frontier with room. The pool is guaranteed
+            // non-empty here because the watermark keeps at least one
+            // block back for exactly this migration.
+            let gc_block = match self.active_gc {
+                Some(b) if self.nand.block_has_room(b) => b,
+                _ => {
+                    let b = self.free.pop().ok_or(FtlError::DeviceFull)?;
+                    self.active_gc = Some(b);
+                    b
+                }
+            };
+            let (new_ppn, t) = self.nand.program(gc_block, lpn);
+            spent += t;
+            self.nand.invalidate(old_ppn);
+            self.map[lpn as usize] = Some(new_ppn);
+            self.stats.pages_moved += 1;
+        }
+        spent += self.nand.erase(victim);
+        self.free.push(victim);
+        Ok(spent)
+    }
+}
+
+impl Ftl for PageMapFtl {
+    fn params(&self) -> &FlashParams {
+        self.nand.params()
+    }
+
+    fn nand(&self) -> &Nand {
+        &self.nand
+    }
+
+    fn read(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_reads += 1;
+        let mut t = self.params().controller_overhead;
+        if let Some(ppn) = self.map[lpn as usize] {
+            t += self.nand.read(ppn);
+        }
+        Ok(t)
+    }
+
+    fn write(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_writes += 1;
+        let mut t = self.params().controller_overhead;
+        // Invalidate the stale copy first so the old page is reclaimable
+        // by the GC this very write may trigger.
+        if let Some(old) = self.map[lpn as usize].take() {
+            self.nand.invalidate(old);
+        }
+        let host_block = match self.active_host {
+            Some(b) if self.nand.block_has_room(b) => b,
+            _ => {
+                let b = self.alloc_block(&mut t)?;
+                self.active_host = Some(b);
+                b
+            }
+        };
+        let (ppn, tw) = self.nand.program(host_block, lpn);
+        t += tw;
+        self.map[lpn as usize] = Some(ppn);
+        Ok(t)
+    }
+
+    fn trim(&mut self, lpn: Lpn) -> Result<SimDuration, FtlError> {
+        self.check_lpn(lpn)?;
+        self.stats.host_trims += 1;
+        if let Some(ppn) = self.map[lpn as usize].take() {
+            self.nand.invalidate(ppn);
+        }
+        Ok(self.params().controller_overhead)
+    }
+
+    fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FtlStats::default();
+        self.nand.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> PageMapFtl {
+        PageMapFtl::new(FlashParams::tiny(8)) // 8 blocks × 4 pages, 6 logical blocks
+    }
+
+    #[test]
+    fn write_then_read_charges_page_costs() {
+        let mut f = ftl();
+        let tw = f.write(0).unwrap();
+        assert_eq!(tw, f.params().page_write);
+        let tr = f.read(0).unwrap();
+        assert_eq!(tr, f.params().page_read);
+        assert!(f.is_mapped(0));
+    }
+
+    #[test]
+    fn unmapped_read_is_controller_only() {
+        let mut f = ftl();
+        assert_eq!(f.read(5).unwrap(), SimDuration::ZERO);
+        assert_eq!(f.nand().stats().page_reads, 0);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut f = ftl();
+        let lim = f.logical_pages();
+        assert_eq!(f.read(lim), Err(FtlError::OutOfRange(lim)));
+        assert_eq!(f.write(lim), Err(FtlError::OutOfRange(lim)));
+        assert_eq!(f.trim(lim), Err(FtlError::OutOfRange(lim)));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_copy() {
+        let mut f = ftl();
+        f.write(3).unwrap();
+        f.write(3).unwrap();
+        assert_eq!(f.nand().valid_pages(), 1);
+        assert_eq!(f.nand().stats().page_programs, 2);
+    }
+
+    #[test]
+    fn trim_unmaps_without_media_write() {
+        let mut f = ftl();
+        f.write(1).unwrap();
+        let programs_before = f.nand().stats().page_programs;
+        f.trim(1).unwrap();
+        assert!(!f.is_mapped(1));
+        assert_eq!(f.nand().valid_pages(), 0);
+        assert_eq!(f.nand().stats().page_programs, programs_before);
+        // Reading after trim is a zero-fill.
+        assert_eq!(f.read(1).unwrap(), SimDuration::ZERO);
+        // Trimming an unmapped page is a no-op.
+        f.trim(1).unwrap();
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_stay_correct() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        // Fill the device, then overwrite everything several times over.
+        for round in 0..6 {
+            for lpn in 0..logical {
+                f.write(lpn).unwrap();
+                let _ = round;
+            }
+        }
+        assert!(f.stats().gc_runs > 0, "GC must have run");
+        assert!(f.nand().stats().block_erases > 0);
+        // Every logical page still mapped and readable.
+        for lpn in 0..logical {
+            assert!(f.is_mapped(lpn));
+            assert!(f.read(lpn).unwrap() >= f.params().page_read);
+        }
+        // Valid pages == logical pages exactly.
+        assert_eq!(f.nand().valid_pages(), logical);
+    }
+
+    #[test]
+    fn gc_cost_lands_on_the_triggering_write() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        let plain = f.params().page_write;
+        let mut spikes = 0;
+        for _ in 0..4 {
+            for lpn in 0..logical {
+                let t = f.write(lpn).unwrap();
+                if t > plain {
+                    spikes += 1;
+                    // A GC-carrying write includes at least one erase.
+                    assert!(t >= plain + f.params().block_erase);
+                }
+            }
+        }
+        assert!(spikes > 0, "some writes must carry GC cost");
+    }
+
+    #[test]
+    fn write_amplification_exceeds_one_under_pressure() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        let mut rng = simclock::Rng::new(7);
+        for _ in 0..(logical * 10) {
+            f.write(rng.next_below(logical)).unwrap();
+        }
+        let wa = f.stats().write_amplification(f.nand().stats().page_programs);
+        assert!(wa > 1.0, "WA = {wa}");
+        assert!(wa < 4.0, "WA = {wa} unreasonably high for 25% OP");
+    }
+
+    #[test]
+    fn sequential_writes_have_unit_amplification() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        for lpn in 0..logical {
+            f.write(lpn).unwrap();
+        }
+        let wa = f.stats().write_amplification(f.nand().stats().page_programs);
+        assert!((wa - 1.0).abs() < 1e-12, "first fill must not amplify");
+    }
+
+    #[test]
+    fn trim_reduces_gc_pressure() {
+        // Write the whole device, trim half, then overwrite the other
+        // half repeatedly: with the trims, GC victims are mostly garbage,
+        // so migration work drops and erases don't grow.
+        let run = |trim: bool| {
+            let mut f = ftl();
+            let logical = f.logical_pages();
+            for lpn in 0..logical {
+                f.write(lpn).unwrap();
+            }
+            // Hot set = even pages, cold set = odd pages, so hot and cold
+            // interleave within physical blocks and GC must migrate the
+            // cold neighbours — unless they were trimmed.
+            if trim {
+                for lpn in (1..logical).step_by(2) {
+                    f.trim(lpn).unwrap();
+                }
+            }
+            for _ in 0..8 {
+                for lpn in (0..logical).step_by(2) {
+                    f.write(lpn).unwrap();
+                }
+            }
+            (f.stats().pages_moved, f.nand().stats().block_erases)
+        };
+        let (moved_t, erases_t) = run(true);
+        let (moved_n, erases_n) = run(false);
+        assert!(
+            moved_t < moved_n,
+            "trim must reduce GC migration ({moved_t} vs {moved_n})"
+        );
+        assert!(erases_t <= erases_n, "trim must not add erases");
+    }
+
+    #[test]
+    fn wear_is_spread_across_blocks() {
+        let mut f = ftl();
+        let logical = f.logical_pages();
+        let mut rng = simclock::Rng::new(3);
+        for _ in 0..(logical * 30) {
+            f.write(rng.next_below(logical)).unwrap();
+        }
+        let (min, max, _) = f.nand().wear();
+        assert!(max > 0);
+        // FIFO pooling keeps the spread loose but bounded.
+        assert!(max - min <= max, "sanity");
+        assert!(min > 0 || max < 10, "no block may monopolize erases");
+    }
+
+    #[test]
+    fn wear_leveling_tightens_the_spread() {
+        // A pathological workload: a block-aligned cold region that is
+        // written once, plus a hot region overwritten constantly. Without
+        // static WL the cold blocks never cycle.
+        let run = |threshold: u64| {
+            let mut f = PageMapFtl::with_wear_leveling(FlashParams::tiny(16), threshold);
+            let logical = f.logical_pages();
+            let ppb = f.params().pages_per_block as u64;
+            for lpn in 0..logical {
+                f.write(lpn).unwrap();
+            }
+            // Hot set: the last block's worth of pages only.
+            let hot_start = logical - ppb;
+            for _ in 0..600 {
+                for lpn in hot_start..logical {
+                    f.write(lpn).unwrap();
+                }
+            }
+            let (min, max, mean) = f.nand().wear();
+            (min, (max - min) as f64 / mean.max(1e-9), f.wear_migrations())
+        };
+        let (min_off, imbalance_off, mig_off) = run(0);
+        let (min_on, imbalance_on, mig_on) = run(8);
+        assert_eq!(mig_off, 0);
+        assert!(mig_on > 0, "WL must have migrated cold blocks");
+        assert_eq!(min_off, 0, "without WL the cold blocks never cycle");
+        assert!(min_on > 0, "WL must bring cold blocks into rotation");
+        // Migration churn adds erases, so compare *normalized* imbalance
+        // (spread over mean), which is what bounds device lifetime.
+        assert!(
+            imbalance_on < imbalance_off * 0.6,
+            "WL must tighten normalized wear ({imbalance_on:.2} vs {imbalance_off:.2})"
+        );
+    }
+
+    #[test]
+    fn wear_leveling_preserves_data() {
+        let mut f = PageMapFtl::with_wear_leveling(FlashParams::tiny(12), 4);
+        let logical = f.logical_pages();
+        let mut rng = simclock::Rng::new(5);
+        let zipf = simclock::Zipf::new(logical, 1.2);
+        for _ in 0..logical * 40 {
+            f.write(zipf.sample(&mut rng) - 1).unwrap();
+        }
+        // Everything ever written is still readable.
+        for lpn in 0..logical {
+            if f.is_mapped(lpn) {
+                assert!(f.read(lpn).unwrap() >= f.params().page_read);
+            }
+        }
+        assert_eq!(f.nand().valid_pages(), (0..logical).filter(|&l| f.is_mapped(l)).count() as u64);
+    }
+
+    #[test]
+    fn reset_stats_preserves_state() {
+        let mut f = ftl();
+        f.write(0).unwrap();
+        f.reset_stats();
+        assert_eq!(f.stats().host_writes, 0);
+        assert_eq!(f.nand().stats().page_programs, 0);
+        assert!(f.is_mapped(0), "mapping survives stats reset");
+    }
+}

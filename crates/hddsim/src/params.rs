@@ -1,0 +1,130 @@
+//! HDD model parameters and presets.
+
+use simclock::SimDuration;
+
+/// Parameters of the mechanical model. All latencies are charged in
+/// simulated time; nothing here is stochastic, so a given request sequence
+/// always costs the same.
+#[derive(Debug, Clone)]
+pub struct HddParams {
+    /// Device capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Spindle speed, revolutions per minute.
+    pub rpm: u32,
+    /// Minimum (track-to-track) seek.
+    pub seek_track: SimDuration,
+    /// Average seek, as quoted on the datasheet (used to calibrate the
+    /// curve: a seek across one third of the stroke costs this).
+    pub seek_avg: SimDuration,
+    /// Full-stroke seek.
+    pub seek_full: SimDuration,
+    /// Sustained media transfer rate, bytes per second.
+    pub transfer_rate: u64,
+    /// Fixed controller/command overhead per request.
+    pub command_overhead: SimDuration,
+    /// Sectors the track buffer is assumed to hold after a read.
+    pub readahead_sectors: u64,
+}
+
+impl HddParams {
+    /// The paper's disk: WDC WD3200AAJS — 320 GB, 7200 RPM, ~8.9 ms average
+    /// seek, ~100 MB/s sustained transfer.
+    pub fn wd3200aajs() -> Self {
+        HddParams {
+            capacity_bytes: 320 * 1_000_000_000,
+            rpm: 7200,
+            seek_track: SimDuration::from_micros(800),
+            seek_avg: SimDuration::from_micros(8_900),
+            seek_full: SimDuration::from_micros(21_000),
+            transfer_rate: 100_000_000,
+            command_overhead: SimDuration::from_micros(100),
+            readahead_sectors: 512, // 256 KiB track buffer window
+        }
+    }
+
+    /// A smaller drive with the same timing — handy in tests where a 320 GB
+    /// address space is pointless.
+    pub fn small_test_disk(capacity_bytes: u64) -> Self {
+        HddParams {
+            capacity_bytes,
+            ..Self::wd3200aajs()
+        }
+    }
+
+    /// Time for one full platter revolution.
+    pub fn revolution(&self) -> SimDuration {
+        // 60 s / rpm
+        SimDuration::from_nanos(60_000_000_000 / self.rpm as u64)
+    }
+
+    /// Average rotational latency: half a revolution.
+    pub fn rotational_latency(&self) -> SimDuration {
+        self.revolution() / 2
+    }
+
+    /// Media transfer time for `bytes`.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        // bytes / (bytes/s) in ns, computed without overflow for realistic
+        // request sizes.
+        SimDuration::from_nanos((bytes as u128 * 1_000_000_000 / self.transfer_rate as u128) as u64)
+    }
+
+    /// Validate invariants (positive rates, ordered seek times).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 {
+            return Err("capacity must be positive".into());
+        }
+        if self.rpm == 0 {
+            return Err("rpm must be positive".into());
+        }
+        if self.transfer_rate == 0 {
+            return Err("transfer rate must be positive".into());
+        }
+        if self.seek_track > self.seek_avg || self.seek_avg > self.seek_full {
+            return Err("seek times must satisfy track <= avg <= full".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_valid() {
+        HddParams::wd3200aajs().validate().unwrap();
+    }
+
+    #[test]
+    fn revolution_at_7200rpm_is_8_33ms() {
+        let p = HddParams::wd3200aajs();
+        assert_eq!(p.revolution().as_nanos(), 8_333_333);
+        assert_eq!(p.rotational_latency().as_nanos(), 4_166_666);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let p = HddParams::wd3200aajs();
+        // 100 MB at 100 MB/s = 1 s.
+        assert_eq!(p.transfer(100_000_000), SimDuration::from_secs(1));
+        // One sector: 512 / 1e8 s = 5.12 µs.
+        assert_eq!(p.transfer(512).as_nanos(), 5_120);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut p = HddParams::wd3200aajs();
+        p.seek_track = SimDuration::from_millis(50);
+        assert!(p.validate().is_err());
+        let mut p = HddParams::wd3200aajs();
+        p.transfer_rate = 0;
+        assert!(p.validate().is_err());
+        let mut p = HddParams::wd3200aajs();
+        p.capacity_bytes = 0;
+        assert!(p.validate().is_err());
+        let mut p = HddParams::wd3200aajs();
+        p.rpm = 0;
+        assert!(p.validate().is_err());
+    }
+}

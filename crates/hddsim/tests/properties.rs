@@ -1,0 +1,65 @@
+//! Property tests of the disk model: latency sanity for arbitrary
+//! request sequences.
+
+use hddsim::{HddDisk, HddParams};
+use proptest::prelude::*;
+use simclock::SimDuration;
+use storagecore::{BlockDevice, Extent};
+
+fn disk() -> HddDisk {
+    HddDisk::new(HddParams::small_test_disk(1 << 30))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_request_costs_at_least_overhead_plus_transfer(
+        reqs in prop::collection::vec((0u64..2_000_000, 1u64..256, any::<bool>()), 1..100),
+    ) {
+        let mut d = disk();
+        let sectors = d.geometry().sectors;
+        for (lba, len, is_read) in reqs {
+            let lba = lba % (sectors - 256);
+            let e = Extent::new(lba, len);
+            let t = if is_read { d.read(e) } else { d.write(e) }.expect("in range");
+            let floor = d.params().command_overhead + d.params().transfer(e.bytes());
+            prop_assert!(t >= floor, "latency {t} below floor {floor}");
+            // And bounded above by full stroke + rotation + transfer + slack.
+            let ceiling = d.params().seek_full
+                + d.params().revolution()
+                + d.params().transfer(e.bytes())
+                + d.params().command_overhead;
+            prop_assert!(t <= ceiling, "latency {t} above ceiling {ceiling}");
+        }
+    }
+
+    #[test]
+    fn latency_is_deterministic_for_a_sequence(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u64..64), 1..60),
+    ) {
+        let run = |reqs: &[(u64, u64)]| -> Vec<SimDuration> {
+            let mut d = disk();
+            reqs.iter()
+                .map(|&(lba, len)| d.read(Extent::new(lba, len)).expect("in range"))
+                .collect()
+        };
+        prop_assert_eq!(run(&reqs), run(&reqs));
+    }
+
+    #[test]
+    fn stats_account_every_request(
+        n_reads in 1u64..50,
+        n_writes in 0u64..50,
+    ) {
+        let mut d = disk();
+        for i in 0..n_reads {
+            d.read(Extent::new(i * 100, 4)).expect("in range");
+        }
+        for i in 0..n_writes {
+            d.write(Extent::new(i * 100, 4)).expect("in range");
+        }
+        prop_assert_eq!(d.stats().total_ops(), n_reads + n_writes);
+        prop_assert_eq!(d.stats().kind(storagecore::IoKind::Read).sectors(), n_reads * 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Conjunctive (AND) evaluation with skip-accelerated intersection.
+//!
+//! Complements the disjunctive [`crate::topk`] processor: all query terms
+//! must match. Lists are intersected rarest-first with [`SkipCursor`]s,
+//! so the dense lists are *skipped through* rather than scanned — the
+//! "skip order rather than sequential order" access pattern of the
+//! paper's Sec. III, and the substrate for intersection caching (the
+//! three-level scheme the paper's conclusion points at).
+
+use crate::skips::{DocSortedList, SkipCursor, SkipStats};
+use crate::types::{IndexReader, Posting, ResultEntry, ScoredDoc, TermId};
+
+/// Outcome of a conjunctive evaluation.
+#[derive(Debug, Clone)]
+pub struct AndOutcome {
+    /// Top-K matching documents, best first.
+    pub result: ResultEntry,
+    /// All matching documents with per-term postings (doc-ascending) —
+    /// the raw intersection, reusable as a cached artifact.
+    pub matches: Vec<(u32, Vec<Posting>)>,
+    /// Aggregated traversal accounting across all lists.
+    pub skip_stats: SkipStats,
+}
+
+impl AndOutcome {
+    /// Number of matching documents.
+    pub fn match_count(&self) -> usize {
+        self.matches.len()
+    }
+}
+
+/// Conjunctive evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct AndProcessor {
+    /// Results to keep.
+    pub k: usize,
+}
+
+impl Default for AndProcessor {
+    fn default() -> Self {
+        AndProcessor { k: 50 }
+    }
+}
+
+impl AndProcessor {
+    /// Evaluate an AND query over pre-built doc-sorted lists. Lists must
+    /// be supplied with their terms; duplicates are the caller's bug.
+    /// Returns the intersection with tf-idf-style scoring.
+    pub fn intersect<R: IndexReader>(
+        &self,
+        index: &R,
+        lists: &[(TermId, &DocSortedList)],
+    ) -> AndOutcome {
+        let mut skip_stats = SkipStats::default();
+        if lists.is_empty() || lists.iter().any(|(_, l)| l.is_empty()) {
+            return AndOutcome {
+                result: ResultEntry { docs: Vec::new() },
+                matches: Vec::new(),
+                skip_stats,
+            };
+        }
+        // Rarest list drives the intersection.
+        let mut order: Vec<usize> = (0..lists.len()).collect();
+        order.sort_by_key(|&i| lists[i].1.len());
+        let mut cursors: Vec<SkipCursor<'_>> =
+            order.iter().map(|&i| SkipCursor::new(lists[i].1)).collect();
+
+        let mut matches: Vec<(u32, Vec<Posting>)> = Vec::new();
+        while let Some(candidate) = cursors[0].current() {
+            let doc = candidate.doc;
+            let mut row = vec![Posting { doc: 0, tf: 0 }; lists.len()];
+            row[order[0]] = candidate;
+            let mut all_match = true;
+            for ci in 1..cursors.len() {
+                match cursors[ci].advance_to(doc) {
+                    Some(p) if p.doc == doc => row[order[ci]] = p,
+                    _ => {
+                        all_match = false;
+                        break;
+                    }
+                }
+            }
+            if all_match {
+                matches.push((doc, row));
+            }
+            cursors[0].step();
+        }
+        for c in &cursors {
+            skip_stats.absorb(c.stats());
+        }
+
+        // Score: sum over terms of (1 + ln tf) · idf.
+        let mut scored: Vec<ScoredDoc> = matches
+            .iter()
+            .map(|(doc, row)| {
+                let score: f64 = row
+                    .iter()
+                    .zip(lists.iter())
+                    .map(|(p, (term, _))| {
+                        (1.0 + (p.tf.max(1) as f64).ln()) * index.idf(*term)
+                    })
+                    .sum();
+                ScoredDoc {
+                    doc: *doc,
+                    score: score as f32,
+                }
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.doc.cmp(&b.doc))
+        });
+        scored.truncate(self.k);
+
+        AndOutcome {
+            result: ResultEntry { docs: scored },
+            matches,
+            skip_stats,
+        }
+    }
+
+    /// Convenience: build the doc-sorted lists from the index and
+    /// intersect. Materializes each term's full list — meant for examples
+    /// and moderate lists; production paths hold [`DocSortedList`]s in a
+    /// cache.
+    pub fn process<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> AndOutcome {
+        let mut uniq: Vec<TermId> = terms.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let lists: Vec<(TermId, DocSortedList)> = uniq
+            .iter()
+            .map(|&t| (t, DocSortedList::from_postings(&index.postings(t))))
+            .collect();
+        let refs: Vec<(TermId, &DocSortedList)> =
+            lists.iter().map(|(t, l)| (*t, l)).collect();
+        self.intersect(index, &refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusSpec, SyntheticIndex};
+    use crate::mem::MemIndex;
+    use std::collections::HashSet;
+
+    fn brute_and<R: IndexReader>(index: &R, terms: &[TermId]) -> Vec<u32> {
+        let mut sets: Vec<HashSet<u32>> = terms
+            .iter()
+            .map(|&t| index.postings(t).postings().iter().map(|p| p.doc).collect())
+            .collect();
+        let mut base = sets.pop().expect("at least one term");
+        for s in sets {
+            base.retain(|d| s.contains(d));
+        }
+        let mut v: Vec<u32> = base.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn intersection_matches_brute_force_mem() {
+        let docs: Vec<Vec<TermId>> = (0..300u32)
+            .map(|d| {
+                let mut doc = vec![d % 5];
+                if d % 3 == 0 {
+                    doc.push(7);
+                }
+                if d % 4 == 0 {
+                    doc.push(8);
+                }
+                doc
+            })
+            .collect();
+        let idx = MemIndex::from_docs(docs);
+        let proc = AndProcessor::default();
+        for query in [vec![7u32, 8], vec![0, 7], vec![1], vec![0, 7, 8]] {
+            let got: Vec<u32> = proc
+                .process(&idx, &query)
+                .matches
+                .iter()
+                .map(|(d, _)| *d)
+                .collect();
+            assert_eq!(got, brute_and(&idx, &query), "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn intersection_matches_brute_force_synthetic() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor::default();
+        for query in [vec![0u32, 1], vec![3, 10, 40], vec![100, 200]] {
+            let got: Vec<u32> = proc
+                .process(&idx, &query)
+                .matches
+                .iter()
+                .map(|(d, _)| *d)
+                .collect();
+            assert_eq!(got, brute_and(&idx, &query), "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn empty_term_kills_intersection() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor::default();
+        let out = proc.process(&idx, &[0, 99_999]); // OOV term
+        assert_eq!(out.match_count(), 0);
+        assert!(out.result.docs.is_empty());
+    }
+
+    #[test]
+    fn skips_dominate_on_skewed_intersections() {
+        // A rare term against the head term: the dense list should be
+        // skipped through, not scanned.
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor::default();
+        let out = proc.process(&idx, &[0, 1500]);
+        let s = out.skip_stats;
+        assert!(
+            s.skipped > s.visited,
+            "dense list must be mostly skipped (visited {}, skipped {})",
+            s.visited,
+            s.skipped
+        );
+    }
+
+    #[test]
+    fn scores_are_ranked_and_bounded_by_k() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor { k: 5 };
+        let out = proc.process(&idx, &[0, 1]);
+        assert!(out.result.docs.len() <= 5);
+        assert!(out
+            .result
+            .docs
+            .windows(2)
+            .all(|w| w[0].score >= w[1].score));
+        // Every scored doc is a real match.
+        let match_docs: HashSet<u32> = out.matches.iter().map(|(d, _)| *d).collect();
+        assert!(out.result.docs.iter().all(|d| match_docs.contains(&d.doc)));
+    }
+
+    #[test]
+    fn duplicate_terms_collapse() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor::default();
+        let a = proc.process(&idx, &[5, 5, 5]);
+        let b = proc.process(&idx, &[5]);
+        assert_eq!(a.match_count(), b.match_count());
+    }
+
+    #[test]
+    fn empty_query() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let out = AndProcessor::default().process(&idx, &[]);
+        assert_eq!(out.match_count(), 0);
+    }
+}

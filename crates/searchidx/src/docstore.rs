@@ -1,0 +1,106 @@
+//! The document (stored-fields) region.
+//!
+//! A result entry carries ~400 B of display metadata per document (URL,
+//! snippet, date — the paper's Sec. VI sizing). Engines read those stored
+//! fields from disk when a result page is *computed*; result caching
+//! avoids exactly those reads. [`DocStore`] lays the per-document records
+//! out as a contiguous region after the posting lists, so a top-K
+//! assembly turns into K small random reads — some of the "random reads"
+//! of the paper's Sec. III.
+
+use storagecore::{Extent, Lba, SECTOR_SIZE};
+
+use crate::types::{DocId, RESULT_DOC_BYTES};
+
+/// Fixed-stride stored-fields region.
+#[derive(Debug, Clone)]
+pub struct DocStore {
+    base: Lba,
+    docs: u64,
+    entry_bytes: u64,
+}
+
+impl DocStore {
+    /// Region for `docs` documents starting at sector `base`, with the
+    /// paper's 400 B records.
+    pub fn new(base: Lba, docs: u64) -> Self {
+        DocStore {
+            base,
+            docs,
+            entry_bytes: RESULT_DOC_BYTES,
+        }
+    }
+
+    /// First sector of the region.
+    pub fn base(&self) -> Lba {
+        self.base
+    }
+
+    /// One past the last sector used.
+    pub fn end(&self) -> Lba {
+        self.base + (self.docs * self.entry_bytes).div_ceil(SECTOR_SIZE as u64)
+    }
+
+    /// Total sectors occupied.
+    pub fn sectors(&self) -> u64 {
+        self.end() - self.base
+    }
+
+    /// Documents covered.
+    pub fn docs(&self) -> u64 {
+        self.docs
+    }
+
+    /// The extent holding `doc`'s record (1–2 sectors; records are not
+    /// sector-aligned, matching how stored fields pack on disk).
+    pub fn extent(&self, doc: DocId) -> Extent {
+        assert!((doc as u64) < self.docs, "doc {doc} outside the store");
+        let offset = self.base * SECTOR_SIZE as u64 + doc as u64 * self.entry_bytes;
+        Extent::from_bytes(offset, self.entry_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let s = DocStore::new(1_000, 10_000);
+        assert_eq!(s.base(), 1_000);
+        assert_eq!(s.docs(), 10_000);
+        // 10 000 × 400 B = 4 MB = 7813 sectors (rounded up).
+        assert_eq!(s.sectors(), (10_000u64 * 400).div_ceil(512));
+        assert_eq!(s.end(), 1_000 + s.sectors());
+    }
+
+    #[test]
+    fn extents_stay_in_region_and_cover_records() {
+        let s = DocStore::new(64, 5_000);
+        let region = Extent::new(s.base(), s.sectors());
+        for doc in [0u32, 1, 777, 4_999] {
+            let e = s.extent(doc);
+            assert!(region.contains(&e), "doc {doc}: {e}");
+            assert!(e.bytes() >= RESULT_DOC_BYTES);
+            assert!(e.sectors <= 2, "a 400 B record spans at most 2 sectors");
+        }
+    }
+
+    #[test]
+    fn adjacent_docs_are_adjacent_on_disk() {
+        let s = DocStore::new(0, 100);
+        let a = s.extent(0);
+        let b = s.extent(1);
+        // Records pack: doc 1 starts 400 B in, still sector 0.
+        assert_eq!(a.lba, 0);
+        assert_eq!(b.lba, 0);
+        let far = s.extent(64); // 25 600 B in → sector 50
+        assert_eq!(far.lba, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the store")]
+    fn out_of_range_panics() {
+        DocStore::new(0, 10).extent(10);
+    }
+}

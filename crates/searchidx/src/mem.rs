@@ -1,0 +1,121 @@
+//! An exact in-memory index built from real token streams.
+//!
+//! Used to validate the query processor against brute-force scoring, and
+//! by the examples to index small real collections. Implements the same
+//! [`IndexReader`] as the synthetic index.
+
+use std::collections::HashMap;
+
+use crate::types::{DocId, IndexReader, Posting, PostingList, TermId};
+
+/// Exact inverted index over explicit documents.
+#[derive(Debug, Clone, Default)]
+pub struct MemIndex {
+    lists: HashMap<TermId, Vec<Posting>>,
+    num_docs: u64,
+    num_terms: u64,
+}
+
+impl MemIndex {
+    /// Build from documents given as term-id sequences.
+    pub fn from_docs<D, T>(docs: D) -> Self
+    where
+        D: IntoIterator<Item = T>,
+        T: AsRef<[TermId]>,
+    {
+        let mut lists: HashMap<TermId, Vec<Posting>> = HashMap::new();
+        let mut num_docs = 0u64;
+        let mut num_terms = 0u64;
+        for (doc_id, doc) in docs.into_iter().enumerate() {
+            num_docs += 1;
+            let mut tf: HashMap<TermId, u32> = HashMap::new();
+            for &t in doc.as_ref() {
+                *tf.entry(t).or_insert(0) += 1;
+                num_terms = num_terms.max(t as u64 + 1);
+            }
+            for (t, f) in tf {
+                lists.entry(t).or_default().push(Posting {
+                    doc: doc_id as DocId,
+                    tf: f,
+                });
+            }
+        }
+        MemIndex {
+            lists,
+            num_docs,
+            num_terms,
+        }
+    }
+
+    /// All terms present in the index.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.lists.keys().copied()
+    }
+}
+
+impl IndexReader for MemIndex {
+    fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    fn num_terms(&self) -> u64 {
+        self.num_terms
+    }
+
+    fn doc_freq(&self, term: TermId) -> u64 {
+        self.lists.get(&term).map_or(0, |l| l.len() as u64)
+    }
+
+    fn postings(&self, term: TermId) -> PostingList {
+        PostingList::new(term, self.lists.get(&term).cloned().unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MemIndex {
+        MemIndex::from_docs(vec![
+            vec![0u32, 1, 0, 2], // doc 0: term 0 twice
+            vec![1, 1, 1],       // doc 1: term 1 thrice
+            vec![0, 2],          // doc 2
+        ])
+    }
+
+    #[test]
+    fn df_and_counts() {
+        let i = sample();
+        assert_eq!(i.num_docs(), 3);
+        assert_eq!(i.num_terms(), 3);
+        assert_eq!(i.doc_freq(0), 2);
+        assert_eq!(i.doc_freq(1), 2);
+        assert_eq!(i.doc_freq(2), 2);
+        assert_eq!(i.doc_freq(9), 0);
+    }
+
+    #[test]
+    fn tf_is_counted_per_doc() {
+        let i = sample();
+        let l = i.postings(1);
+        // tf-descending: doc 1 (tf 3) before doc 0 (tf 1).
+        assert_eq!(l.postings()[0], Posting { doc: 1, tf: 3 });
+        assert_eq!(l.postings()[1], Posting { doc: 0, tf: 1 });
+    }
+
+    #[test]
+    fn empty_index() {
+        let i = MemIndex::from_docs(Vec::<Vec<TermId>>::new());
+        assert_eq!(i.num_docs(), 0);
+        assert!(i.postings(0).is_empty());
+    }
+
+    #[test]
+    fn idf_favors_rare_terms() {
+        let docs: Vec<Vec<TermId>> = (0..10)
+            .map(|d| if d == 0 { vec![0, 1] } else { vec![0] })
+            .collect();
+        let i = MemIndex::from_docs(docs);
+        assert!(i.idf(1) > i.idf(0));
+    }
+}

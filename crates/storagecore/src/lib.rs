@@ -1,0 +1,26 @@
+//! Block-device abstraction for the hybridstore simulators.
+//!
+//! Every storage medium in the reproduction — the mechanical disk model in
+//! `hddsim`, the NAND/FTL model in `flashsim`, and the in-memory reference
+//! device here — implements [`BlockDevice`]: a *timing model* addressed by
+//! logical sector extents. Requests return the simulated service latency;
+//! the caller advances its [`simclock::Clock`] by that amount.
+//!
+//! Devices deliberately do **not** carry data payloads: the experiment
+//! drivers keep logical content in ordinary Rust structures and charge
+//! device time for touching it, which keeps memory bounded at search-engine
+//! scale. Where byte-level integrity matters in tests, wrap a device in
+//! [`shadow::ShadowStore`].
+
+pub mod device;
+pub mod ramdisk;
+pub mod shadow;
+pub mod stats;
+pub mod trace;
+pub mod types;
+
+pub use device::{BlockDevice, IoError};
+pub use ramdisk::RamDisk;
+pub use stats::IoStats;
+pub use trace::{IoEvent, NullSink, TraceSink, VecSink};
+pub use types::{Extent, Geometry, IoKind, Lba, SECTOR_SIZE};

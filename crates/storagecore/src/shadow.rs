@@ -1,0 +1,140 @@
+//! A byte-accurate shadow store for integrity testing.
+//!
+//! The simulators model *time*, not data. When a test wants to prove a
+//! storage stack round-trips bytes correctly (e.g. the SSD cache file in
+//! `hybridcache`), it pairs the device with a [`ShadowStore`]: a sparse
+//! sector map that records what *should* be on each sector. The store is
+//! pure bookkeeping — it charges no simulated time.
+
+use std::collections::HashMap;
+
+use crate::types::{Extent, Lba, SECTOR_SIZE};
+
+/// Sparse logical-content map: `Lba -> 512-byte sector image`.
+///
+/// Unwritten or trimmed sectors read back as all-zero, matching the
+/// deterministic-read-after-trim behaviour the FTL models.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowStore {
+    sectors: HashMap<Lba, Box<[u8; SECTOR_SIZE]>>,
+}
+
+impl ShadowStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `data` starting at byte 0 of `extent`. `data` may be shorter
+    /// than the extent (the tail of the last sector is zero-filled) but
+    /// must not be longer.
+    pub fn write(&mut self, extent: Extent, data: &[u8]) {
+        assert!(
+            data.len() as u64 <= extent.bytes(),
+            "data ({}) longer than extent ({})",
+            data.len(),
+            extent.bytes()
+        );
+        for (i, lba) in extent.iter_sectors().enumerate() {
+            let start = i * SECTOR_SIZE;
+            let sector = self
+                .sectors
+                .entry(lba)
+                .or_insert_with(|| Box::new([0u8; SECTOR_SIZE]));
+            sector.fill(0);
+            if start < data.len() {
+                let end = (start + SECTOR_SIZE).min(data.len());
+                sector[..end - start].copy_from_slice(&data[start..end]);
+            }
+        }
+    }
+
+    /// Read the full extent into a fresh buffer.
+    pub fn read(&self, extent: Extent) -> Vec<u8> {
+        let mut out = vec![0u8; extent.bytes() as usize];
+        for (i, lba) in extent.iter_sectors().enumerate() {
+            if let Some(sector) = self.sectors.get(&lba) {
+                out[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE].copy_from_slice(&sector[..]);
+            }
+        }
+        out
+    }
+
+    /// Discard the extent: subsequent reads return zeros.
+    pub fn trim(&mut self, extent: Extent) {
+        for lba in extent.iter_sectors() {
+            self.sectors.remove(&lba);
+        }
+    }
+
+    /// Number of sectors currently holding data.
+    pub fn populated_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_extent() {
+        let mut s = ShadowStore::new();
+        let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        s.write(Extent::new(4, 2), &data);
+        assert_eq!(s.read(Extent::new(4, 2)), data);
+    }
+
+    #[test]
+    fn short_write_zero_fills_tail() {
+        let mut s = ShadowStore::new();
+        s.write(Extent::new(0, 2), &[0xAB; 600]);
+        let back = s.read(Extent::new(0, 2));
+        assert!(back[..600].iter().all(|&b| b == 0xAB));
+        assert!(back[600..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = ShadowStore::new();
+        assert!(s.read(Extent::new(9, 3)).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn overwrite_replaces_whole_sectors() {
+        let mut s = ShadowStore::new();
+        s.write(Extent::new(0, 1), &[1u8; 512]);
+        s.write(Extent::new(0, 1), &[2u8; 100]);
+        let back = s.read(Extent::new(0, 1));
+        assert!(back[..100].iter().all(|&b| b == 2));
+        assert!(back[100..].iter().all(|&b| b == 0), "stale bytes must not survive");
+    }
+
+    #[test]
+    fn trim_discards() {
+        let mut s = ShadowStore::new();
+        s.write(Extent::new(0, 4), &[7u8; 2048]);
+        assert_eq!(s.populated_sectors(), 4);
+        s.trim(Extent::new(1, 2));
+        assert_eq!(s.populated_sectors(), 2);
+        let back = s.read(Extent::new(0, 4));
+        assert!(back[..512].iter().all(|&b| b == 7));
+        assert!(back[512..1536].iter().all(|&b| b == 0));
+        assert!(back[1536..].iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn partial_read_of_larger_write() {
+        let mut s = ShadowStore::new();
+        let data: Vec<u8> = (0..2048u32).map(|i| (i % 256) as u8).collect();
+        s.write(Extent::new(10, 4), &data);
+        assert_eq!(s.read(Extent::new(11, 1)), data[512..1024].to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than extent")]
+    fn oversized_write_panics() {
+        let mut s = ShadowStore::new();
+        s.write(Extent::new(0, 1), &[0u8; 513]);
+    }
+}

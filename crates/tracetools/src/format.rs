@@ -1,0 +1,153 @@
+//! Plain-text trace interchange format.
+//!
+//! One event per line: `seq kind lba sectors at_ns latency_ns`, with
+//! `kind` ∈ {R, W, T} — close enough to the UMass/SPC text traces that
+//! converted real traces drop straight in. `#`-prefixed lines are
+//! comments.
+
+use simclock::{SimDuration, SimTime};
+use storagecore::{Extent, IoEvent, IoKind};
+
+/// Serialize events to the text format.
+pub fn write_trace(events: &[IoEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 32);
+    out.push_str("# hybridstore trace v1: seq kind lba sectors at_ns latency_ns\n");
+    for e in events {
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            e.seq,
+            e.kind.label(),
+            e.extent.lba,
+            e.extent.sectors,
+            e.at.as_nanos(),
+            e.latency.as_nanos(),
+        ));
+    }
+    out
+}
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text format. Comments and blank lines are skipped.
+pub fn parse_trace(text: &str) -> Result<Vec<IoEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ParseError {
+            line: i + 1,
+            message: message.to_string(),
+        };
+        let mut parts = line.split_ascii_whitespace();
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| err(&format!("missing field: {what}")))
+        };
+        let seq: u64 = next("seq")?
+            .parse()
+            .map_err(|_| err("seq is not an integer"))?;
+        let kind = match next("kind")? {
+            "R" => IoKind::Read,
+            "W" => IoKind::Write,
+            "T" => IoKind::Trim,
+            other => return Err(err(&format!("unknown kind {other:?}"))),
+        };
+        let lba: u64 = next("lba")?
+            .parse()
+            .map_err(|_| err("lba is not an integer"))?;
+        let sectors: u64 = next("sectors")?
+            .parse()
+            .map_err(|_| err("sectors is not an integer"))?;
+        let at: u64 = next("at_ns")?
+            .parse()
+            .map_err(|_| err("at_ns is not an integer"))?;
+        let latency: u64 = next("latency_ns")?
+            .parse()
+            .map_err(|_| err("latency_ns is not an integer"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        events.push(IoEvent {
+            seq,
+            kind,
+            extent: Extent::new(lba, sectors),
+            at: SimTime::from_nanos(at),
+            latency: SimDuration::from_nanos(latency),
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{umass_like, UmassSpec};
+
+    #[test]
+    fn roundtrip() {
+        let events = umass_like(&UmassSpec {
+            requests: 200,
+            ..UmassSpec::default()
+        });
+        let text = write_trace(&events);
+        let back = parse_trace(&text).expect("own output parses");
+        assert_eq!(events.len(), back.len());
+        for (a, b) in events.iter().zip(back.iter()) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.extent, b.extent);
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n1 R 100 8 0 0\n  # indented comment\n2 W 200 16 5 7\n";
+        let events = parse_trace(text).expect("valid");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, IoKind::Write);
+        assert_eq!(events[1].latency.as_nanos(), 7);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("1 R 100 8 0 0\n2 X 0 0 0 0\n").expect_err("bad kind");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown kind"));
+
+        let e = parse_trace("1 R 100\n").expect_err("short line");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("missing field"));
+
+        let e = parse_trace("1 R 100 8 0 0 extra\n").expect_err("long line");
+        assert!(e.message.contains("trailing"));
+
+        let e = parse_trace("x R 100 8 0 0\n").expect_err("bad int");
+        assert!(e.message.contains("seq"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = parse_trace("bogus\n").expect_err("junk");
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Synthetic UMass-shaped trace.
+//!
+//! Fig. 1(a) plots the UMass WebSearch trace: read sequence vs. logical
+//! sector, showing dense horizontal *bands* (hot index regions hit over
+//! and over) sprinkled with scattered random reads across a wide LBA
+//! range. [`umass_like`] reproduces that banding: a handful of hot bands
+//! holding most of the probability mass, Zipf-weighted, plus a uniform
+//! background — >99 % reads, small requests.
+
+use simclock::{Rng, Zipf};
+use simclock::{SimDuration, SimTime};
+use storagecore::{Extent, IoEvent, IoKind, Lba};
+
+/// Shape parameters of the synthetic web-search trace.
+#[derive(Debug, Clone)]
+pub struct UmassSpec {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Address-space extent (sectors). The UMass trace spans ~3.5e6.
+    pub sectors: Lba,
+    /// Number of hot bands.
+    pub bands: u64,
+    /// Sectors per band.
+    pub band_width: Lba,
+    /// Probability a request lands in a band (vs. uniform background).
+    pub band_probability: f64,
+    /// Fraction of requests that are reads (paper: >0.99).
+    pub read_fraction: f64,
+    /// Request size in sectors (WebSearch requests are mostly 8 KB = 16).
+    pub request_sectors: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for UmassSpec {
+    fn default() -> Self {
+        UmassSpec {
+            requests: 5_000,
+            sectors: 3_500_000,
+            bands: 12,
+            band_width: 20_000,
+            band_probability: 0.75,
+            read_fraction: 0.995,
+            request_sectors: 16,
+            seed: 2012,
+        }
+    }
+}
+
+/// Generate the synthetic trace.
+pub fn umass_like(spec: &UmassSpec) -> Vec<IoEvent> {
+    assert!(spec.requests > 0 && spec.sectors > spec.request_sectors);
+    assert!(spec.bands > 0 && spec.band_width > 0);
+    let mut rng = Rng::new(spec.seed);
+    // Band centres scattered across the space; popularity Zipf over bands.
+    let mut centres: Vec<Lba> = (0..spec.bands)
+        .map(|_| rng.next_below(spec.sectors - spec.band_width))
+        .collect();
+    centres.sort_unstable();
+    let band_zipf = Zipf::new(spec.bands, 1.0);
+
+    let mut now = SimTime::ZERO;
+    let tick = SimDuration::from_micros(100);
+    (0..spec.requests)
+        .map(|i| {
+            let lba = if rng.next_bool(spec.band_probability) {
+                let band = (band_zipf.sample(&mut rng) - 1) as usize;
+                centres[band] + rng.next_below(spec.band_width)
+            } else {
+                rng.next_below(spec.sectors - spec.request_sectors)
+            };
+            let kind = if rng.next_bool(spec.read_fraction) {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            };
+            let event = IoEvent {
+                seq: i as u64,
+                at: now,
+                kind,
+                extent: Extent::new(lba, spec.request_sectors),
+                latency: SimDuration::ZERO,
+            };
+            now += tick;
+            event
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::TraceProfile;
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let spec = UmassSpec::default();
+        let events = umass_like(&spec);
+        assert_eq!(events.len(), 5_000);
+        let p = TraceProfile::from_events(&events);
+        assert!(p.read_fraction > 0.98, "read fraction {}", p.read_fraction);
+        assert!(
+            p.sequential_fraction < 0.05,
+            "web-search traces are random ({})",
+            p.sequential_fraction
+        );
+        assert!((p.mean_request_sectors - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banding_creates_locality() {
+        let banded = umass_like(&UmassSpec::default());
+        let unbanded = umass_like(&UmassSpec {
+            band_probability: 0.0,
+            ..UmassSpec::default()
+        });
+        let pb = TraceProfile::from_events(&banded);
+        let pu = TraceProfile::from_events(&unbanded);
+        assert!(
+            pb.unique_touch_fraction < pu.unique_touch_fraction,
+            "bands must concentrate accesses ({} vs {})",
+            pb.unique_touch_fraction,
+            pu.unique_touch_fraction
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = umass_like(&UmassSpec::default());
+        let b = umass_like(&UmassSpec::default());
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.extent == y.extent && x.kind == y.kind));
+        let c = umass_like(&UmassSpec {
+            seed: 999,
+            ..UmassSpec::default()
+        });
+        assert!(a.iter().zip(&c).any(|(x, y)| x.extent != y.extent));
+    }
+
+    #[test]
+    fn sequence_numbers_and_times_are_monotone() {
+        let events = umass_like(&UmassSpec::default());
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+            assert!(w[1].at > w[0].at);
+        }
+    }
+
+    #[test]
+    fn extents_stay_in_range() {
+        let spec = UmassSpec::default();
+        let events = umass_like(&spec);
+        assert!(events.iter().all(|e| e.extent.end() <= spec.sectors));
+    }
+}

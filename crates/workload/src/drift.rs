@@ -1,0 +1,173 @@
+//! Popularity drift: the non-stationary query stream of the dynamic
+//! scenario.
+//!
+//! The paper's evaluation assumes a stable log ("we limit our discussion
+//! in the static scenario"); its future-work dynamism needs the opposite
+//! — a stream whose hot set moves. [`DriftingLog`] rotates the mapping
+//! from popularity rank to query identity every `period` queries: the
+//! rank-popularity *shape* stays Zipf (hit ratios remain comparable) while
+//! the *identities* of the hot queries change, which is exactly what ages
+//! cached entries.
+
+use simclock::Rng;
+
+use crate::querylog::{Query, QueryLog};
+
+/// A query log whose hot set rotates over time.
+#[derive(Debug, Clone)]
+pub struct DriftingLog {
+    base: QueryLog,
+    /// Queries between rotations.
+    period: u64,
+    /// Identity-space shift applied per rotation.
+    step: u64,
+}
+
+impl DriftingLog {
+    /// Wrap `base`, shifting the rank→identity mapping by `step` every
+    /// `period` queries. `step = 0` or `period = 0` degenerate to the
+    /// stationary log.
+    pub fn new(base: QueryLog, period: u64, step: u64) -> Self {
+        DriftingLog { base, period, step }
+    }
+
+    /// The stationary log underneath.
+    pub fn base(&self) -> &QueryLog {
+        &self.base
+    }
+
+    /// The query identity that popularity rank `rank_id` maps to at
+    /// stream position `position`.
+    fn identity_at(&self, rank_id: u64, position: u64) -> u64 {
+        if self.period == 0 || self.step == 0 {
+            return rank_id;
+        }
+        let rotations = position / self.period;
+        let universe = self.base.spec().distinct_queries;
+        (rank_id + rotations.wrapping_mul(self.step)) % universe
+    }
+
+    /// Generate a drifting stream of `n` queries.
+    pub fn stream_iter(&self, n: usize) -> impl Iterator<Item = Query> + '_ {
+        let mut rng = Rng::new(self.base.spec().seed.wrapping_add(0x5A5A_5A5A));
+        (0..n as u64).map(move |i| {
+            let ranked = self.base.sample(&mut rng);
+            let id = self.identity_at(ranked.id, i);
+            Query {
+                id,
+                terms: self.base.terms_of(id),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::querylog::QueryLogSpec;
+    use std::collections::HashSet;
+
+    fn log() -> QueryLog {
+        QueryLog::new(QueryLogSpec::tiny(2_000, 31))
+    }
+
+    #[test]
+    fn zero_drift_is_stationary() {
+        let d = DriftingLog::new(log(), 0, 0);
+        let a: Vec<u64> = d.stream_iter(200).map(|q| q.id).collect();
+        let b: Vec<u64> = d.stream_iter(200).map(|q| q.id).collect();
+        assert_eq!(a, b, "deterministic");
+        // Identity mapping untouched.
+        assert_eq!(d.identity_at(7, 1_000_000), 7);
+    }
+
+    #[test]
+    fn drift_rotates_the_hot_set() {
+        let d = DriftingLog::new(log(), 100, 137);
+        // The most popular identities in the first window differ from the
+        // ones ten rotations later.
+        let early: HashSet<u64> = d.stream_iter(100).map(|q| q.id).collect();
+        let late: HashSet<u64> = d
+            .stream_iter(1_100)
+            .skip(1_000)
+            .map(|q| q.id)
+            .collect();
+        let overlap = early.intersection(&late).count();
+        assert!(
+            overlap * 4 < early.len().min(late.len()),
+            "hot sets must mostly rotate apart (overlap {overlap})"
+        );
+    }
+
+    #[test]
+    fn terms_stay_consistent_with_identity() {
+        // Repetitions of the same drifted identity must carry the same
+        // terms (they are the same logical query).
+        let d = DriftingLog::new(log(), 50, 173);
+        let mut seen: std::collections::HashMap<u64, Vec<u32>> = Default::default();
+        for q in d.stream_iter(2_000) {
+            if let Some(prev) = seen.get(&q.id) {
+                assert_eq!(prev, &q.terms, "query {} changed terms", q.id);
+            } else {
+                seen.insert(q.id, q.terms.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn drift_hurts_a_fixed_cache() {
+        // An LRU cache over query ids: drift must lower its hit ratio.
+        let hit_ratio = |period: u64, step: u64| {
+            let d = DriftingLog::new(log(), period, step);
+            let mut cache: cachekit_like::Lru = cachekit_like::Lru::new(64);
+            let mut hits = 0u64;
+            let n = 8_000;
+            for q in d.stream_iter(n) {
+                if cache.touch(q.id) {
+                    hits += 1;
+                }
+            }
+            hits as f64 / n as f64
+        };
+        let stationary = hit_ratio(0, 0);
+        let drifting = hit_ratio(200, 137);
+        assert!(
+            drifting < stationary * 0.9,
+            "drift must cost hits ({drifting} vs {stationary})"
+        );
+    }
+
+    /// Minimal LRU for the test, avoiding a dev-dependency cycle.
+    mod cachekit_like {
+        use std::collections::VecDeque;
+
+        pub struct Lru {
+            cap: usize,
+            order: VecDeque<u64>,
+        }
+
+        impl Lru {
+            pub fn new(cap: usize) -> Self {
+                Lru {
+                    cap,
+                    order: VecDeque::new(),
+                }
+            }
+
+            /// Returns true on hit; inserts on miss.
+            pub fn touch(&mut self, k: u64) -> bool {
+                if let Some(pos) = self.order.iter().position(|&x| x == k) {
+                    self.order.remove(pos);
+                    self.order.push_front(k);
+                    true
+                } else {
+                    if self.order.len() == self.cap {
+                        self.order.pop_back();
+                    }
+                    self.order.push_front(k);
+                    false
+                }
+            }
+        }
+    }
+}

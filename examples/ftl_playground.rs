@@ -1,0 +1,79 @@
+//! FTL playground: drive the four flash-translation schemes with
+//! sequential and random write workloads and compare erase counts, write
+//! amplification and latency — the substrate the paper's SSD numbers rest
+//! on.
+//!
+//! ```text
+//! cargo run --release -p examples --bin ftl_playground -- --writes 20000
+//! ```
+
+use examples::arg_u64;
+use flashsim::{BlockMapFtl, Dftl, FastFtl, FlashParams, Ftl, PageMapFtl};
+use simclock::{Rng, SimDuration};
+
+struct Row {
+    name: &'static str,
+    total: SimDuration,
+    erases: u64,
+    wa: f64,
+}
+
+fn drive<F: Ftl>(mut ftl: F, name: &'static str, writes: u64, random: bool) -> Row {
+    let logical = ftl.logical_pages();
+    let mut rng = Rng::new(4242);
+    let mut total = SimDuration::ZERO;
+    for i in 0..writes {
+        let lpn = if random {
+            rng.next_below(logical)
+        } else {
+            i % logical
+        };
+        total += ftl.write(lpn).expect("within logical capacity");
+    }
+    let nand = ftl.nand().stats();
+    Row {
+        name,
+        total,
+        erases: nand.block_erases,
+        wa: ftl.stats().write_amplification(nand.page_programs),
+    }
+}
+
+fn params() -> FlashParams {
+    FlashParams::paper(32 << 20) // 32 MB logical, Table III timing
+}
+
+fn run(pattern: &str, random: bool, writes: u64) {
+    println!("== {pattern} writes ({writes} pages) ==");
+    let rows = vec![
+        drive(PageMapFtl::new(params()), "page-map", writes, random),
+        drive(BlockMapFtl::new(params()), "block-map", writes, random),
+        drive(FastFtl::new(params()), "FAST", writes, random),
+        drive(Dftl::new(params(), 4096), "DFTL", writes, random),
+    ];
+    println!(
+        "{:<10} {:>14} {:>10} {:>8} {:>14}",
+        "ftl", "total time", "erases", "WA", "ns/write"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>14} {:>10} {:>8.2} {:>14.0}",
+            r.name,
+            r.total.to_string(),
+            r.erases,
+            r.wa,
+            r.total.as_nanos() as f64 / writes as f64,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let writes = arg_u64("--writes", 20_000);
+    run("sequential", false, writes);
+    run("uniform random", true, writes);
+    println!(
+        "note: the paper's baseline is the ideal page-mapped FTL; the others\n\
+         exist for the ablation in bench --bin ablation_ftl."
+    );
+}

@@ -1,0 +1,64 @@
+//! Policy shoot-out: LRU vs CBLRU vs CBSLRU on the same workload — the
+//! qualitative content of the paper's Figs. 14(b), 17 and 19 in one table.
+//!
+//! ```text
+//! cargo run --release -p examples --bin policy_shootout -- --docs 200000 --queries 8000
+//! ```
+
+use engine::{EngineConfig, SearchEngine};
+use examples::arg_u64;
+use hybridcache::{HybridConfig, PolicyKind};
+use workload::parallel_map;
+
+fn main() {
+    let docs = arg_u64("--docs", 200_000);
+    let queries = arg_u64("--queries", 8_000) as usize;
+
+    let policies = vec![
+        PolicyKind::Lru,
+        PolicyKind::Cblru,
+        PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    ];
+
+    println!("comparing replacement policies over {docs} docs / {queries} queries ...\n");
+
+    let rows = parallel_map(policies, 0, |policy| {
+        let cache = HybridConfig::paper(2 << 20, 32 << 20, policy);
+        let mut engine = SearchEngine::new(EngineConfig::cached(docs, cache, 7));
+        if matches!(policy, PolicyKind::Cbslru { .. }) {
+            engine.seed_static_from_log(queries);
+        }
+        let report = engine.run(queries);
+        (policy.label(), report)
+    });
+
+    println!(
+        "{:<8} {:>9} {:>14} {:>12} {:>9} {:>12} {:>14}",
+        "policy", "hit %", "mean resp", "q/s", "erases", "ssd writes", "flash access"
+    );
+    let baseline = rows[0].1.mean_response;
+    for (label, r) in &rows {
+        let flash = r.flash.expect("cache SSD present");
+        println!(
+            "{:<8} {:>8.2}% {:>14} {:>12.1} {:>9} {:>12} {:>14}",
+            label,
+            r.hit_ratio() * 100.0,
+            r.mean_response.to_string(),
+            r.throughput_qps,
+            flash.block_erases,
+            flash.host_writes,
+            flash.mean_access.to_string(),
+        );
+    }
+
+    println!();
+    for (label, r) in rows.iter().skip(1) {
+        let gain = 1.0 - r.mean_response.as_nanos() as f64 / baseline.as_nanos() as f64;
+        println!(
+            "{label}: response time {:+.1}% vs LRU",
+            -gain * 100.0
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the example binaries.
+
+/// Parse a trailing `--docs N` / `--queries N` style flag from argv,
+/// falling back to `default`. Keeps the examples dependency-free.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                return v.parse().unwrap_or_else(|_| {
+                    eprintln!("warning: cannot parse {name} {v}, using {default}");
+                    default
+                });
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn missing_flag_falls_back() {
+        assert_eq!(super::arg_u64("--definitely-absent", 7), 7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Trace explorer: capture the engine's index-device I/O trace, profile it
+//! the way the paper's Sec. III does, and compare it against a synthetic
+//! UMass-shaped web-search trace (Fig. 1).
+//!
+//! ```text
+//! cargo run --release -p examples --bin trace_explorer -- --queries 2000
+//! ```
+
+use engine::{EngineConfig, IndexPlacement, SearchEngine};
+use examples::arg_u64;
+use tracetools::{umass_like, TraceProfile, UmassSpec};
+
+fn print_profile(name: &str, p: &TraceProfile) {
+    println!("== {name} ==");
+    println!("  requests        : {}", p.requests);
+    println!("  read fraction   : {:.2}%", p.read_fraction * 100.0);
+    println!("  unique touches  : {:.2}%", p.unique_touch_fraction * 100.0);
+    println!("  near reuse      : {:.2}%", p.near_reuse_fraction * 100.0);
+    println!("  sequential      : {:.2}%", p.sequential_fraction * 100.0);
+    println!("  skipped reads   : {:.2}%", p.skip_fraction * 100.0);
+    println!("  mean request    : {:.1} sectors", p.mean_request_sectors);
+    println!();
+}
+
+fn ascii_scatter(points: &[(u64, u64)], rows: usize, cols: usize) {
+    if points.is_empty() {
+        return;
+    }
+    let max_x = points.iter().map(|p| p.0).max().expect("non-empty") + 1;
+    let max_y = points.iter().map(|p| p.1).max().expect("non-empty") + 1;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for &(x, y) in points {
+        let c = (x * cols as u64 / max_x) as usize;
+        let r = (y * rows as u64 / max_y) as usize;
+        grid[rows - 1 - r][c] = '*';
+    }
+    for row in grid {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(cols));
+    println!("   read sequence → (y: logical sector)");
+}
+
+fn main() {
+    let queries = arg_u64("--queries", 2_000) as usize;
+
+    // (a) UMass-shaped synthetic web-search trace.
+    let umass = umass_like(&UmassSpec::default());
+    print_profile("UMass-shaped WebSearch trace (synthetic)", &TraceProfile::from_events(&umass));
+    println!("scatter (cf. paper Fig. 1(a)):");
+    ascii_scatter(&TraceProfile::scatter_series(&umass, 600), 16, 72);
+    println!();
+
+    // (b) our engine's own index I/O during retrieval.
+    let mut cfg = EngineConfig::no_cache(arg_u64("--docs", 100_000), IndexPlacement::Hdd, 99);
+    cfg.capture_trace = true;
+    let mut engine = SearchEngine::new(cfg);
+    engine.run(queries);
+    let trace = engine.take_trace();
+    print_profile("engine index-device trace", &TraceProfile::from_events(&trace));
+    println!("scatter (cf. paper Fig. 1(b)):");
+    ascii_scatter(&TraceProfile::scatter_series(&trace, 600), 16, 72);
+}

@@ -1,0 +1,119 @@
+//! Cross-device integration: the same recorded workloads replayed against
+//! every device model.
+
+use hddsim::HddDisk;
+use flashsim::{FlashParams, Ftl as _, PageMapFtl, SsdDisk};
+use simclock::SimDuration;
+use storagecore::{BlockDevice, RamDisk};
+use tracetools::{replay, umass_like, UmassSpec};
+
+fn web_trace(requests: usize) -> Vec<storagecore::IoEvent> {
+    umass_like(&UmassSpec {
+        requests,
+        sectors: 1 << 20, // keep within small simulated devices
+        ..UmassSpec::default()
+    })
+}
+
+#[test]
+fn ssd_crushes_hdd_on_websearch_trace() {
+    let trace = web_trace(2_000);
+    let mut hdd = HddDisk::new(hddsim::HddParams::small_test_disk(1 << 30));
+    let mut ssd = SsdDisk::paper(1 << 30);
+    let hr = replay(&mut hdd, &trace);
+    let sr = replay(&mut ssd, &trace);
+    assert_eq!(hr.served, sr.served);
+    assert!(
+        hr.mean_latency() > sr.mean_latency() * 10,
+        "random-read web search: HDD {} vs SSD {}",
+        hr.mean_latency(),
+        sr.mean_latency()
+    );
+}
+
+#[test]
+fn hdd_is_competitive_on_sequential_streams() {
+    // A purely sequential read stream (no trace banding).
+    let mut hdd = HddDisk::new(hddsim::HddParams::small_test_disk(1 << 30));
+    let mut ssd = SsdDisk::paper(1 << 30);
+    let mut hdd_total = SimDuration::ZERO;
+    let mut ssd_total = SimDuration::ZERO;
+    let mut cursor = 0;
+    for _ in 0..2_000 {
+        let e = storagecore::Extent::new(cursor, 64);
+        // Write first so the SSD has mapped pages to read.
+        ssd.write(e).expect("in range");
+        cursor += 64;
+    }
+    cursor = 0;
+    for _ in 0..2_000 {
+        let e = storagecore::Extent::new(cursor, 64);
+        hdd_total += hdd.read(e).expect("in range");
+        ssd_total += ssd.read(e).expect("in range");
+        cursor += 64;
+    }
+    // Sequential: HDD within ~8x of the (single-channel) SSD rather than
+    // the 10-100x gap of random access.
+    assert!(
+        hdd_total < ssd_total * 8,
+        "sequential HDD {hdd_total} vs SSD {ssd_total}"
+    );
+}
+
+#[test]
+fn ramdisk_is_fastest_everywhere() {
+    // Use a small address space and prefill the SSD, so its reads hit
+    // mapped pages (unmapped reads are zero-fill and cost nothing).
+    let trace = umass_like(&UmassSpec {
+        requests: 1_000,
+        sectors: 1 << 16,
+        ..UmassSpec::default()
+    });
+    let mut ram = RamDisk::with_capacity_bytes(64 << 20, SimDuration::from_micros(1));
+    let mut ssd = SsdDisk::paper(64 << 20);
+    let mut lba = 0;
+    while lba + 256 <= 1 << 16 {
+        ssd.write(storagecore::Extent::new(lba, 256)).expect("in range");
+        lba += 256;
+    }
+    let rr = replay(&mut ram, &trace);
+    let sr = replay(&mut ssd, &trace);
+    assert!(rr.mean_latency() < sr.mean_latency());
+}
+
+#[test]
+fn trace_profile_consistent_across_devices() {
+    // Replaying must not reorder or drop events: device stats agree with
+    // the trace profile's request count.
+    let trace = web_trace(1_500);
+    let profile = tracetools::TraceProfile::from_events(&trace);
+    let mut ssd = SsdDisk::with_ftl(PageMapFtl::new(FlashParams::paper(1 << 30)));
+    let report = replay(&mut ssd, &trace);
+    assert_eq!(report.served, profile.requests);
+    assert_eq!(ssd.stats().total_ops(), profile.requests);
+    let reads = ssd.stats().ops(storagecore::IoKind::Read);
+    assert!((reads as f64 / profile.requests as f64 - profile.read_fraction).abs() < 1e-9);
+}
+
+#[test]
+fn flash_wear_accumulates_only_under_writes() {
+    let mut ssd = SsdDisk::paper(64 << 20);
+    let read_only: Vec<storagecore::IoEvent> = web_trace(2_000)
+        .into_iter()
+        .map(|mut e| {
+            e.kind = storagecore::IoKind::Read;
+            e
+        })
+        .collect();
+    replay(&mut ssd, &read_only);
+    assert_eq!(ssd.ftl().nand().stats().block_erases, 0);
+    let write_heavy: Vec<storagecore::IoEvent> = web_trace(20_000)
+        .into_iter()
+        .map(|mut e| {
+            e.kind = storagecore::IoKind::Write;
+            e
+        })
+        .collect();
+    replay(&mut ssd, &write_heavy);
+    assert!(ssd.ftl().nand().stats().block_erases > 0);
+}

@@ -1,0 +1,19 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use hybridcache::{HybridConfig, PolicyKind};
+
+/// A small standard cache configuration for integration tests.
+pub fn test_cache(policy: PolicyKind) -> HybridConfig {
+    HybridConfig::paper(1 << 20, 8 << 20, policy)
+}
+
+/// The three policies under test.
+pub fn all_policies() -> [PolicyKind; 3] {
+    [
+        PolicyKind::Lru,
+        PolicyKind::Cblru,
+        PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    ]
+}
