@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI: the gate every change must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -38,6 +38,27 @@ fn bench_topk(c: &mut Criterion) {
         });
         b.iter(|| black_box(proc.process(&index, &[5_000, 7_000]).postings_scanned()));
     });
+
+    // The pooled open-addressed accumulator against the original
+    // `HashMap` path — identical results (see
+    // `scratch_accumulator_matches_hashmap_reference`), different
+    // allocation behavior. Same RNG seed so both see the same stream.
+    g.bench_function("log_query_pooled_scratch", |b| {
+        let proc = TopKProcessor::new(TopKConfig::default());
+        let mut rng = Rng::new(11);
+        b.iter(|| {
+            let q = log.sample(&mut rng);
+            black_box(proc.process(&index, &q.terms).postings_scanned())
+        });
+    });
+    g.bench_function("log_query_hashmap_reference", |b| {
+        let proc = TopKProcessor::new(TopKConfig::default());
+        let mut rng = Rng::new(11);
+        b.iter(|| {
+            let q = log.sample(&mut rng);
+            black_box(proc.process_reference(&index, &q.terms).postings_scanned())
+        });
+    });
     g.finish();
 }
 

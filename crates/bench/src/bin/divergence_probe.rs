@@ -1,0 +1,76 @@
+//! Diagnosis companion to `perf_regress`: when the reference and
+//! optimized arms stop being bit-identical, this finds the first query
+//! where they diverge by running both engines in lockstep and comparing
+//! cache counters after every query.
+//!
+//!     cargo run --release -p bench --bin divergence_probe \
+//!         [-- --policy lru|cblru|cbslru] [--no-seed]
+
+use engine::{EngineConfig, SearchEngine};
+use hybridcache::PolicyKind;
+use workload::Query;
+
+fn main() {
+    let mut policy_arg = String::from("cbslru");
+    let mut seed_flag = true;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--policy" => policy_arg = args.next().unwrap_or_default(),
+            "--no-seed" => seed_flag = false,
+            _ => {}
+        }
+    }
+    let policy = match policy_arg.as_str() {
+        "lru" => PolicyKind::Lru,
+        "cblru" => PolicyKind::Cblru,
+        _ => PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    };
+    let cfg = || {
+        hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy)
+    };
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+
+    let mut a = SearchEngine::new(EngineConfig::cached(docs, cfg(), seed));
+    a.set_reference_mode(true);
+    let mut b = SearchEngine::new(EngineConfig::cached(docs, cfg(), seed));
+    b.set_reference_mode(false);
+    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
+        a.seed_static_from_log(queries);
+        b.seed_static_from_log(queries);
+        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
+        if ra != rb {
+            println!("diverged during seeding: {ra:?} vs {rb:?}");
+            return;
+        }
+        let (sa, sb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        if sa != sb {
+            println!("store stats diverged during seeding:\n  {sa:?}\n  {sb:?}");
+            return;
+        }
+        println!("seeding identical");
+    }
+
+    let stream: Vec<Query> = a.log().stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ta = a.execute(q);
+        let tb = b.execute(q);
+        let sa = a.cache().unwrap().stats();
+        let sb = b.cache().unwrap().stats();
+        let (ssa, ssb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        if ta != tb || sa != sb || ssa != ssb {
+            println!("first divergence at query {i} (id {}, {} terms)", q.id, q.terms.len());
+            println!("  response: {ta} vs {tb}");
+            println!("  stats a: {sa:?}");
+            println!("  stats b: {sb:?}");
+            println!("  store a: {ssa:?}");
+            println!("  store b: {ssb:?}");
+            return;
+        }
+    }
+    println!("no divergence over {queries} queries (policy {policy_arg}, seeded {seed_flag})");
+}

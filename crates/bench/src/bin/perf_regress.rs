@@ -1,0 +1,176 @@
+//! Performance-regression harness.
+//!
+//! Runs one pinned, seeded workload twice — once on the reference hot
+//! paths (linear victim scans, `HashMap` top-K accumulator) and once on
+//! the optimized ones (indexed victim selection, pooled open-addressed
+//! scratch) — and emits a machine-readable JSON report.
+//!
+//! The two arms must produce **bit-identical simulated figures** (hit
+//! ratio, response times, cache/flash counters): the optimizations are
+//! behavior-preserving by construction, and this harness re-checks that
+//! end-to-end on every run. Wall-clock is the only number allowed to
+//! move. The first committed output (`BENCH_1.json`) is the trajectory
+//! baseline; run the binary under `--release` when comparing wall-clock.
+//!
+//!     cargo run --release -p bench --bin perf_regress [-- --out PATH]
+//!
+//! Exit status is non-zero if the arms' simulated figures diverge.
+
+use std::time::Instant;
+
+use bench::{cache_config, run_cached};
+use engine::{EngineConfig, RunReport, SearchEngine};
+use hybridcache::PolicyKind;
+
+// The pinned workload: large enough that victim selection and top-K
+// accumulation dominate, small enough for a CI-friendly run.
+const DOCS: u64 = 400_000;
+const QUERIES: usize = 30_000;
+const SEED: u64 = 42;
+const MEM_BYTES: u64 = 16 << 20;
+const SSD_BYTES: u64 = 160 << 20;
+
+/// One measured arm.
+struct Arm {
+    label: &'static str,
+    report: RunReport,
+    /// Evictions at the SSD stores (list evictions + RB collateral).
+    evictions: u64,
+    wall_secs: f64,
+}
+
+fn run_arm(label: &'static str, reference: bool) -> Arm {
+    let cfg = cache_config(
+        MEM_BYTES,
+        SSD_BYTES,
+        PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    );
+    let policy = cfg.policy;
+    let t0 = Instant::now();
+    let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cfg, SEED));
+    e.set_reference_mode(reference);
+    if matches!(policy, PolicyKind::Cbslru { .. }) {
+        e.seed_static_from_log(QUERIES);
+    }
+    let report = e.run(QUERIES);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let (rc, ic) = e.cache().expect("cached config").store_stats();
+    Arm {
+        label,
+        report,
+        evictions: ic.evictions + rc.collateral_evictions,
+        wall_secs,
+    }
+}
+
+fn cache_of(r: &RunReport) -> &hybridcache::CacheStats {
+    r.cache.as_ref().expect("cached run")
+}
+
+fn arm_json(a: &Arm) -> String {
+    let r = &a.report;
+    let cache = cache_of(r);
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"wall_queries_per_sec\": {:.3},\n",
+            "      \"evictions\": {},\n",
+            "      \"evictions_per_wall_sec\": {:.3},\n",
+            "      \"sim_hit_ratio\": {:.17},\n",
+            "      \"sim_mean_response_ns\": {},\n",
+            "      \"sim_p99_response_ns\": {},\n",
+            "      \"sim_throughput_qps\": {:.17},\n",
+            "      \"sim_elapsed_ns\": {},\n",
+            "      \"postings_scanned\": {},\n",
+            "      \"ssd_bytes_written\": {},\n",
+            "      \"ssd_admissions\": {}\n",
+            "    }}"
+        ),
+        a.label,
+        a.wall_secs,
+        r.queries as f64 / a.wall_secs,
+        a.evictions,
+        a.evictions as f64 / a.wall_secs,
+        r.hit_ratio(),
+        r.mean_response.as_nanos(),
+        r.p99_response.as_nanos(),
+        r.throughput_qps,
+        r.elapsed.as_nanos(),
+        r.postings_scanned,
+        cache.ssd_bytes_written,
+        cache.results.ssd_admissions + cache.lists.ssd_admissions,
+    )
+}
+
+fn main() {
+    let mut out = String::from("BENCH_1.json");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(v) = args.next() {
+                out = v;
+            }
+        }
+    }
+
+    // Smoke-check the shared harness path once so the binary exercises
+    // the exact entry points the figure binaries use.
+    let warm = run_cached(50_000, cache_config(4 << 20, 40 << 20, PolicyKind::Cblru), 2_000, SEED);
+    eprintln!("warm-up: {}", warm.summary());
+
+    let naive = run_arm("reference", true);
+    eprintln!("reference: {} ({:.2}s wall)", naive.report.summary(), naive.wall_secs);
+    let fast = run_arm("optimized", false);
+    eprintln!("optimized: {} ({:.2}s wall)", fast.report.summary(), fast.wall_secs);
+
+    // The contract: every simulated figure is bit-identical across arms.
+    let identical = naive.report.hit_ratio() == fast.report.hit_ratio()
+        && naive.report.mean_response == fast.report.mean_response
+        && naive.report.p99_response == fast.report.p99_response
+        && naive.report.elapsed == fast.report.elapsed
+        && naive.report.postings_scanned == fast.report.postings_scanned
+        && cache_of(&naive.report) == cache_of(&fast.report)
+        && naive.evictions == fast.evictions;
+    let speedup = naive.wall_secs / fast.wall_secs;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress\",\n",
+            "  \"workload\": {{\n",
+            "    \"docs\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"mem_bytes\": {},\n",
+            "    \"ssd_bytes\": {},\n",
+            "    \"policy\": \"CBSLRU(0.3)\"\n",
+            "  }},\n",
+            "  \"arms\": [\n{},\n{}\n  ],\n",
+            "  \"sim_figures_bit_identical\": {},\n",
+            "  \"wall_clock_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        DOCS,
+        QUERIES,
+        SEED,
+        MEM_BYTES,
+        SSD_BYTES,
+        arm_json(&naive),
+        arm_json(&fast),
+        identical,
+        speedup,
+    );
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| panic!("cannot write report to {out}: {e}"));
+    println!("{json}");
+    println!("wrote {out}; speedup {speedup:.2}x, sim figures identical: {identical}");
+
+    if !identical {
+        eprintln!("FAIL: simulated figures diverged between the arms");
+        std::process::exit(1);
+    }
+}

@@ -12,16 +12,21 @@
 //! * [`FreqCounter`] — access-frequency tracking used by the efficiency
 //!   value `EV = Freq / SC`;
 //! * [`LruCache`] — the classic byte-budgeted LRU cache, the baseline
-//!   every experiment compares against.
+//!   every experiment compares against;
+//! * [`victim`] — incremental priority indexes ([`MaxScoreIndex`],
+//!   [`OrderIndex`], [`SizeClassIndex`]) that answer the paper's victim
+//!   searches in O(log W) instead of scanning the window.
 
 pub mod budget;
 pub mod freq;
 pub mod lru;
 pub mod lru_cache;
 pub mod segmented;
+pub mod victim;
 
 pub use budget::ByteBudget;
 pub use freq::FreqCounter;
 pub use lru::LruList;
 pub use lru_cache::LruCache;
-pub use segmented::SegmentedLru;
+pub use segmented::{SegmentedLru, WindowEvent};
+pub use victim::{MaxScoreIndex, OrdF64, OrderIndex, SizeClassIndex, VictimSelection};

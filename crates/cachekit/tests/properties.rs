@@ -127,6 +127,50 @@ proptest! {
     }
 
     #[test]
+    fn incremental_window_membership_matches_scan(
+        ops in prop::collection::vec((0u8..4, 0u16..30), 1..250),
+        window in 0usize..10,
+        resize_at in 0usize..250,
+        new_window in 0usize..10,
+    ) {
+        // Drive the full op surface (insert/touch/remove/pop + one
+        // mid-sequence resize) and require the O(1) membership view,
+        // the stamps, and the boundary entry to match the reference
+        // scan after every single step.
+        let mut seg = SegmentedLru::new(window);
+        for (i, (op, k)) in ops.into_iter().enumerate() {
+            if i == resize_at {
+                seg.set_window(new_window);
+            }
+            match op {
+                0 => {
+                    if !seg.contains(&k) {
+                        seg.insert_mru(k);
+                    }
+                }
+                1 => {
+                    seg.touch(&k);
+                }
+                2 => {
+                    seg.remove(&k);
+                }
+                _ => {
+                    seg.pop_lru();
+                }
+            }
+            seg.assert_window_consistent();
+            let scan: Vec<u16> = seg.iter_replace_first().copied().collect();
+            for key in 0u16..30 {
+                prop_assert_eq!(
+                    seg.in_replace_first(&key),
+                    scan.contains(&key),
+                    "membership diverged for key {}", key
+                );
+            }
+        }
+    }
+
+    #[test]
     fn budget_arithmetic_never_lies(charges in prop::collection::vec(0u64..1000, 1..50)) {
         let capacity: u64 = 20_000;
         let mut b = ByteBudget::new(capacity);

@@ -40,6 +40,7 @@ pub mod ssd;
 pub mod stats;
 pub mod ttl;
 
+pub use cachekit::VictimSelection;
 pub use config::{CachingScheme, HybridConfig, IntersectionConfig, PolicyKind};
 pub use manager::{CacheManager, ListServe, Tier};
 pub use selection::{efficiency_value, sc_blocks, sc_bytes};

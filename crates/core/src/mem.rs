@@ -13,7 +13,9 @@ use core::fmt::Debug;
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use cachekit::{ByteBudget, LruCache, SegmentedLru};
+use cachekit::{
+    ByteBudget, LruCache, MaxScoreIndex, OrdF64, SegmentedLru, VictimSelection, WindowEvent,
+};
 
 use crate::config::PolicyKind;
 use crate::selection::{efficiency_value, sc_blocks};
@@ -132,19 +134,98 @@ pub struct MemListCache<K: Eq + Hash + Copy + Debug = TermKey> {
     /// Entries displaced by prefix growth inside [`MemListCache::touch`],
     /// awaiting collection by the manager's selection management.
     pending_evictions: Vec<(K, ListMeta)>,
+    selection: VictimSelection,
+    /// Window members indexed by negated EV (cost-based, indexed mode):
+    /// `peek_best` answers "lowest EV in the replace-first region" without
+    /// recomputing every member's EV per eviction.
+    ev_index: MaxScoreIndex<K, OrdF64>,
+    /// Scratch buffer for draining window-membership events.
+    events: Vec<WindowEvent<K>>,
 }
 
 impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
     /// Capacity in bytes under `policy`, with replace-first window
     /// `window` and SSD block size `block_bytes` (for EV computation).
     pub fn new(capacity_bytes: u64, policy: PolicyKind, window: usize, block_bytes: u64) -> Self {
+        let mut lru = SegmentedLru::new(window);
+        let selection = VictimSelection::default();
+        if selection == VictimSelection::Indexed && policy.is_cost_based() {
+            lru.enable_window_events();
+        }
         MemListCache {
-            lru: SegmentedLru::new(window),
+            lru,
             map: HashMap::new(),
             budget: ByteBudget::new(capacity_bytes),
             policy,
             block_bytes,
             pending_evictions: Vec::new(),
+            selection,
+            ev_index: MaxScoreIndex::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Switch between the reference scans and the indexed victim path
+    /// (rebuilds the index on enable).
+    pub fn set_victim_selection(&mut self, selection: VictimSelection) {
+        if selection == self.selection {
+            return;
+        }
+        self.selection = selection;
+        self.ev_index.clear();
+        match selection {
+            VictimSelection::Indexed if self.policy.is_cost_based() => {
+                self.lru.enable_window_events();
+                let members: Vec<K> = self.lru.iter_replace_first().copied().collect();
+                for t in members {
+                    let stamp = self.lru.window_stamp(&t).expect("window member");
+                    self.ev_index.insert(t, stamp, self.score(&t));
+                }
+            }
+            _ => self.lru.disable_window_events(),
+        }
+    }
+
+    /// The active victim-selection mode.
+    pub fn victim_selection(&self) -> VictimSelection {
+        self.selection
+    }
+
+    /// Whether the incremental index is live.
+    fn indexing(&self) -> bool {
+        self.selection == VictimSelection::Indexed && self.policy.is_cost_based()
+    }
+
+    /// The index score of a cached entry: negated EV, because the index
+    /// maximizes while Fig. 12 evicts the *lowest* EV.
+    fn score(&self, term: &K) -> OrdF64 {
+        OrdF64(-self.map[term].ev(self.block_bytes))
+    }
+
+    /// Mirror pending window-membership changes into the EV index.
+    fn sync_index(&mut self) {
+        if !self.indexing() {
+            return;
+        }
+        self.lru.take_window_events(&mut self.events);
+        let mut events = std::mem::take(&mut self.events);
+        for ev in events.drain(..) {
+            match ev {
+                WindowEvent::Entered { key, stamp } => {
+                    let score = self.score(&key);
+                    self.ev_index.insert(key, stamp, score);
+                }
+                WindowEvent::Left { key } => self.ev_index.remove(&key),
+            }
+        }
+        self.events = events;
+    }
+
+    /// Refresh a window member's score after its metadata changed.
+    fn rescore(&mut self, term: &K) {
+        if self.indexing() && self.lru.in_replace_first(term) {
+            let score = self.score(term);
+            self.ev_index.update_score(term, score);
         }
     }
 
@@ -187,6 +268,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         if !self.lru.touch(&term) {
             return None;
         }
+        self.sync_index();
         // Growing the prefix may exceed the budget; make room first.
         let meta = self.map[&term];
         let grow = needed_bytes.saturating_sub(meta.si_bytes);
@@ -197,7 +279,9 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
                 let m = self.map.get_mut(&term).expect("touched");
                 m.freq += 1;
                 m.pu = running_pu(m.pu, m.freq, observed_pu);
-                return Some(*m);
+                let out = *m;
+                self.rescore(&term);
+                return Some(out);
             }
             // Eviction of other entries to make room never selects `term`
             // itself; the displaced entries are parked for the manager to
@@ -211,7 +295,9 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         m.si_bytes = m.si_bytes.max(needed_bytes);
         m.freq += 1;
         m.pu = running_pu(m.pu, m.freq, observed_pu);
-        Some(*m)
+        let out = *m;
+        self.rescore(&term);
+        Some(out)
     }
 
     /// Insert a new list entry; returns evicted `(term, meta)` pairs,
@@ -225,8 +311,9 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         }
         let evicted = self.make_room(meta.si_bytes, None);
         self.budget.charge(meta.si_bytes);
-        self.lru.insert_mru(term);
         self.map.insert(term, meta);
+        self.lru.insert_mru(term);
+        self.sync_index();
         Ok(evicted)
     }
 
@@ -234,6 +321,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
     pub fn remove(&mut self, term: K) -> Option<ListMeta> {
         let meta = self.map.remove(&term)?;
         self.lru.remove(&term);
+        self.sync_index();
         self.budget.credit(meta.si_bytes);
         Some(meta)
     }
@@ -247,14 +335,35 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
                 .expect("budget full but no evictable entry");
             let meta = self.map.remove(&victim).expect("victim is cached");
             self.lru.remove(&victim);
+            self.sync_index();
             self.budget.credit(meta.si_bytes);
             evicted.push((victim, meta));
         }
         evicted
     }
 
-    /// Victim selection per policy.
+    /// Victim selection per policy. `pick_victim_scan` is the seed's
+    /// reference implementation; the indexed path must choose the exact
+    /// same entry (see `tests/victim_equivalence.rs`).
     fn pick_victim(&self, keep: Option<K>) -> Option<K> {
+        if self.selection == VictimSelection::Scan {
+            return self.pick_victim_scan(keep);
+        }
+        if self.policy.is_cost_based() {
+            // Lowest EV inside the replace-first region (Fig. 12): the
+            // index keeps members ordered by negated EV, ties to LRU-most.
+            self.ev_index
+                .peek_best(keep.as_ref())
+                .copied()
+                // All-window-excluded corner: fall back to strict LRU.
+                .or_else(|| self.lru.lru_most_excluding(keep.as_ref()).copied())
+        } else {
+            self.lru.lru_most_excluding(keep.as_ref()).copied()
+        }
+    }
+
+    /// The seed's scan-based victim selection, kept as the reference.
+    fn pick_victim_scan(&self, keep: Option<K>) -> Option<K> {
         let excluded = |t: &K| Some(*t) == keep;
         if self.policy.is_cost_based() {
             // Lowest EV inside the replace-first region (Fig. 12). The

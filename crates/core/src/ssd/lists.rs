@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use cachekit::SegmentedLru;
+use cachekit::{OrderIndex, SegmentedLru, SizeClassIndex, VictimSelection, WindowEvent};
 use simclock::SimDuration;
 use storagecore::BlockDevice;
 
@@ -34,7 +34,7 @@ struct ListEntry {
 }
 
 /// Store-level counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ListStoreStats {
     /// Block writes issued.
     pub block_writes: u64,
@@ -65,6 +65,13 @@ pub struct ListStore<K: Eq + Hash + Copy + Debug = TermKey> {
     static_blocks: u32,
     static_used: u32,
     stats: ListStoreStats,
+    selection: VictimSelection,
+    /// Replaceable window members, LRU-first (cascade step 1).
+    repl_idx: OrderIndex<K>,
+    /// All window members bucketed by block count (cascade step 2).
+    size_idx: SizeClassIndex<K>,
+    /// Scratch buffer for draining window-membership events.
+    events: Vec<WindowEvent<K>>,
 }
 
 impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
@@ -77,16 +84,90 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
         static_fraction: f64,
     ) -> Self {
         let static_blocks = (region.capacity() as f64 * static_fraction).floor() as u32;
+        let mut lru = SegmentedLru::new(window);
+        let selection = VictimSelection::default();
+        if selection == VictimSelection::Indexed && cost_based {
+            lru.enable_window_events();
+        }
         ListStore {
             region,
             block_bytes,
             cost_based,
             entries: HashMap::new(),
-            lru: SegmentedLru::new(window),
+            lru,
             static_blocks,
             static_used: 0,
             stats: ListStoreStats::default(),
+            selection,
+            repl_idx: OrderIndex::new(),
+            size_idx: SizeClassIndex::new(),
+            events: Vec::new(),
         }
+    }
+
+    /// Switch between the reference scans and the indexed victim path
+    /// (rebuilds the indexes on enable).
+    pub fn set_victim_selection(&mut self, selection: VictimSelection) {
+        if selection == self.selection {
+            return;
+        }
+        self.selection = selection;
+        self.repl_idx.clear();
+        self.size_idx.clear();
+        match selection {
+            VictimSelection::Indexed if self.cost_based => {
+                self.lru.enable_window_events();
+                let members: Vec<K> = self.lru.iter_replace_first().copied().collect();
+                for t in members {
+                    let stamp = self.lru.window_stamp(&t).expect("window member");
+                    let e = &self.entries[&t];
+                    self.size_idx.insert(t, stamp, e.blocks.len() as u64);
+                    if e.state == EntryState::Replaceable {
+                        self.repl_idx.insert(t, stamp);
+                    }
+                }
+            }
+            _ => self.lru.disable_window_events(),
+        }
+    }
+
+    /// The active victim-selection mode.
+    pub fn victim_selection(&self) -> VictimSelection {
+        self.selection
+    }
+
+    /// Whether the incremental indexes are live.
+    fn indexing(&self) -> bool {
+        self.selection == VictimSelection::Indexed && self.cost_based
+    }
+
+    /// Mirror pending window-membership changes into the cascade indexes.
+    /// Entry state is read at application time, so callers must update an
+    /// entry's state *before* the LRU operation that re-stamps it.
+    fn sync_index(&mut self) {
+        if !self.indexing() {
+            return;
+        }
+        self.lru.take_window_events(&mut self.events);
+        let mut events = std::mem::take(&mut self.events);
+        for ev in events.drain(..) {
+            match ev {
+                WindowEvent::Entered { key, stamp } => {
+                    let e = &self.entries[&key];
+                    let size = e.blocks.len() as u64;
+                    let replaceable = e.state == EntryState::Replaceable;
+                    self.size_idx.insert(key, stamp, size);
+                    if replaceable {
+                        self.repl_idx.insert(key, stamp);
+                    }
+                }
+                WindowEvent::Left { key } => {
+                    self.size_idx.remove(&key);
+                    self.repl_idx.remove(&key);
+                }
+            }
+        }
+        self.events = events;
     }
 
     /// Store counters.
@@ -147,6 +228,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
         entry.freq += 1;
         if !is_static {
             self.lru.touch(&term);
+            self.sync_index();
         }
         Some((served, latency))
     }
@@ -175,6 +257,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
                 self.stats.rewrites_avoided += 1;
                 if !entry.is_static {
                     self.lru.touch(&term);
+                    self.sync_index();
                 }
                 return (false, SimDuration::ZERO);
             }
@@ -215,11 +298,38 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             },
         );
         self.lru.insert_mru(term);
+        self.sync_index();
         (true, latency)
     }
 
-    /// Fig. 13's victim cascade.
+    /// Fig. 13's victim cascade. `pick_victim_scan` is the seed's
+    /// reference implementation; the indexed path must choose the exact
+    /// same entry (see `tests/victim_equivalence.rs`).
     fn pick_victim(&self, blocks_needed: u64) -> Option<K> {
+        if self.selection == VictimSelection::Scan {
+            return self.pick_victim_scan(blocks_needed);
+        }
+        if !self.cost_based {
+            return self.lru.peek_lru().copied();
+        }
+        // 1. LRU-most replaceable window entry.
+        if let Some(t) = self.repl_idx.first() {
+            return Some(*t);
+        }
+        // 2. LRU-most same-size window entry (no replaceable member
+        //    exists when this step runs, so "normal" needs no filter).
+        if let Some(t) = self.size_idx.first_of(blocks_needed) {
+            return Some(*t);
+        }
+        // 3+4. Assembly / whole-list fallback: both reduce to the strict
+        //      LRU entry — the window is the LRU tail, so its LRU-most
+        //      member *is* the list's LRU entry whenever the window is
+        //      non-empty, and the whole-list scan starts there anyway.
+        self.lru.peek_lru().copied()
+    }
+
+    /// The seed's scan-based victim cascade, kept as the reference.
+    fn pick_victim_scan(&self, blocks_needed: u64) -> Option<K> {
         if !self.cost_based {
             return self.lru.find_anywhere(|_| true).copied();
         }
@@ -266,6 +376,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             self.region.release(block);
         }
         self.lru.remove(&term);
+        self.sync_index();
         self.stats.evictions += 1;
     }
 
@@ -288,6 +399,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             self.static_used -= entry.cached_bytes.div_ceil(self.block_bytes) as u32;
         }
         self.lru.remove(&term);
+        self.sync_index();
         latency
     }
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use cachekit::SegmentedLru;
+use cachekit::{MaxScoreIndex, SegmentedLru, VictimSelection, WindowEvent};
 use simclock::SimDuration;
 use storagecore::BlockDevice;
 
@@ -33,6 +33,9 @@ struct Stored<V> {
 struct Rb {
     entries: Vec<Option<QueryId>>,
     is_static: bool,
+    /// Incrementally-maintained IREN (invalid slots + replaceable
+    /// entries); always equals what a fresh scan of `entries` would count.
+    invalid: usize,
 }
 
 impl Rb {
@@ -40,12 +43,13 @@ impl Rb {
         Rb {
             entries: vec![None; capacity],
             is_static,
+            invalid: capacity,
         }
     }
 }
 
 /// Store-level counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResultStoreStats {
     /// Whole-RB writes issued (cost-based path).
     pub rb_writes: u64,
@@ -81,6 +85,11 @@ pub struct ResultStore<V> {
     /// Slots reserved for (and consumed by) the CBSLRU static partition.
     static_slots: u32,
     stats: ResultStoreStats,
+    selection: VictimSelection,
+    /// Replace-first RBs indexed by IREN (cost-based, indexed mode).
+    iren_index: MaxScoreIndex<SlotId, usize>,
+    /// Scratch buffer for draining window-membership events.
+    events: Vec<WindowEvent<SlotId>>,
 }
 
 impl<V: Clone> ResultStore<V> {
@@ -97,12 +106,17 @@ impl<V: Clone> ResultStore<V> {
     ) -> Self {
         assert!(entries_per_rb > 0);
         let static_slots = (region.capacity() as f64 * static_fraction).floor() as u32;
+        let mut rb_lru = SegmentedLru::new(window);
+        let selection = VictimSelection::default();
+        if selection == VictimSelection::Indexed && cost_based {
+            rb_lru.enable_window_events();
+        }
         ResultStore {
             region,
             entries_per_rb,
             entry_bytes,
             cost_based,
-            rb_lru: SegmentedLru::new(window),
+            rb_lru,
             entry_lru: SegmentedLru::new(window),
             rbs: HashMap::new(),
             map: HashMap::new(),
@@ -111,6 +125,69 @@ impl<V: Clone> ResultStore<V> {
             write_buffer: Vec::new(),
             static_slots,
             stats: ResultStoreStats::default(),
+            selection,
+            iren_index: MaxScoreIndex::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Switch between the reference scans and the indexed victim path
+    /// (rebuilds the index on enable).
+    pub fn set_victim_selection(&mut self, selection: VictimSelection) {
+        if selection == self.selection {
+            return;
+        }
+        self.selection = selection;
+        self.iren_index.clear();
+        match selection {
+            VictimSelection::Indexed if self.cost_based => {
+                self.rb_lru.enable_window_events();
+                let members: Vec<SlotId> = self.rb_lru.iter_replace_first().copied().collect();
+                for slot in members {
+                    let stamp = self.rb_lru.window_stamp(&slot).expect("window member");
+                    self.iren_index.insert(slot, stamp, self.rbs[&slot].invalid);
+                }
+            }
+            _ => self.rb_lru.disable_window_events(),
+        }
+    }
+
+    /// The active victim-selection mode.
+    pub fn victim_selection(&self) -> VictimSelection {
+        self.selection
+    }
+
+    /// Whether the incremental index is live.
+    fn indexing(&self) -> bool {
+        self.selection == VictimSelection::Indexed && self.cost_based
+    }
+
+    /// Mirror pending window-membership changes into the IREN index.
+    fn sync_index(&mut self) {
+        if !self.indexing() {
+            return;
+        }
+        self.rb_lru.take_window_events(&mut self.events);
+        let mut events = std::mem::take(&mut self.events);
+        for ev in events.drain(..) {
+            match ev {
+                WindowEvent::Entered { key, stamp } => {
+                    let score = self.rbs[&key].invalid;
+                    debug_assert_eq!(score, self.iren(key), "IREN counter drifted");
+                    self.iren_index.insert(key, stamp, score);
+                }
+                WindowEvent::Left { key } => self.iren_index.remove(&key),
+            }
+        }
+        self.events = events;
+    }
+
+    /// Refresh a window member's score after its IREN changed.
+    fn rescore(&mut self, slot: SlotId) {
+        if self.indexing() && self.rb_lru.in_replace_first(&slot) {
+            let score = self.rbs[&slot].invalid;
+            debug_assert_eq!(score, self.iren(slot), "IREN counter drifted");
+            self.iren_index.update_score(&slot, score);
         }
     }
 
@@ -163,13 +240,20 @@ impl<V: Clone> ResultStore<V> {
         let latency = device.read(extent).expect("result extent is in-region");
         let is_static = self.rbs[&slot].is_static;
         let stored = self.payload.get_mut(&id).expect("map/payload agree");
+        let turned_replaceable =
+            mark_replaceable && !is_static && stored.state == EntryState::Normal;
         if mark_replaceable && !is_static {
             stored.state = EntryState::Replaceable;
         }
         let out = (stored.value.clone(), stored.freq, latency);
+        if turned_replaceable {
+            self.rbs.get_mut(&slot).expect("rb exists").invalid += 1;
+        }
         if !is_static {
             if self.cost_based {
                 self.rb_lru.touch(&slot);
+                self.sync_index();
+                self.rescore(slot);
             } else {
                 self.entry_lru.touch(&id);
             }
@@ -191,13 +275,19 @@ impl<V: Clone> ResultStore<V> {
         // Dedup: a replaceable copy of the same query is still on the SSD
         // — flip it back to normal instead of rewriting (Sec. VI-C1).
         if let Some(stored) = self.payload.get_mut(&id) {
+            let was_replaceable = stored.state == EntryState::Replaceable;
             stored.state = EntryState::Normal;
             stored.freq = stored.freq.max(freq);
             self.stats.rewrites_avoided += 1;
             let (slot, _) = self.map[&id];
+            if was_replaceable {
+                self.rbs.get_mut(&slot).expect("rb exists").invalid -= 1;
+            }
             if !self.rbs[&slot].is_static {
                 if self.cost_based {
                     self.rb_lru.touch(&slot);
+                    self.sync_index();
+                    self.rescore(slot);
                 } else {
                     self.entry_lru.touch(&id);
                 }
@@ -241,6 +331,7 @@ impl<V: Clone> ResultStore<V> {
         let mut rb = Rb::new(self.entries_per_rb, false);
         for (i, (id, value, freq)) in staged.into_iter().enumerate() {
             rb.entries[i] = Some(id);
+            rb.invalid -= 1;
             self.map.insert(id, (slot, i as u8));
             self.payload.insert(
                 id,
@@ -253,6 +344,7 @@ impl<V: Clone> ResultStore<V> {
         }
         self.rbs.insert(slot, rb);
         self.rb_lru.insert_mru(slot);
+        self.sync_index();
         self.stats.rb_writes += 1;
         device
             .write(self.region.extent(slot))
@@ -267,7 +359,14 @@ impl<V: Clone> ResultStore<V> {
                 return Some(slot);
             }
         }
-        let victim = self.rb_lru.best_in_replace_first(|&s| self.iren(s)).copied()?;
+        let victim = match self.selection {
+            // Fig. 11's max-IREN victim, answered by the incremental
+            // index; the scan below is the seed's reference path.
+            VictimSelection::Indexed => self.iren_index.peek_best(None).copied(),
+            VictimSelection::Scan => {
+                self.rb_lru.best_in_replace_first(|&s| self.iren(s)).copied()
+            }
+        }?;
         self.destroy_rb(victim);
         Some(victim)
     }
@@ -290,6 +389,7 @@ impl<V: Clone> ResultStore<V> {
             }
         }
         self.rb_lru.remove(&slot);
+        self.sync_index();
     }
 
     /// LRU path: write one entry into an open position (a small random
@@ -310,15 +410,21 @@ impl<V: Clone> ResultStore<V> {
             }
             let victim = self.entry_lru.pop_lru()?;
             let (slot, idx) = self.map.remove(&victim).expect("victim mapped");
-            self.payload.remove(&victim);
-            self.rbs.get_mut(&slot).expect("rb exists").entries[idx as usize] = None;
+            let stored = self.payload.remove(&victim).expect("victim stored");
+            let rb = self.rbs.get_mut(&slot).expect("rb exists");
+            rb.entries[idx as usize] = None;
+            if stored.state == EntryState::Normal {
+                rb.invalid += 1;
+            }
             self.stats.collateral_evictions += 1;
             Some((slot, idx))
         });
         let Some((slot, idx)) = position else {
             return SimDuration::ZERO; // zero-capacity region
         };
-        self.rbs.get_mut(&slot).expect("rb exists").entries[idx as usize] = Some(id);
+        let rb = self.rbs.get_mut(&slot).expect("rb exists");
+        rb.entries[idx as usize] = Some(id);
+        rb.invalid -= 1;
         self.map.insert(id, (slot, idx));
         self.payload.insert(
             id,
@@ -345,14 +451,18 @@ impl<V: Clone> ResultStore<V> {
         let Some((slot, idx)) = self.map.remove(&id) else {
             return SimDuration::ZERO;
         };
-        self.payload.remove(&id);
+        let stored = self.payload.remove(&id).expect("map/payload agree");
         let rb = self.rbs.get_mut(&slot).expect("rb exists");
         rb.entries[idx as usize] = None;
+        if stored.state == EntryState::Normal {
+            rb.invalid += 1;
+        }
         let is_static = rb.is_static;
         if self.cost_based {
             if !is_static && self.rbs[&slot].entries.iter().all(Option::is_none) {
                 self.rbs.remove(&slot);
                 self.rb_lru.remove(&slot);
+                self.sync_index();
                 self.stats.trims += 1;
                 let t = device
                     .trim(self.region.extent(slot))
@@ -360,6 +470,8 @@ impl<V: Clone> ResultStore<V> {
                 self.region.release(slot);
                 return t;
             }
+            // The RB stays but its IREN grew.
+            self.rescore(slot);
         } else {
             self.entry_lru.remove(&id);
             self.free_entries.push((slot, idx));
@@ -387,6 +499,7 @@ impl<V: Clone> ResultStore<V> {
             let mut rb = Rb::new(self.entries_per_rb, true);
             for (i, (id, value, freq)) in chunk.iter().enumerate() {
                 rb.entries[i] = Some(*id);
+                rb.invalid -= 1;
                 self.map.insert(*id, (slot, i as u8));
                 self.payload.insert(
                     *id,

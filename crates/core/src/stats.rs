@@ -3,7 +3,7 @@
 use simclock::SimDuration;
 
 /// Counters for one entry family (results or inverted lists).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FamilyStats {
     /// Served from memory (Table I situations S1/S2).
     pub mem_hits: u64,
@@ -51,7 +51,7 @@ impl FamilyStats {
 }
 
 /// Statistics for the whole hybrid cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Result-entry family.
     pub results: FamilyStats,

@@ -1,0 +1,363 @@
+//! Indexed-vs-scan victim-selection equivalence.
+//!
+//! Every store carries two victim-selection paths: the seed's linear
+//! scans (`VictimSelection::Scan`, kept verbatim as the reference) and
+//! the incremental priority indexes (`VictimSelection::Indexed`, the
+//! default). These property tests drive a Scan store and an Indexed
+//! store with identical operation sequences — across window sizes,
+//! policies and (at the manager level) TTL interleavings — and require
+//! *identical observable behaviour at every step*: the same hits, the
+//! same evictions in the same order, the same latencies, the same
+//! counters. Victim choice is the only thing the two paths could
+//! disagree on, so step-wise equality of all outputs proves the indexed
+//! path picks the exact same victims as the seed's scans.
+
+use hybridcache::mem::{ListMeta, MemListCache};
+use hybridcache::ssd::{ListStore, ResultStore, SlotRegion};
+use hybridcache::{
+    CacheManager, CachingScheme, HybridConfig, PolicyKind, VictimSelection,
+};
+use proptest::prelude::*;
+use simclock::{SimDuration, SimTime};
+use storagecore::RamDisk;
+
+const BLOCK: u64 = 128 * 1024;
+
+fn policies() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Cblru),
+        Just(PolicyKind::Cbslru {
+            static_fraction: 0.25
+        }),
+    ]
+}
+
+fn device() -> RamDisk {
+    RamDisk::with_capacity_bytes(64 << 20, SimDuration::from_micros(10))
+}
+
+// ---------------------------------------------------------------------
+// L1 inverted-list cache: lowest-EV-in-window victims (Fig. 12)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    /// (term, size units, pu percent)
+    Insert(u32, u64, u8),
+    /// (term, needed units, pu percent)
+    Touch(u32, u64, u8),
+    Remove(u32),
+}
+
+fn mem_ops() -> impl Strategy<Value = Vec<MemOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..12, 1u64..9, any::<u8>()).prop_map(|(t, s, p)| MemOp::Insert(t, s, p)),
+            (0u32..12, 0u64..9, any::<u8>()).prop_map(|(t, s, p)| MemOp::Touch(t, s, p)),
+            (0u32..12).prop_map(MemOp::Remove),
+        ],
+        1..150,
+    )
+}
+
+fn pu(percent: u8) -> f64 {
+    (percent % 100 + 1) as f64 / 100.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mem_list_indexed_matches_scan(
+        ops in mem_ops(),
+        window in 0usize..6,
+        policy in policies(),
+    ) {
+        let capacity = 6 * 1024; // a handful of entries at 256-byte units
+        let mut indexed = MemListCache::new(capacity, policy, window, 1024);
+        let mut scan = MemListCache::new(capacity, policy, window, 1024);
+        scan.set_victim_selection(VictimSelection::Scan);
+        prop_assert_eq!(indexed.victim_selection(), VictimSelection::Indexed);
+        prop_assert_eq!(scan.victim_selection(), VictimSelection::Scan);
+
+        for op in ops {
+            match op {
+                MemOp::Insert(t, units, p) => {
+                    if indexed.peek(t).is_some() {
+                        continue; // insert asserts on cached keys
+                    }
+                    let meta = ListMeta {
+                        si_bytes: units * 256,
+                        pu: pu(p),
+                        freq: 1,
+                        full_bytes: units * 512,
+                    };
+                    // Same victims, in the same selection order.
+                    prop_assert_eq!(indexed.insert(t, meta), scan.insert(t, meta));
+                }
+                MemOp::Touch(t, units, p) => {
+                    let a = indexed.touch(t, units * 256, pu(p));
+                    let b = scan.touch(t, units * 256, pu(p));
+                    prop_assert_eq!(a, b);
+                    // Prefix growth displaces the same entries.
+                    prop_assert_eq!(indexed.drain_evicted(), scan.drain_evicted());
+                }
+                MemOp::Remove(t) => {
+                    prop_assert_eq!(indexed.remove(t), scan.remove(t));
+                }
+            }
+            prop_assert_eq!(indexed.len(), scan.len());
+            prop_assert_eq!(indexed.used_bytes(), scan.used_bytes());
+            for t in 0u32..12 {
+                prop_assert_eq!(indexed.peek(t), scan.peek(t), "meta diverged for term {}", t);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 result store: max-IREN result-block victims (Fig. 11)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum RcOp {
+    Offer(u64, u64),
+    Lookup(u64, bool),
+    Invalidate(u64),
+}
+
+fn rc_ops() -> impl Strategy<Value = Vec<RcOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..16, 1u64..6).prop_map(|(id, f)| RcOp::Offer(id, f)),
+            (0u64..16, any::<bool>()).prop_map(|(id, m)| RcOp::Lookup(id, m)),
+            (0u64..16).prop_map(RcOp::Invalidate),
+        ],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn result_store_indexed_matches_scan(
+        ops in rc_ops(),
+        slots in 2u32..6,
+        entries_per_rb in 2usize..4,
+        window in 0usize..4,
+        cost_based in any::<bool>(),
+    ) {
+        let entry_bytes = 40_000u64; // 2–3 entries fit a 128 KB RB
+        let mk = || {
+            ResultStore::<u64>::new(
+                SlotRegion::new(0, BLOCK, slots),
+                entries_per_rb,
+                entry_bytes,
+                cost_based,
+                window,
+                0.0,
+            )
+        };
+        let mut indexed = mk();
+        let mut scan = mk();
+        scan.set_victim_selection(VictimSelection::Scan);
+        let (mut dev_a, mut dev_b) = (device(), device());
+
+        for op in ops {
+            match op {
+                RcOp::Offer(id, freq) => {
+                    let a = indexed.offer(id, id * 10, freq, &mut dev_a);
+                    let b = scan.offer(id, id * 10, freq, &mut dev_b);
+                    prop_assert_eq!(a, b, "offer latency diverged for {}", id);
+                }
+                RcOp::Lookup(id, mark) => {
+                    let a = indexed.lookup(id, &mut dev_a, mark);
+                    let b = scan.lookup(id, &mut dev_b, mark);
+                    prop_assert_eq!(a, b, "lookup diverged for {}", id);
+                }
+                RcOp::Invalidate(id) => {
+                    let a = indexed.invalidate(id, &mut dev_a);
+                    let b = scan.invalidate(id, &mut dev_b);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(indexed.len(), scan.len());
+            prop_assert_eq!(indexed.stats(), scan.stats());
+            for id in 0u64..16 {
+                prop_assert_eq!(
+                    indexed.contains(id),
+                    scan.contains(id),
+                    "membership diverged for {}", id
+                );
+                prop_assert_eq!(indexed.buffered(id), scan.buffered(id));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2 list store: replaceable-first / size-match victim cascade (Fig. 13)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum IcOp {
+    /// (term, blocks, bytes short of full blocks, freq)
+    Offer(u32, u64, u64, u64),
+    /// (term, needed units, mark replaceable)
+    Lookup(u32, u64, bool),
+    Invalidate(u32),
+}
+
+fn ic_ops() -> impl Strategy<Value = Vec<IcOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..10, 1u64..4, 0u64..BLOCK, 1u64..6)
+                .prop_map(|(t, n, d, f)| IcOp::Offer(t, n, d, f)),
+            (0u32..10, 1u64..6, any::<bool>()).prop_map(|(t, n, m)| IcOp::Lookup(t, n, m)),
+            (0u32..10).prop_map(IcOp::Invalidate),
+        ],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_store_indexed_matches_scan(
+        ops in ic_ops(),
+        blocks in 4u32..10,
+        window in 0usize..4,
+        cost_based in any::<bool>(),
+    ) {
+        let mk = || {
+            ListStore::<u32>::new(SlotRegion::new(0, BLOCK, blocks), BLOCK, cost_based, window, 0.0)
+        };
+        let mut indexed = mk();
+        let mut scan = mk();
+        scan.set_victim_selection(VictimSelection::Scan);
+        let (mut dev_a, mut dev_b) = (device(), device());
+
+        for op in ops {
+            match op {
+                IcOp::Offer(t, n, short, freq) => {
+                    let bytes = n * BLOCK - short.min(BLOCK - 1);
+                    let a = indexed.offer(t, n, bytes, freq, &mut dev_a);
+                    let b = scan.offer(t, n, bytes, freq, &mut dev_b);
+                    prop_assert_eq!(a, b, "offer diverged for term {}", t);
+                }
+                IcOp::Lookup(t, units, mark) => {
+                    let a = indexed.lookup(t, units * 16 * 1024, &mut dev_a, mark);
+                    let b = scan.lookup(t, units * 16 * 1024, &mut dev_b, mark);
+                    prop_assert_eq!(a, b, "lookup diverged for term {}", t);
+                }
+                IcOp::Invalidate(t) => {
+                    let a = indexed.invalidate(t, &mut dev_a);
+                    let b = scan.invalidate(t, &mut dev_b);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(indexed.len(), scan.len());
+            prop_assert_eq!(indexed.stats(), scan.stats());
+            for t in 0u32..10 {
+                prop_assert_eq!(
+                    indexed.cached_bytes(t),
+                    scan.cached_bytes(t),
+                    "cached bytes diverged for term {}", t
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole manager under TTL interleavings
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum MgrOp {
+    /// (query id, clock advance in µs)
+    Result(u64, u64),
+    /// (term, needed units, pu percent, clock advance in µs)
+    List(u32, u64, u8, u64),
+}
+
+fn mgr_ops() -> impl Strategy<Value = Vec<MgrOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..10, 0u64..80).prop_map(|(id, dt)| MgrOp::Result(id, dt)),
+            (0u32..10, 1u64..6, any::<u8>(), 0u64..80)
+                .prop_map(|(t, n, p, dt)| MgrOp::List(t, n, p, dt)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn manager_indexed_matches_scan_under_ttl(
+        ops in mgr_ops(),
+        window in 0usize..4,
+        policy in policies(),
+        ttl_us in 50u64..400,
+        with_ttl in any::<bool>(),
+    ) {
+        let cfg = HybridConfig {
+            ttl: with_ttl.then(|| SimDuration::from_micros(ttl_us)),
+            mem_result_bytes: 40_000,
+            mem_list_bytes: 2 * BLOCK,
+            ssd_result_bytes: 4 * BLOCK,
+            ssd_list_bytes: 8 * BLOCK,
+            block_bytes: BLOCK,
+            result_entry_bytes: 20_000,
+            window,
+            tev: if policy.is_cost_based() { 0.5 } else { 0.0 },
+            result_freq_threshold: if policy.is_cost_based() { 2 } else { 0 },
+            policy,
+            scheme: CachingScheme::Hybrid,
+            ssd_base_lba: 0,
+            intersections: None,
+        };
+        let mut indexed: CacheManager<u64, RamDisk> = CacheManager::new(cfg.clone(), device());
+        let mut scan: CacheManager<u64, RamDisk> = CacheManager::new(cfg, device());
+        scan.set_victim_selection(VictimSelection::Scan);
+
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                MgrOp::Result(id, dt) => {
+                    now += SimDuration::from_micros(dt);
+                    indexed.set_now(now);
+                    scan.set_now(now);
+                    let a = indexed.lookup_result(id);
+                    let b = scan.lookup_result(id);
+                    prop_assert_eq!(&a, &b, "result lookup diverged for {}", id);
+                    if a.0.is_none() {
+                        // Miss on both: complete the query identically.
+                        prop_assert_eq!(
+                            indexed.complete_result(id, id * 7),
+                            scan.complete_result(id, id * 7)
+                        );
+                    }
+                }
+                MgrOp::List(t, units, p, dt) => {
+                    now += SimDuration::from_micros(dt);
+                    indexed.set_now(now);
+                    scan.set_now(now);
+                    let needed = units * 16 * 1024;
+                    let a = indexed.lookup_list(t, needed, needed * 2, pu(p));
+                    let b = scan.lookup_list(t, needed, needed * 2, pu(p));
+                    prop_assert_eq!(a, b, "list lookup diverged for term {}", t);
+                }
+            }
+            prop_assert_eq!(indexed.stats(), scan.stats());
+        }
+        prop_assert_eq!(indexed.store_stats().0, scan.store_stats().0);
+        prop_assert_eq!(indexed.store_stats().1, scan.store_stats().1);
+        prop_assert_eq!(indexed.ttl_stats(), scan.ttl_stats());
+    }
+}

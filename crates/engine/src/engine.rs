@@ -5,7 +5,7 @@ use hddsim::{HddDisk, HddParams};
 use flashsim::{PageMapFtl, SsdDisk};
 use hybridcache::{CacheManager, Tier};
 use searchidx::{
-    CorpusSpec, DocStore, IndexLayout, IndexReader, ResultEntry, SyntheticIndex, TopKProcessor,
+    CorpusSpec, DocStore, IndexLayout, IndexReader, QueryOutcome, SyntheticIndex, TopKProcessor,
 };
 use simclock::{Clock, Histogram, RunningStats, SimDuration, SimTime};
 use storagecore::{BlockDevice, Extent, Geometry, IoError, IoEvent, IoStats, TraceSink};
@@ -13,6 +13,7 @@ use storagecore::trace::TracedDevice;
 use workload::{Query, QueryLog, QueryLogSpec};
 
 use crate::config::{EngineConfig, IndexPlacement};
+use crate::payload::CachedResult;
 use crate::report::{FlashReport, RunReport};
 use crate::situations::{classify_list, Situation, SituationTable};
 
@@ -84,8 +85,13 @@ pub struct SearchEngine {
     layout: IndexLayout,
     docstore: DocStore,
     index_dev: TracedDevice<IndexDevice, ToggleSink>,
-    cache: Option<CacheManager<ResultEntry, SsdDisk<PageMapFtl>>>,
+    /// Payloads are [`CachedResult`] — one shared buffer per entry, so
+    /// the manager's admit/flush clones are refcount bumps, not copies.
+    cache: Option<CacheManager<CachedResult, SsdDisk<PageMapFtl>>>,
     processor: TopKProcessor,
+    /// Run the straight-line reference paths (linear victim scans,
+    /// `HashMap` top-K) instead of the indexed/pooled ones.
+    reference_mode: bool,
     log: QueryLog,
     clock: Clock,
     situations: SituationTable,
@@ -129,6 +135,7 @@ impl SearchEngine {
         let log = QueryLog::new(QueryLogSpec::aol_like(index.num_terms(), config.seed ^ 0xBEEF));
         SearchEngine {
             processor: TopKProcessor::new(config.topk),
+            reference_mode: false,
             index,
             layout,
             docstore,
@@ -180,8 +187,34 @@ impl SearchEngine {
     }
 
     /// The cache manager, when configured.
-    pub fn cache(&self) -> Option<&CacheManager<ResultEntry, SsdDisk<PageMapFtl>>> {
+    pub fn cache(&self) -> Option<&CacheManager<CachedResult, SsdDisk<PageMapFtl>>> {
         self.cache.as_ref()
+    }
+
+    /// Switch both hot paths to their reference implementations: linear
+    /// victim scans in the cache and the `HashMap` top-K accumulator.
+    /// Simulated figures are identical either way (the victim-equivalence
+    /// property tests in `hybridcache` prove the victim choices match);
+    /// only wall-clock differs. The `perf_regress` harness uses this to
+    /// measure the optimized paths against the originals.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+        let selection = if on {
+            hybridcache::VictimSelection::Scan
+        } else {
+            hybridcache::VictimSelection::Indexed
+        };
+        if let Some(cache) = self.cache.as_mut() {
+            cache.set_victim_selection(selection);
+        }
+    }
+
+    fn topk(&self, terms: &[u32]) -> QueryOutcome {
+        if self.reference_mode {
+            self.processor.process_reference(&self.index, terms)
+        } else {
+            self.processor.process(&self.index, terms)
+        }
     }
 
     /// Current virtual time.
@@ -249,7 +282,7 @@ impl SearchEngine {
         }
 
         // Compute from the index, charging list I/O per visited prefix.
-        let outcome = self.processor.process(&self.index, &query.terms);
+        let outcome = self.topk(&query.terms);
         self.postings_scanned += outcome.postings_scanned();
 
         // Three-level mode: the two heaviest lists may be replaced by a
@@ -365,7 +398,7 @@ impl SearchEngine {
             .advance(cost.per_result_doc * outcome.result.docs.len() as u64);
 
         if let Some(cache) = self.cache.as_mut() {
-            let t = cache.complete_result(query.id, outcome.result);
+            let t = cache.complete_result(query.id, CachedResult::encode(&outcome.result));
             self.clock.advance(t);
         }
         self.situations
@@ -409,7 +442,7 @@ impl SearchEngine {
         let mut result_seeds = Vec::new();
         for &(qid, freq) in ranked.iter().take(analyze) {
             let terms = self.log.terms_of(qid);
-            let outcome = self.processor.process(&self.index, &terms);
+            let outcome = self.topk(&terms);
             for u in &outcome.usage {
                 if u.scanned == 0 {
                     continue;
@@ -419,19 +452,24 @@ impl SearchEngine {
                 e.1 = e.1.max(u.bytes_scanned());
                 e.2 += u.utilization() * freq as f64;
             }
-            result_seeds.push((qid, outcome.result, freq));
+            result_seeds.push((qid, CachedResult::encode(&outcome.result), freq));
         }
 
         let mut list_seeds: Vec<(u32, u64, f64, u64)> = term_stats
             .into_iter()
             .map(|(term, (freq, si, pu_sum))| (term, si, (pu_sum / freq as f64).min(1.0), freq))
             .collect();
-        // Rank lists by efficiency value.
+        // Rank lists by efficiency value; ties break on the term id so
+        // the seeded set is reproducible (`term_stats` iterates in
+        // arbitrary `HashMap` order).
         list_seeds.sort_by(|a, b| {
             let ev = |x: &(u32, u64, f64, u64)| {
                 hybridcache::efficiency_value(x.3, hybridcache::sc_blocks(x.1, x.2, sb))
             };
-            ev(b).partial_cmp(&ev(a)).expect("EV is finite")
+            ev(b)
+                .partial_cmp(&ev(a))
+                .expect("EV is finite")
+                .then(a.0.cmp(&b.0))
         });
 
         let cache = self.cache.as_mut().expect("checked above");
@@ -479,11 +517,11 @@ impl SearchEngine {
                 queries as f64 / elapsed.as_secs_f64()
             },
             postings_scanned: self.postings_scanned,
-            cache: self.cache.as_ref().map(|c| c.stats().clone()),
+            cache: self.cache.as_ref().map(|c| *c.stats()),
             flash,
             index_ops: idx_stats.total_ops(),
             index_mean_latency: idx_stats.mean_latency(),
-            situations: self.situations.clone(),
+            situations: self.situations,
         }
     }
 

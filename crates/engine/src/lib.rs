@@ -18,6 +18,7 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod model;
+pub mod payload;
 pub mod report;
 pub mod situations;
 
@@ -25,5 +26,6 @@ pub use cluster::{ClusterReport, SearchCluster};
 pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
 pub use engine::SearchEngine;
 pub use model::{predict, FixedCosts, ModelCheck};
+pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};
 pub use situations::{Situation, SituationTable};

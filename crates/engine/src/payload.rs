@@ -1,0 +1,98 @@
+//! Zero-copy cached result payloads.
+//!
+//! The cache manager clones result payloads on every admit, demote and
+//! flush (memory → write buffer → result block). With a plain
+//! [`ResultEntry`] each clone copies the whole doc vector; wrapping the
+//! encoded entry in a [`bytes::Bytes`] buffer makes every clone a
+//! refcount bump — the payload is materialized once per query and shared
+//! by all cache levels. Simulated sizes are unchanged:
+//! [`CachedResult::bytes`] reports the same ~400 B/doc footprint as
+//! [`ResultEntry::bytes`], so hit ratios and response times stay
+//! bit-identical.
+
+use bytes::Bytes;
+use searchidx::{ResultEntry, ScoredDoc, RESULT_DOC_BYTES};
+
+/// Encoded bytes per document: u32 doc id + f32 score, little-endian.
+const ENCODED_DOC_BYTES: usize = 8;
+
+/// A result entry encoded into one shared, immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult(Bytes);
+
+impl CachedResult {
+    /// Encode the top-K documents into a shared buffer.
+    pub fn encode(entry: &ResultEntry) -> Self {
+        let mut buf = Vec::with_capacity(entry.docs.len() * ENCODED_DOC_BYTES);
+        for d in &entry.docs {
+            buf.extend_from_slice(&d.doc.to_le_bytes());
+            buf.extend_from_slice(&d.score.to_le_bytes());
+        }
+        CachedResult(Bytes::from(buf))
+    }
+
+    /// Decode back into the document list.
+    pub fn decode(&self) -> ResultEntry {
+        let docs = self
+            .0
+            .as_slice()
+            .chunks_exact(ENCODED_DOC_BYTES)
+            .map(|c| ScoredDoc {
+                doc: u32::from_le_bytes(c[..4].try_into().expect("4-byte chunk half")),
+                score: f32::from_le_bytes(c[4..].try_into().expect("4-byte chunk half")),
+            })
+            .collect();
+        ResultEntry { docs }
+    }
+
+    /// Documents in the entry.
+    pub fn doc_count(&self) -> usize {
+        self.0.len() / ENCODED_DOC_BYTES
+    }
+
+    /// Simulated cache footprint — the paper's ~400 B per document,
+    /// identical to [`ResultEntry::bytes`] for the same doc count.
+    pub fn bytes(&self) -> u64 {
+        self.doc_count() as u64 * RESULT_DOC_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u32) -> ResultEntry {
+        ResultEntry {
+            docs: (0..n)
+                .map(|d| ScoredDoc {
+                    doc: d * 3,
+                    score: d as f32 * 0.5 - 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for n in [0, 1, 7, 50] {
+            let e = entry(n);
+            assert_eq!(CachedResult::encode(&e).decode(), e);
+        }
+    }
+
+    #[test]
+    fn simulated_footprint_matches_result_entry() {
+        for n in [0, 1, 50] {
+            let e = entry(n);
+            assert_eq!(CachedResult::encode(&e).bytes(), e.bytes());
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let a = CachedResult::encode(&entry(50));
+        let b = a.clone();
+        assert!(std::ptr::eq(a.0.as_slice().as_ptr(), b.0.as_slice().as_ptr()));
+        assert_eq!(a, b);
+    }
+}

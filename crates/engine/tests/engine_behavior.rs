@@ -75,7 +75,7 @@ fn repeated_query_hits_memory() {
     };
     e.execute(&q);
     e.execute(&q);
-    let stats = e.cache().expect("cached config").stats().clone();
+    let stats = *e.cache().expect("cached config").stats();
     assert_eq!(stats.results.mem_hits, 1);
     assert_eq!(stats.results.misses, 1);
 }

@@ -35,4 +35,6 @@ pub use layout::IndexLayout;
 pub use mem::MemIndex;
 pub use skips::{DocSortedList, SkipCursor, SkipStats, SKIP_INTERVAL};
 pub use topk::{QueryOutcome, TermUsage, TopKConfig, TopKProcessor};
-pub use types::{DocId, IndexReader, Posting, PostingList, ResultEntry, ScoredDoc, TermId};
+pub use types::{
+    DocId, IndexReader, Posting, PostingList, ResultEntry, ScoredDoc, TermId, RESULT_DOC_BYTES,
+};

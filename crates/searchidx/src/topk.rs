@@ -8,6 +8,7 @@
 //! term's **utilization** for this query; averaged over a query log it is
 //! the `PU` of the paper's Formula 1.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::types::{DocId, IndexReader, ResultEntry, ScoredDoc, TermId};
@@ -87,17 +88,159 @@ impl QueryOutcome {
     }
 }
 
-/// The query processor. Stateless apart from configuration; all collection
-/// state comes through the [`IndexReader`].
+/// Open-addressed score accumulator: a power-of-two table with linear
+/// probing and a multiplicative (fx-style) hash. Replaces the per-query
+/// `HashMap<DocId, f32>` on the hot path — no per-query allocation (the
+/// table is pooled across queries), no SipHash, no per-entry boxing. The
+/// accumulated multiset of `(doc, score)` pairs is identical to the
+/// HashMap's, and every consumer below is order-independent, so results
+/// are bit-identical to [`TopKProcessor::process_reference`].
+#[derive(Debug, Clone)]
+struct ScoreAccumulator {
+    /// `(doc, score)` pairs; `occupied` marks live slots.
+    slots: Vec<(DocId, f32)>,
+    occupied: Vec<bool>,
+    mask: usize,
+    /// Slot indices in insertion order — iteration and sparse clearing.
+    touched: Vec<u32>,
+}
+
+impl Default for ScoreAccumulator {
+    fn default() -> Self {
+        ScoreAccumulator::with_capacity(1024)
+    }
+}
+
+impl ScoreAccumulator {
+    fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two();
+        ScoreAccumulator {
+            slots: vec![(0, 0.0); capacity],
+            occupied: vec![false; capacity],
+            mask: capacity - 1,
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn hash(&self, doc: DocId) -> usize {
+        // Fibonacci multiply; the high bits are the well-mixed ones.
+        ((doc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Live entries.
+    #[inline]
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Reset for the next query, keeping the allocation. Sparse occupancy
+    /// clears only the touched slots.
+    fn clear(&mut self) {
+        if self.touched.len() * 4 < self.slots.len() {
+            for &i in &self.touched {
+                self.occupied[i as usize] = false;
+            }
+        } else {
+            self.occupied.fill(false);
+        }
+        self.touched.clear();
+    }
+
+    /// Accumulate `delta` into `doc`'s score.
+    #[inline]
+    fn add(&mut self, doc: DocId, delta: f32) {
+        if self.touched.len() * 8 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.hash(doc);
+        loop {
+            if !self.occupied[i] {
+                self.occupied[i] = true;
+                self.slots[i] = (doc, delta);
+                self.touched.push(i as u32);
+                return;
+            }
+            if self.slots[i].0 == doc {
+                self.slots[i].1 += delta;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Double the table, preserving insertion order in `touched`.
+    fn grow(&mut self) {
+        let mut bigger = ScoreAccumulator::with_capacity(self.slots.len() * 2);
+        for &i in &self.touched {
+            let (doc, score) = self.slots[i as usize];
+            bigger.add(doc, score);
+        }
+        *self = bigger;
+    }
+
+    /// Visit live entries in insertion order.
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = (DocId, f32)> + '_ {
+        self.touched.iter().map(|&i| self.slots[i as usize])
+    }
+
+    /// The K-th largest score (0 when fewer than K docs), using a pooled
+    /// selection buffer. Same `select_nth_unstable_by` as the reference —
+    /// the value only depends on the score multiset, not its order.
+    fn kth_largest(&self, k: usize, scores: &mut Vec<f32>) -> f64 {
+        if self.len() < k || k == 0 {
+            return 0.0;
+        }
+        scores.clear();
+        scores.extend(self.iter().map(|(_, s)| s));
+        let idx = scores.len() - k;
+        let (_, kth, _) = scores
+            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("scores are finite"));
+        *kth as f64
+    }
+
+    /// Extract the top K docs, best first, via a pooled sort buffer. The
+    /// `(score desc, doc asc)` comparator is a total order over distinct
+    /// docs, so the output is independent of accumulation order.
+    fn top_k(&self, k: usize, docs: &mut Vec<ScoredDoc>) -> ResultEntry {
+        docs.clear();
+        docs.extend(self.iter().map(|(doc, score)| ScoredDoc { doc, score }));
+        docs.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.doc.cmp(&b.doc))
+        });
+        docs.truncate(k);
+        ResultEntry { docs: docs.clone() }
+    }
+}
+
+/// Pooled per-query working memory, reused across `process` calls.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    acc: ScoreAccumulator,
+    scores: Vec<f32>,
+    docs: Vec<ScoredDoc>,
+}
+
+/// The query processor. Stateless apart from configuration and pooled
+/// scratch buffers; all collection state comes through the
+/// [`IndexReader`].
 #[derive(Debug, Clone, Default)]
 pub struct TopKProcessor {
     config: TopKConfig,
+    scratch: RefCell<Scratch>,
 }
 
 impl TopKProcessor {
     /// With explicit configuration.
     pub fn new(config: TopKConfig) -> Self {
-        TopKProcessor { config }
+        TopKProcessor {
+            config,
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 
     /// The configuration.
@@ -105,22 +248,34 @@ impl TopKProcessor {
         &self.config
     }
 
-    /// Evaluate a disjunctive (OR) query. Terms are processed in
-    /// descending-idf order; duplicate terms are collapsed.
-    pub fn process<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
+    /// Dedup the query's terms and order them rarest (highest-idf) first:
+    /// their contributions set a high bar early, letting long lists
+    /// terminate sooner.
+    fn term_order<R: IndexReader>(index: &R, terms: &[TermId]) -> Vec<TermId> {
         let mut order: Vec<TermId> = terms.to_vec();
         order.sort_unstable();
         order.dedup();
-        // Rare terms first: their contributions set a high bar early,
-        // letting long lists terminate sooner.
         order.sort_by(|&a, &b| {
             index
                 .idf(b)
                 .partial_cmp(&index.idf(a))
                 .expect("idf is finite")
         });
+        order
+    }
 
-        let mut acc: HashMap<DocId, f32> = HashMap::new();
+    /// Evaluate a disjunctive (OR) query. Terms are processed in
+    /// descending-idf order; duplicate terms are collapsed.
+    ///
+    /// Hot path: accumulates into the pooled open-addressed scratch table
+    /// instead of a fresh `HashMap`. Bit-identical to
+    /// [`TopKProcessor::process_reference`] — see the equivalence tests.
+    pub fn process<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
+        let order = Self::term_order(index, terms);
+
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { acc, scores, docs } = &mut *scratch;
+        acc.clear();
         let mut usage = Vec::with_capacity(order.len());
         let mut kth_score = 0.0f64;
 
@@ -164,6 +319,68 @@ impl TopKProcessor {
                     //  3. accumulator quit — with the candidate budget
                     //     full, a contribution that cannot beat the K-th
                     //     is abandoned (Moffat–Zobel "quit").
+                    let contribution = weight(p.tf) * idf;
+                    if self.config.epsilon > 0.0 && acc.len() >= self.config.k {
+                        let quit = contribution < self.config.epsilon * kth_score
+                            || (is_last && contribution <= kth_score)
+                            || (acc.len() >= self.config.accumulator_limit
+                                && contribution <= kth_score);
+                        if quit {
+                            break 'scan;
+                        }
+                    }
+                    acc.add(p.doc, contribution as f32);
+                    scanned += 1;
+                }
+                kth_score = acc.kth_largest(self.config.k, scores);
+            }
+            kth_score = acc.kth_largest(self.config.k, scores);
+            usage.push(TermUsage { term, scanned, df });
+        }
+
+        QueryOutcome {
+            result: acc.top_k(self.config.k, docs),
+            usage,
+        }
+    }
+
+    /// The seed's `HashMap`-accumulator evaluation, kept verbatim as the
+    /// reference implementation. [`TopKProcessor::process`] must return
+    /// bit-identical outcomes; the equivalence tests and the old-vs-new
+    /// Criterion benches run both.
+    pub fn process_reference<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
+        let order = Self::term_order(index, terms);
+
+        let mut acc: HashMap<DocId, f32> = HashMap::new();
+        let mut usage = Vec::with_capacity(order.len());
+        let mut kth_score = 0.0f64;
+
+        let num_terms = order.len();
+        for (term_idx, term) in order.into_iter().enumerate() {
+            let is_last = term_idx + 1 == num_terms;
+            let df = index.doc_freq(term);
+            let idf = index.idf(term);
+            if df == 0 || idf == 0.0 {
+                usage.push(TermUsage {
+                    term,
+                    scanned: 0,
+                    df,
+                });
+                continue;
+            }
+            let mut scanned = 0u64;
+            let base_chunk = if self.config.check_every > 0 {
+                self.config.check_every as u64
+            } else {
+                1024
+            };
+            'scan: while scanned < df {
+                let chunk = base_chunk.max(acc.len() as u64 / 4);
+                let batch = index.postings_range(term, scanned, scanned + chunk);
+                if batch.is_empty() {
+                    break;
+                }
+                for p in &batch {
                     let contribution = weight(p.tf) * idf;
                     if self.config.epsilon > 0.0 && acc.len() >= self.config.k {
                         let quit = contribution < self.config.epsilon * kth_score
@@ -425,6 +642,67 @@ mod tests {
             .docs
             .windows(2)
             .all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn scratch_accumulator_matches_hashmap_reference() {
+        // The pooled open-addressed path must be bit-identical to the
+        // seed's HashMap path — same docs, same f32 scores, same scan
+        // counts — in exact mode and under every pruning rule, across
+        // repeated reuse of the same (dirty) scratch table.
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(5));
+        let configs = [
+            TopKConfig::default(),
+            TopKConfig {
+                k: 10,
+                epsilon: 0.0,
+                check_every: 16,
+                accumulator_limit: 400,
+            },
+            TopKConfig {
+                k: 10,
+                epsilon: 0.5,
+                check_every: 16,
+                accumulator_limit: 40,
+            },
+            TopKConfig {
+                k: 3,
+                epsilon: 0.3,
+                check_every: 0,
+                accumulator_limit: 8,
+            },
+        ];
+        for config in configs {
+            let proc = TopKProcessor::new(config);
+            for q in 0..40u32 {
+                let terms: Vec<TermId> =
+                    (0..(q % 4 + 1)).map(|i| (q * 37 + i * 211) % 2000).collect();
+                let fast = proc.process(&idx, &terms);
+                let reference = proc.process_reference(&idx, &terms);
+                assert_eq!(fast.result, reference.result, "docs/scores for {terms:?}");
+                assert_eq!(fast.usage, reference.usage, "scan counts for {terms:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_accumulator_survives_growth() {
+        // Force the table through several doublings in one query (exact
+        // mode accumulates every matching doc), then reuse it small.
+        let docs: Vec<Vec<TermId>> = (0..5000u32).map(|d| vec![d % 3, 3 + d % 7]).collect();
+        let idx = MemIndex::from_docs(docs);
+        let proc = TopKProcessor::new(TopKConfig {
+            k: 20,
+            epsilon: 0.0,
+            check_every: 64,
+            accumulator_limit: 400,
+        });
+        for terms in [vec![0u32, 1, 2, 3, 4, 5, 6, 7, 8, 9], vec![4], vec![0, 5]] {
+            let fast = proc.process(&idx, &terms);
+            let reference = proc.process_reference(&idx, &terms);
+            assert_eq!(fast.result, reference.result);
+            assert_eq!(fast.usage, reference.usage);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::time::SimDuration;
 
 /// Welford running mean / variance / min / max. O(1) memory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -95,7 +95,7 @@ impl RunningStats {
             return;
         }
         if self.n == 0 {
-            *self = other.clone();
+            *self = *other;
             return;
         }
         let n = self.n + other.n;

@@ -3,11 +3,16 @@
 //! Every figure in the evaluation is a sweep: cache sizes, document
 //! counts, query counts, policies. Each point is an independent,
 //! deterministic simulation, so the sweep is embarrassingly parallel —
-//! [`parallel_map`] fans points out over `crossbeam` scoped threads and
+//! [`parallel_map`] fans points out over `std::thread::scope` workers and
 //! returns results in input order. (Rayon would be the idiomatic choice
-//! per the hpc-parallel guides; scoped threads keep us inside the
-//! sanctioned dependency set while preserving the same data-parallel
-//! shape.)
+//! per the hpc-parallel guides; scoped threads keep us dependency-free
+//! while preserving the same data-parallel shape.)
+//!
+//! Work is handed out in **chunks** of contiguous indices rather than one
+//! item per cursor round-trip: a sweep of hundreds of cheap points would
+//! otherwise serialize on the shared cursor's cache line. Chunks shrink
+//! as the sweep drains (half the remaining work divided by the worker
+//! count, floored at 1) so stragglers still balance.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,35 +40,54 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    // Work-stealing by index: a shared cursor hands out the next input.
+    // A shared cursor hands out *chunks* of indices; each slot is taken
+    // and filled exactly once, so per-slot mutexes are uncontended.
     let items: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let items = &items;
+    let results = &results;
+    let cursor = &cursor;
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let input = items[i]
-                    .lock()
-                    .expect("input mutex poisoned")
-                    .take()
-                    .expect("each index is claimed once");
-                let output = f(input);
-                *results[i].lock().expect("result mutex poisoned") = Some(output);
-            });
-        }
-    })
-    .expect("a sweep worker panicked");
+    let panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || loop {
+                    let start = cursor.load(Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    // Claim up to half the remaining range split evenly
+                    // across workers; at least one item.
+                    let want = ((n - start) / (2 * threads)).max(1);
+                    let start = cursor.fetch_add(want, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + want).min(n);
+                    for i in start..end {
+                        let input = items[i]
+                            .lock()
+                            .expect("input mutex poisoned")
+                            .take()
+                            .expect("each index is claimed once");
+                        let output = f(input);
+                        *results[i].lock().expect("result mutex poisoned") = Some(output);
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().any(|h| h.join().is_err())
+    });
+    assert!(!panicked, "a sweep worker panicked");
 
     results
-        .into_iter()
+        .iter()
         .map(|m| {
-            m.into_inner()
+            m.lock()
                 .expect("result mutex poisoned")
+                .take()
                 .expect("every index was processed")
         })
         .collect()
@@ -102,6 +126,14 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![7], 32, |x| x - 7);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn chunked_handout_covers_large_sweeps() {
+        // Many more items than workers: every index must still be
+        // processed exactly once even when chunks shrink to 1.
+        let out = parallel_map((0..1_537).collect(), 3, |x: u64| x + 1);
+        assert_eq!(out, (1..=1_537).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *small* subset of `bytes` it actually uses: [`Bytes`], an immutable,
+//! reference-counted byte buffer whose `clone` is a refcount bump rather
+//! than a copy. That is exactly the property the cache manager's
+//! admit/flush paths rely on — a 20 KB result payload is materialized
+//! once and every cache level shares it.
+//!
+//! The API mirrors `bytes::Bytes` so swapping the real crate back in (when
+//! a registry is available) is a one-line Cargo.toml change.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer. Does not allocate.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a fresh shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} B)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn empty_and_slice_access() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::copy_from_slice(&[9, 8]);
+        assert_eq!(&b[..], &[9, 8]);
+        assert_eq!(b.len(), 2);
+    }
+}
