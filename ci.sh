@@ -6,8 +6,14 @@ cd "$(dirname "$0")"
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== build bench binaries + micro-benchmarks =="
+cargo build --release -p bench --bins --benches
+
 echo "== tests =="
 cargo test -q --workspace
+
+echo "== cluster equivalence (explicit) =="
+cargo test --release -q -p engine --test cluster_equivalence
 
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,146 @@
+//! Regression bench for `parallel_map` dispatch overhead.
+//!
+//! On cheap items the per-item cost of the sweep is pure dispatch:
+//! claiming the index, moving the input out, writing the result back.
+//! PR 1 paid a `Mutex` lock/unlock pair per slot on both sides; the
+//! lock-free once-write handoff removes it. The old scheme is kept here
+//! (`mutex_reference`) so the drop stays measurable, the same way the
+//! cache keeps its `Scan` victim arm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workload::parallel_map;
+
+/// PR 1's handoff, verbatim: per-slot `Mutex<Option<T>>` on both the
+/// input and the result side, same chunked cursor.
+mod mutex_reference {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    pub fn parallel_map_mutex<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        }
+        .min(n);
+        if threads <= 1 {
+            return inputs.into_iter().map(f).collect();
+        }
+
+        let items: Vec<Mutex<Option<T>>> =
+            inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let items = &items;
+        let results = &results;
+        let cursor = &cursor;
+
+        let panicked = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || loop {
+                        let start = cursor.load(Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let want = ((n - start) / (2 * threads)).max(1);
+                        let start = cursor.fetch_add(want, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + want).min(n);
+                        for i in start..end {
+                            let input = items[i]
+                                .lock()
+                                .expect("input mutex poisoned")
+                                .take()
+                                .expect("each index is claimed once");
+                            let output = f(input);
+                            *results[i].lock().expect("result mutex poisoned") = Some(output);
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().any(|h| h.join().is_err())
+        });
+        assert!(!panicked, "a sweep worker panicked");
+
+        results
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .expect("result mutex poisoned")
+                    .take()
+                    .expect("every index was processed")
+            })
+            .collect()
+    }
+}
+
+/// An item cheap enough that dispatch dominates.
+#[inline]
+fn cheap(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_sweep");
+    g.sample_size(10);
+    for &threads in &[2usize, 4] {
+        g.bench_function(format!("lockfree_cheap_10k_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(parallel_map(
+                    (0..10_000u64).collect::<Vec<_>>(),
+                    threads,
+                    cheap,
+                ))
+            });
+        });
+        g.bench_function(format!("mutex_cheap_10k_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(mutex_reference::parallel_map_mutex(
+                    (0..10_000u64).collect::<Vec<_>>(),
+                    threads,
+                    cheap,
+                ))
+            });
+        });
+    }
+    // Expensive items for contrast: dispatch is noise here, so the two
+    // schemes should tie — if they don't, the rewrite broke balancing.
+    g.bench_function("lockfree_heavy_64", |b| {
+        b.iter(|| {
+            black_box(parallel_map((0..64u64).collect::<Vec<_>>(), 4, |seed| {
+                let mut rng = simclock::Rng::new(seed);
+                (0..2_000).map(|_| rng.next_below(1_000)).sum::<u64>()
+            }))
+        });
+    });
+    g.bench_function("mutex_heavy_64", |b| {
+        b.iter(|| {
+            black_box(mutex_reference::parallel_map_mutex(
+                (0..64u64).collect::<Vec<_>>(),
+                4,
+                |seed| {
+                    let mut rng = simclock::Rng::new(seed);
+                    (0..2_000).map(|_| rng.next_below(1_000)).sum::<u64>()
+                },
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -11,6 +11,7 @@ use flashsim::{BlockMapFtl, Dftl, FastFtl, FlashParams, Ftl, PageMapFtl, SsdDisk
 use hybridcache::PolicyKind;
 use simclock::SimDuration;
 use storagecore::{BlockDevice, Extent, IoKind, IoStats};
+use workload::parallel_map;
 
 /// Re-issue the measured op mix (kind, count, mean size) as block-aligned
 /// requests over the region, in a deterministic shuffled order.
@@ -51,21 +52,25 @@ fn main() {
     let region_sectors = footprint / 512;
     let params = || FlashParams::paper(footprint);
 
-    let rows = vec![
-        ("page-map", replay(SsdDisk::with_ftl(PageMapFtl::new(params())), &stats, region_sectors)),
-        ("block-map", replay(SsdDisk::with_ftl(BlockMapFtl::new(params())), &stats, region_sectors)),
-        ("FAST", replay(SsdDisk::with_ftl(FastFtl::new(params())), &stats, region_sectors)),
-        ("DFTL", replay(SsdDisk::with_ftl(Dftl::new(params(), 8192)), &stats, region_sectors)),
-    ]
-    .into_iter()
-    .map(|(name, (erases, total))| {
-        vec![
-            name.to_string(),
-            erases.to_string(),
-            format!("{:.1}", total.as_millis_f64()),
-        ]
-    })
-    .collect::<Vec<_>>();
+    // The four replays are independent simulations over the same op mix —
+    // fan them out like every other sweep.
+    let rows = parallel_map(
+        vec!["page-map", "block-map", "FAST", "DFTL"],
+        0,
+        |name| {
+            let (erases, total) = match name {
+                "page-map" => replay(SsdDisk::with_ftl(PageMapFtl::new(params())), &stats, region_sectors),
+                "block-map" => replay(SsdDisk::with_ftl(BlockMapFtl::new(params())), &stats, region_sectors),
+                "FAST" => replay(SsdDisk::with_ftl(FastFtl::new(params())), &stats, region_sectors),
+                _ => replay(SsdDisk::with_ftl(Dftl::new(params(), 8192)), &stats, region_sectors),
+            };
+            vec![
+                name.to_string(),
+                erases.to_string(),
+                format!("{:.1}", total.as_millis_f64()),
+            ]
+        },
+    );
 
     print_table(
         "Ablation: FTL scheme under the CBLRU cache op mix",

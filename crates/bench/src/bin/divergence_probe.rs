@@ -3,21 +3,87 @@
 //! where they diverge by running both engines in lockstep and comparing
 //! cache counters after every query.
 //!
+//! With `--cluster` it bisects the *cluster* arms instead: a sequential
+//! and a pool-backed `SearchCluster` march through one shared query
+//! stream, comparing every scatter-gather response, and the full
+//! `ClusterReport`s at the end.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
-//!         [-- --policy lru|cblru|cbslru] [--no-seed]
+//!         [-- --policy lru|cblru|cbslru] [--no-seed] \
+//!         [--cluster] [--workers N]
 
-use engine::{EngineConfig, SearchEngine};
+use engine::{ClusterExecution, EngineConfig, SearchCluster, SearchEngine};
 use hybridcache::PolicyKind;
 use workload::Query;
+
+/// Lockstep bisection of the cluster execution arms.
+fn probe_cluster(policy: PolicyKind, workers: usize) {
+    let shards = 4;
+    let docs = 200_000;
+    let queries = 4_000usize;
+    let seed = 42;
+    let cfg = || {
+        EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(4 << 20, 40 << 20, policy),
+            seed,
+        )
+    };
+
+    let mut seq = SearchCluster::new(cfg(), shards);
+    let mut par = SearchCluster::new(cfg(), shards);
+    par.set_execution(ClusterExecution::Parallel { workers });
+    println!(
+        "cluster probe: {shards} shards, {docs} docs, arm B = {:?}",
+        par.execution()
+    );
+
+    let stream: Vec<Query> = seq.stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ts = seq.execute(q);
+        let tp = par.execute(q);
+        if ts != tp {
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
+            println!("  sequential response: {ts}");
+            println!("  parallel   response: {tp}");
+            return;
+        }
+    }
+    // Responses agreed; the shard-level counters still might not.
+    let (rs, rp) = (seq.run_queries(&[]), par.run_queries(&[]));
+    if rs != rp {
+        println!("responses identical but reports diverged:");
+        for (i, (a, b)) in rs.shards.iter().zip(&rp.shards).enumerate() {
+            if a != b {
+                println!("  shard {i}:\n    seq {a:?}\n    par {b:?}");
+            }
+        }
+        return;
+    }
+    println!("no divergence over {queries} cluster queries ({workers} workers)");
+}
 
 fn main() {
     let mut policy_arg = String::from("cbslru");
     let mut seed_flag = true;
+    let mut cluster = false;
+    let mut workers = 0usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--policy" => policy_arg = args.next().unwrap_or_default(),
             "--no-seed" => seed_flag = false,
+            "--cluster" => cluster = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(workers)
+            }
             _ => {}
         }
     }
@@ -28,6 +94,10 @@ fn main() {
             static_fraction: 0.3,
         },
     };
+    if cluster {
+        probe_cluster(policy, workers);
+        return;
+    }
     let cfg = || {
         hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy)
     };

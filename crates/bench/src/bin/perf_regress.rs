@@ -1,25 +1,39 @@
 //! Performance-regression harness.
 //!
-//! Runs one pinned, seeded workload twice — once on the reference hot
-//! paths (linear victim scans, `HashMap` top-K accumulator) and once on
-//! the optimized ones (indexed victim selection, pooled open-addressed
-//! scratch) — and emits a machine-readable JSON report.
+//! **Engine arm** (PR 1, `BENCH_1.json`): runs one pinned, seeded
+//! workload twice — once on the reference hot paths (linear victim
+//! scans, `HashMap` top-K accumulator) and once on the optimized ones
+//! (indexed victim selection, pooled open-addressed scratch) — and emits
+//! a machine-readable JSON report.
 //!
-//! The two arms must produce **bit-identical simulated figures** (hit
-//! ratio, response times, cache/flash counters): the optimizations are
-//! behavior-preserving by construction, and this harness re-checks that
-//! end-to-end on every run. Wall-clock is the only number allowed to
-//! move. The first committed output (`BENCH_1.json`) is the trajectory
-//! baseline; run the binary under `--release` when comparing wall-clock.
+//! **Cluster arm** (PR 2, `BENCH_2.json`): runs one pinned, seeded
+//! 4-shard cluster workload on both `ClusterExecution` arms — the
+//! sequential reference loop and the persistent shard-worker pool — and
+//! reports wall-clock for each, plus `max_worker_busy` (the pool's
+//! critical path: what a machine with one core per worker would pay —
+//! when workers outnumber cores the span absorbs preemption and
+//! degenerates to the wall-clock). `available_parallelism` is recorded
+//! because the wall-clock speedup is hardware-bound: on a single-core
+//! container the pool can only tie the sequential arm; the ≥2x target
+//! at 4 shards needs ≥2 free cores.
 //!
-//!     cargo run --release -p bench --bin perf_regress [-- --out PATH]
+//! In both arms every **simulated figure must be bit-identical** (hit
+//! ratio, response times, cache/flash counters, the full
+//! `ClusterReport`): the optimizations are behavior-preserving by
+//! construction, and this harness re-checks that end-to-end on every
+//! run. Wall-clock is the only number allowed to move.
 //!
-//! Exit status is non-zero if the arms' simulated figures diverge.
+//!     cargo run --release -p bench --bin perf_regress \
+//!         [-- --out PATH] [--cluster-out PATH]
+//!
+//! Exit status is non-zero if either arm's simulated figures diverge.
 
 use std::time::Instant;
 
 use bench::{cache_config, run_cached};
-use engine::{EngineConfig, RunReport, SearchEngine};
+use engine::{
+    ClusterExecution, ClusterReport, EngineConfig, RunReport, SearchCluster, SearchEngine,
+};
 use hybridcache::PolicyKind;
 
 // The pinned workload: large enough that victim selection and top-K
@@ -29,6 +43,14 @@ const QUERIES: usize = 30_000;
 const SEED: u64 = 42;
 const MEM_BYTES: u64 = 16 << 20;
 const SSD_BYTES: u64 = 160 << 20;
+
+// The pinned cluster workload: 4 document-partitioned shards (100 k docs
+// each), per-shard CBLRU caches, one shared broadcast stream.
+const CLUSTER_SHARDS: usize = 4;
+const CLUSTER_DOCS: u64 = 400_000;
+const CLUSTER_QUERIES: usize = 8_000;
+const CLUSTER_MEM_BYTES: u64 = 4 << 20;
+const CLUSTER_SSD_BYTES: u64 = 40 << 20;
 
 /// One measured arm.
 struct Arm {
@@ -106,13 +128,165 @@ fn arm_json(a: &Arm) -> String {
     )
 }
 
+/// One measured cluster arm.
+struct ClusterArm {
+    label: &'static str,
+    report: ClusterReport,
+    wall_secs: f64,
+    /// Pool workers (1 on the sequential arm's calling thread).
+    workers: usize,
+    /// Critical path: cumulative busy time of the busiest pool worker
+    /// (equals `wall_secs` on the sequential arm).
+    max_busy_secs: f64,
+}
+
+fn run_cluster_arm(label: &'static str, exec: ClusterExecution) -> ClusterArm {
+    let cfg = EngineConfig::cached(
+        CLUSTER_DOCS,
+        cache_config(CLUSTER_MEM_BYTES, CLUSTER_SSD_BYTES, PolicyKind::Cblru),
+        SEED,
+    );
+    let mut c = SearchCluster::new(cfg, CLUSTER_SHARDS);
+    c.set_execution(exec);
+    let workers = match c.execution() {
+        ClusterExecution::Sequential => 1,
+        ClusterExecution::Parallel { workers } => workers,
+    };
+    let t0 = Instant::now();
+    let report = c.run(CLUSTER_QUERIES);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let max_busy_secs = c
+        .max_worker_busy()
+        .map_or(wall_secs, |d| d.as_secs_f64());
+    ClusterArm {
+        label,
+        report,
+        wall_secs,
+        workers,
+        max_busy_secs,
+    }
+}
+
+fn cluster_arm_json(a: &ClusterArm) -> String {
+    let r = &a.report;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"workers\": {},\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"wall_queries_per_sec\": {:.3},\n",
+            "      \"max_worker_busy_secs\": {:.6},\n",
+            "      \"sim_mean_response_ns\": {},\n",
+            "      \"sim_mean_fastest_shard_ns\": {},\n",
+            "      \"sim_throughput_qps\": {:.17},\n",
+            "      \"sim_mean_hit_ratio\": {:.17},\n",
+            "      \"sim_shard0_postings_scanned\": {}\n",
+            "    }}"
+        ),
+        a.label,
+        a.workers,
+        a.wall_secs,
+        r.queries as f64 / a.wall_secs,
+        a.max_busy_secs,
+        r.mean_response.as_nanos(),
+        r.mean_fastest_shard.as_nanos(),
+        r.throughput_qps,
+        r.mean_hit_ratio(),
+        r.shards[0].postings_scanned,
+    )
+}
+
+/// Run both cluster arms, emit `BENCH_2.json`, and return whether the
+/// simulated figures were bit-identical.
+fn cluster_regress(out: &str) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let seq = run_cluster_arm("sequential", ClusterExecution::Sequential);
+    eprintln!(
+        "cluster sequential: mean {} | {:.2} q/s sim | {:.2}s wall",
+        seq.report.mean_response, seq.report.throughput_qps, seq.wall_secs
+    );
+    let par = run_cluster_arm(
+        "parallel",
+        ClusterExecution::Parallel {
+            workers: CLUSTER_SHARDS,
+        },
+    );
+    eprintln!(
+        "cluster parallel:   mean {} | {:.2} q/s sim | {:.2}s wall ({:.2}s critical path)",
+        par.report.mean_response, par.report.throughput_qps, par.wall_secs, par.max_busy_secs
+    );
+
+    // The contract: the full ClusterReport — per-query statistics,
+    // virtual clock, every per-shard cache/flash counter — is identical.
+    let identical = seq.report == par.report;
+    let speedup = seq.wall_secs / par.wall_secs;
+    let critical_path_speedup = seq.wall_secs / par.max_busy_secs;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress_cluster\",\n",
+            "  \"workload\": {{\n",
+            "    \"docs\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"mem_bytes_per_shard\": {},\n",
+            "    \"ssd_bytes_per_shard\": {},\n",
+            "    \"policy\": \"CBLRU\"\n",
+            "  }},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"arms\": [\n{},\n{}\n  ],\n",
+            "  \"sim_figures_bit_identical\": {},\n",
+            "  \"wall_clock_speedup\": {:.3},\n",
+            "  \"critical_path_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        CLUSTER_DOCS,
+        CLUSTER_SHARDS,
+        CLUSTER_QUERIES,
+        SEED,
+        CLUSTER_MEM_BYTES,
+        CLUSTER_SSD_BYTES,
+        cores,
+        cluster_arm_json(&seq),
+        cluster_arm_json(&par),
+        identical,
+        speedup,
+        critical_path_speedup,
+    );
+    std::fs::write(out, &json)
+        .unwrap_or_else(|e| panic!("cannot write cluster report to {out}: {e}"));
+    println!("{json}");
+    println!(
+        "wrote {out}; cluster speedup {speedup:.2}x wall ({critical_path_speedup:.2}x \
+         critical-path, {cores} core(s) available), sim figures identical: {identical}"
+    );
+    if cores < CLUSTER_SHARDS {
+        println!(
+            "note: only {cores} core(s) for {CLUSTER_SHARDS} workers — the pool \
+             timeshares, so wall-clock can at best tie, and the busiest worker's \
+             span absorbs preemption, dragging the critical-path ratio to ~1x \
+             too; rerun on a host with >= {CLUSTER_SHARDS} cores to see both \
+             ratios approach {CLUSTER_SHARDS}x"
+        );
+    }
+    identical
+}
+
 fn main() {
     let mut out = String::from("BENCH_1.json");
+    let mut cluster_out = String::from("BENCH_2.json");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--out" {
             if let Some(v) = args.next() {
                 out = v;
+            }
+        } else if a == "--cluster-out" {
+            if let Some(v) = args.next() {
+                cluster_out = v;
             }
         }
     }
@@ -169,8 +343,18 @@ fn main() {
     println!("{json}");
     println!("wrote {out}; speedup {speedup:.2}x, sim figures identical: {identical}");
 
+    let cluster_identical = cluster_regress(&cluster_out);
+
     if !identical {
-        eprintln!("FAIL: simulated figures diverged between the arms");
+        eprintln!("FAIL: simulated figures diverged between the engine arms");
+    }
+    if !cluster_identical {
+        eprintln!(
+            "FAIL: cluster arms diverged — bisect with \
+             `cargo run --release -p bench --bin divergence_probe -- --cluster`"
+        );
+    }
+    if !identical || !cluster_identical {
         std::process::exit(1);
     }
 }

@@ -11,6 +11,28 @@
 //! latency model. Caching wins on a shard therefore only help the query
 //! when *every* shard wins, which is exactly why result/list caching
 //! matters more, not less, at cluster scale (tail latency).
+//!
+//! # Execution arms
+//!
+//! Shards are fully independent (no shared mutable state), so the
+//! cluster offers two execution arms behind [`ClusterExecution`],
+//! mirroring the `VictimSelection` pattern: the seed's sequential
+//! per-query shard loop stays as the `Sequential` reference, and
+//! `Parallel` runs a **persistent worker pool** — long-lived threads fed
+//! query batches over channels, each owning a disjoint set of shard
+//! engines exclusively (no thread spawn per query, no locking around an
+//! engine). Workers return per-query shard latencies and the coordinator
+//! performs the scatter-gather merge (max-over-shards + merge cost) in
+//! query order, so every simulated figure — [`ClusterReport`], per-shard
+//! [`RunReport`]s, the virtual clock — is **bit-identical** across arms
+//! and worker counts; only wall-clock moves. The equivalence test in
+//! `crates/engine/tests/cluster_equivalence.rs` drives both arms through
+//! identical query streams to enforce exactly that.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use simclock::{RunningStats, SimDuration};
 use workload::{Query, QueryLog, QueryLogSpec};
@@ -19,8 +41,24 @@ use crate::config::EngineConfig;
 use crate::engine::SearchEngine;
 use crate::report::RunReport;
 
+/// How [`SearchCluster`] visits its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterExecution {
+    /// The reference arm: visit every shard in turn on the calling
+    /// thread, one query at a time (the seed's loop).
+    Sequential,
+    /// The optimized arm: a persistent pool of `workers` long-lived
+    /// threads (`0` = one per shard), each owning a disjoint set of
+    /// shard engines, fed query batches over channels.
+    Parallel {
+        /// Pool size; clamped to the shard count, `0` means one worker
+        /// per shard.
+        workers: usize,
+    },
+}
+
 /// Cluster-level measurements.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
     /// Queries executed.
     pub queries: u64,
@@ -45,10 +83,228 @@ impl ClusterReport {
     }
 }
 
+/// A batch job for one worker. The query slice is shared (`Arc`), so a
+/// broadcast is `workers` refcount bumps, not `workers` copies.
+enum Job {
+    /// Execute the batch on every owned shard, in shard order.
+    Batch(Arc<Vec<Query>>),
+    /// Snapshot every owned shard's cumulative [`RunReport`].
+    Report,
+}
+
+/// One worker's answer to a [`Job`].
+enum Reply {
+    /// Per owned shard: `(shard id, per-query latencies)`, plus how long
+    /// the worker was busy executing (wall time inside the batch).
+    Batch {
+        latencies: Vec<(usize, Vec<SimDuration>)>,
+        busy: Duration,
+    },
+    /// Per owned shard: `(shard id, report snapshot)`.
+    Report(Vec<(usize, RunReport)>),
+}
+
+/// Body of one pool thread: owns its engines exclusively for the life of
+/// the pool and hands them back (via the join handle) on shutdown.
+fn worker_main(
+    mut engines: Vec<(usize, SearchEngine)>,
+    jobs: Receiver<Job>,
+    replies: Sender<Reply>,
+) -> Vec<(usize, SearchEngine)> {
+    while let Ok(job) = jobs.recv() {
+        let reply = match job {
+            Job::Batch(queries) => {
+                let t0 = Instant::now();
+                let latencies = engines
+                    .iter_mut()
+                    .map(|(id, engine)| {
+                        (*id, queries.iter().map(|q| engine.execute(q)).collect())
+                    })
+                    .collect();
+                Reply::Batch {
+                    latencies,
+                    busy: t0.elapsed(),
+                }
+            }
+            Job::Report => {
+                Reply::Report(engines.iter().map(|(id, e)| (*id, e.report())).collect())
+            }
+        };
+        if replies.send(reply).is_err() {
+            break; // coordinator went away mid-job
+        }
+    }
+    engines
+}
+
+/// Handle to one pool thread.
+#[derive(Debug)]
+struct Worker {
+    /// `None` once the shutdown handshake has begun (dropping the sender
+    /// is what ends the worker's receive loop).
+    jobs: Option<Sender<Job>>,
+    replies: Receiver<Reply>,
+    handle: Option<JoinHandle<Vec<(usize, SearchEngine)>>>,
+}
+
+impl Worker {
+    fn send(&self, job: Job) {
+        self.jobs
+            .as_ref()
+            .expect("pool is live")
+            .send(job)
+            .expect("a cluster worker hung up");
+    }
+
+    fn recv(&self) -> Reply {
+        self.replies.recv().expect("a cluster worker panicked")
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Disconnect first so the worker's receive loop ends, then join;
+        // joining before dropping the sender would deadlock.
+        self.jobs.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The persistent worker pool of the `Parallel` arm.
+#[derive(Debug)]
+struct WorkerPool {
+    workers: Vec<Worker>,
+    num_shards: usize,
+    /// Cumulative busy time per worker across all batches — `max` over
+    /// workers is the critical path a fully parallel machine would pay.
+    busy: Vec<Duration>,
+}
+
+impl WorkerPool {
+    /// Move `engines` into `workers` threads (0 = one per shard),
+    /// round-robin so every worker owns an (almost) equal share.
+    fn new(engines: Vec<SearchEngine>, workers: usize) -> Self {
+        let num_shards = engines.len();
+        let n = if workers == 0 { num_shards } else { workers }
+            .min(num_shards)
+            .max(1);
+        let mut slots: Vec<Vec<(usize, SearchEngine)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, engine) in engines.into_iter().enumerate() {
+            slots[i % n].push((i, engine));
+        }
+        let workers = slots
+            .into_iter()
+            .map(|owned| {
+                let (job_tx, job_rx) = channel();
+                let (reply_tx, reply_rx) = channel();
+                let handle = std::thread::Builder::new()
+                    .name("cluster-shard-worker".into())
+                    .spawn(move || worker_main(owned, job_rx, reply_tx))
+                    .expect("spawn cluster worker");
+                Worker {
+                    jobs: Some(job_tx),
+                    replies: reply_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect::<Vec<_>>();
+        let busy = vec![Duration::ZERO; workers.len()];
+        WorkerPool {
+            workers,
+            num_shards,
+            busy,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Broadcast the batch and gather per-shard latency vectors, indexed
+    /// by shard id.
+    fn run_batch(&mut self, queries: Arc<Vec<Query>>) -> Vec<Vec<SimDuration>> {
+        let n = queries.len();
+        for worker in &self.workers {
+            worker.send(Job::Batch(Arc::clone(&queries)));
+        }
+        let mut per_shard: Vec<Vec<SimDuration>> = vec![Vec::new(); self.num_shards];
+        for (wi, worker) in self.workers.iter().enumerate() {
+            match worker.recv() {
+                Reply::Batch { latencies, busy } => {
+                    self.busy[wi] += busy;
+                    for (shard, lat) in latencies {
+                        debug_assert_eq!(lat.len(), n);
+                        per_shard[shard] = lat;
+                    }
+                }
+                Reply::Report(_) => unreachable!("batch job answered with a report"),
+            }
+        }
+        per_shard
+    }
+
+    /// Snapshot every shard's cumulative report, in shard order.
+    fn reports(&self) -> Vec<RunReport> {
+        for worker in &self.workers {
+            worker.send(Job::Report);
+        }
+        let mut out: Vec<Option<RunReport>> = (0..self.num_shards).map(|_| None).collect();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Report(reports) => {
+                    for (shard, report) in reports {
+                        out[shard] = Some(report);
+                    }
+                }
+                Reply::Batch { .. } => unreachable!("report job answered with a batch"),
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every shard reported"))
+            .collect()
+    }
+
+    fn max_busy(&self) -> Duration {
+        self.busy.iter().copied().max().unwrap_or_default()
+    }
+
+    /// End the pool and recover the engines, in shard order.
+    fn shutdown(self) -> Vec<SearchEngine> {
+        let mut out: Vec<Option<SearchEngine>> = (0..self.num_shards).map(|_| None).collect();
+        for mut worker in self.workers {
+            worker.jobs.take(); // disconnect → worker loop ends
+            let engines = worker
+                .handle
+                .take()
+                .expect("worker joined once")
+                .join()
+                .unwrap_or_else(|_| panic!("a cluster worker panicked"));
+            for (id, engine) in engines {
+                out[id] = Some(engine);
+            }
+        }
+        out.into_iter()
+            .map(|e| e.expect("every shard came home"))
+            .collect()
+    }
+}
+
+/// Where the shard engines currently live.
+#[derive(Debug)]
+enum Backend {
+    /// Engines on the calling thread (the seed path).
+    Sequential(Vec<SearchEngine>),
+    /// Engines moved into the persistent pool.
+    Parallel(WorkerPool),
+}
+
 /// A document-partitioned search cluster.
 #[derive(Debug)]
 pub struct SearchCluster {
-    shards: Vec<SearchEngine>,
+    backend: Backend,
+    num_shards: usize,
     log: QueryLog,
     merge_cost_per_shard: SimDuration,
     response: RunningStats,
@@ -61,7 +317,7 @@ impl SearchCluster {
     /// Build `n` shards, each holding `config.docs / n` documents with a
     /// shard-specific seed. The query log is shared (vocabulary of the
     /// shard corpus), modelling a front-end broadcasting to its index
-    /// servers.
+    /// servers. Starts on the `Sequential` arm.
     pub fn new(config: EngineConfig, n: usize) -> Self {
         assert!(n >= 1, "a cluster needs at least one shard");
         let per_shard = (config.docs / n as u64).max(1_000);
@@ -82,7 +338,8 @@ impl SearchCluster {
             .expect("at least one shard");
         let log = QueryLog::new(QueryLogSpec::aol_like(vocab, config.seed ^ 0xC1A5));
         SearchCluster {
-            shards,
+            num_shards: shards.len(),
+            backend: Backend::Sequential(shards),
             log,
             merge_cost_per_shard: SimDuration::from_micros(200),
             response: RunningStats::new(),
@@ -94,19 +351,61 @@ impl SearchCluster {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.num_shards
     }
 
-    /// Broadcast one query; returns the scatter-gather response time.
-    pub fn execute(&mut self, query: &Query) -> SimDuration {
-        let mut slowest = SimDuration::ZERO;
-        let mut fastest = SimDuration::from_nanos(u64::MAX);
-        for shard in &mut self.shards {
-            let t = shard.execute(query);
-            slowest = slowest.max(t);
-            fastest = fastest.min(t);
+    /// The current execution arm (`Parallel` reports the clamped pool
+    /// size actually in use).
+    pub fn execution(&self) -> ClusterExecution {
+        match &self.backend {
+            Backend::Sequential(_) => ClusterExecution::Sequential,
+            Backend::Parallel(pool) => ClusterExecution::Parallel {
+                workers: pool.workers(),
+            },
         }
-        let response = slowest + self.merge_cost_per_shard * self.shards.len() as u64;
+    }
+
+    /// Switch execution arms. Engines migrate between the calling thread
+    /// and the worker pool with all cumulative state intact (caches,
+    /// clocks, device wear), so the toggle is safe mid-run and the
+    /// simulated figures never depend on when it happens.
+    pub fn set_execution(&mut self, exec: ClusterExecution) {
+        let engines = match std::mem::replace(&mut self.backend, Backend::Sequential(Vec::new()))
+        {
+            Backend::Sequential(engines) => engines,
+            Backend::Parallel(pool) => pool.shutdown(),
+        };
+        self.backend = match exec {
+            ClusterExecution::Sequential => Backend::Sequential(engines),
+            ClusterExecution::Parallel { workers } => {
+                Backend::Parallel(WorkerPool::new(engines, workers))
+            }
+        };
+    }
+
+    /// Cumulative busy time of the busiest pool worker — the wall-clock
+    /// a machine with one core per worker would pay for the batches so
+    /// far. `None` on the sequential arm.
+    pub fn max_worker_busy(&self) -> Option<Duration> {
+        match &self.backend {
+            Backend::Sequential(_) => None,
+            Backend::Parallel(pool) => Some(pool.max_busy()),
+        }
+    }
+
+    /// Draw the next `n` queries from the shared log (the stream the
+    /// front-end would broadcast). Public so harnesses can drive two
+    /// clusters through one identical stream.
+    pub fn stream(&mut self, n: usize) -> Vec<Query> {
+        self.log.stream(n)
+    }
+
+    /// Fold one query's per-shard latencies into the cluster statistics
+    /// and advance the virtual clock; returns the scatter-gather
+    /// response. Always called in query order, which is what makes the
+    /// two arms bit-identical.
+    fn finish_query(&mut self, slowest: SimDuration, fastest: SimDuration) -> SimDuration {
+        let response = slowest + self.merge_cost_per_shard * self.num_shards as u64;
         self.response.push_duration(response);
         self.fastest.push_duration(fastest);
         self.clock += response;
@@ -114,13 +413,47 @@ impl SearchCluster {
         response
     }
 
-    /// Run `n` queries from the shared log.
-    pub fn run(&mut self, n: usize) -> ClusterReport {
-        let queries: Vec<Query> = self.log.stream(n);
+    /// Broadcast one query; returns the scatter-gather response time.
+    pub fn execute(&mut self, query: &Query) -> SimDuration {
+        let (slowest, fastest) = match &mut self.backend {
+            Backend::Sequential(shards) => {
+                let mut slowest = SimDuration::ZERO;
+                let mut fastest = SimDuration::from_nanos(u64::MAX);
+                for shard in shards.iter_mut() {
+                    let t = shard.execute(query);
+                    slowest = slowest.max(t);
+                    fastest = fastest.min(t);
+                }
+                (slowest, fastest)
+            }
+            Backend::Parallel(pool) => {
+                let per_shard = pool.run_batch(Arc::new(vec![query.clone()]));
+                minmax(per_shard.iter().map(|lat| lat[0]))
+            }
+        };
+        self.finish_query(slowest, fastest)
+    }
+
+    /// Execute an explicit query stream and report. The sequential arm
+    /// replays the seed's query-major loop; the parallel arm pins the
+    /// whole batch to the pool (shard-major) and merges in query order —
+    /// same figures either way.
+    pub fn run_queries(&mut self, queries: &[Query]) -> ClusterReport {
         let before = self.queries_run;
         let t0 = self.clock;
-        for q in &queries {
-            self.execute(q);
+        if matches!(self.backend, Backend::Sequential(_)) {
+            for q in queries {
+                self.execute(q);
+            }
+        } else if !queries.is_empty() {
+            let per_shard = match &mut self.backend {
+                Backend::Parallel(pool) => pool.run_batch(Arc::new(queries.to_vec())),
+                Backend::Sequential(_) => unreachable!("checked above"),
+            };
+            for qi in 0..queries.len() {
+                let (slowest, fastest) = minmax(per_shard.iter().map(|lat| lat[qi]));
+                self.finish_query(slowest, fastest);
+            }
         }
         let elapsed = self.clock - t0;
         let ran = self.queries_run - before;
@@ -133,13 +466,34 @@ impl SearchCluster {
                 ran as f64 / elapsed.as_secs_f64()
             },
             mean_fastest_shard: self.fastest.mean_duration(),
-            shards: self
-                .shards
-                .iter_mut()
-                .map(|s| s.run_queries(&[]))
-                .collect(),
+            shards: self.shard_reports(),
         }
     }
+
+    /// Run `n` queries from the shared log.
+    pub fn run(&mut self, n: usize) -> ClusterReport {
+        let queries = self.stream(n);
+        self.run_queries(&queries)
+    }
+
+    /// Snapshot every shard's cumulative report, in shard order.
+    fn shard_reports(&mut self) -> Vec<RunReport> {
+        match &mut self.backend {
+            Backend::Sequential(shards) => shards.iter().map(SearchEngine::report).collect(),
+            Backend::Parallel(pool) => pool.reports(),
+        }
+    }
+}
+
+/// `(max, min)` of a latency stream (empty streams keep the identities).
+fn minmax(lats: impl Iterator<Item = SimDuration>) -> (SimDuration, SimDuration) {
+    let mut slowest = SimDuration::ZERO;
+    let mut fastest = SimDuration::from_nanos(u64::MAX);
+    for t in lats {
+        slowest = slowest.max(t);
+        fastest = fastest.min(t);
+    }
+    (slowest, fastest)
 }
 
 #[cfg(test)]
@@ -157,6 +511,7 @@ mod tests {
             4,
         );
         assert_eq!(c.shards(), 4);
+        assert_eq!(c.execution(), ClusterExecution::Sequential);
         let r = c.run(100);
         assert_eq!(r.queries, 100);
         assert!(r.throughput_qps > 0.0);
@@ -212,5 +567,41 @@ mod tests {
         for shard in &r.shards {
             assert!(shard.cache.is_some());
         }
+    }
+
+    #[test]
+    fn pool_clamps_worker_count_and_reports_arm() {
+        let mut c = SearchCluster::new(
+            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 5),
+            2,
+        );
+        c.set_execution(ClusterExecution::Parallel { workers: 16 });
+        assert_eq!(
+            c.execution(),
+            ClusterExecution::Parallel { workers: 2 },
+            "pool never outnumbers the shards"
+        );
+        c.set_execution(ClusterExecution::Parallel { workers: 0 });
+        assert_eq!(c.execution(), ClusterExecution::Parallel { workers: 2 });
+        let r = c.run(50);
+        assert_eq!(r.queries, 50);
+        assert!(c.max_worker_busy().is_some());
+    }
+
+    #[test]
+    fn engines_survive_a_round_trip_through_the_pool() {
+        // Sequential → parallel → sequential: cumulative state (clock,
+        // response stats) keeps accumulating across the migrations.
+        let mut c = SearchCluster::new(
+            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 13),
+            3,
+        );
+        c.run(40);
+        c.set_execution(ClusterExecution::Parallel { workers: 2 });
+        c.run(40);
+        c.set_execution(ClusterExecution::Sequential);
+        let r = c.run(40);
+        assert_eq!(r.queries, 40);
+        assert_eq!(c.queries_run, 120);
     }
 }

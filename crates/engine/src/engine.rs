@@ -77,6 +77,15 @@ impl TraceSink for ToggleSink {
     }
 }
 
+// The cluster's worker pool moves whole engines into long-lived threads;
+// this keeps the `Send` obligation explicit so a future non-`Send` field
+// (an `Rc`, a raw pointer) fails here, at the definition, rather than in
+// a distant spawn.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SearchEngine>();
+};
+
 /// The end-to-end engine.
 #[derive(Debug)]
 pub struct SearchEngine {
@@ -250,7 +259,17 @@ impl SearchEngine {
         }
         let elapsed = self.clock.now() - t0;
         let ran = self.queries_run - before;
-        self.report(ran, elapsed)
+        self.window_report(ran, elapsed)
+    }
+
+    /// Snapshot the cumulative report without executing anything — the
+    /// per-shard rows of a `ClusterReport`, and the accessor both
+    /// cluster execution arms share. The window fields (`queries`,
+    /// `elapsed`, `throughput_qps`) are zero: a snapshot has no
+    /// measurement window, only cumulative statistics (mean/p99
+    /// response, cache and flash counters, situation table).
+    pub fn report(&self) -> RunReport {
+        self.window_report(0, SimDuration::ZERO)
     }
 
     /// Execute one query on the virtual clock, returning its response
@@ -478,7 +497,7 @@ impl SearchEngine {
     }
 
     /// Assemble the report for the queries run so far in this window.
-    fn report(&mut self, queries: u64, elapsed: SimDuration) -> RunReport {
+    fn window_report(&self, queries: u64, elapsed: SimDuration) -> RunReport {
         let flash = self.cache.as_ref().map(|c| {
             use flashsim::Ftl as _;
             let dev = c.device();

@@ -22,7 +22,7 @@ pub mod payload;
 pub mod report;
 pub mod situations;
 
-pub use cluster::{ClusterReport, SearchCluster};
+pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
 pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
 pub use engine::SearchEngine;
 pub use model::{predict, FixedCosts, ModelCheck};

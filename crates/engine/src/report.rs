@@ -6,7 +6,7 @@ use simclock::SimDuration;
 use crate::situations::SituationTable;
 
 /// Flash-internal measurements (Fig. 19's quantities).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FlashReport {
     /// Block erasures performed by the cache SSD's FTL.
     pub block_erases: u64,
@@ -31,8 +31,10 @@ pub struct FlashReport {
     pub mean_access: SimDuration,
 }
 
-/// Summary of one engine run.
-#[derive(Debug, Clone)]
+/// Summary of one engine run. `PartialEq` compares every simulated
+/// figure bit-for-bit — the equality the cluster equivalence tests and
+/// the `perf_regress` arms assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Queries executed.
     pub queries: u64,

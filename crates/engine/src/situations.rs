@@ -93,7 +93,7 @@ pub fn classify_list(from_mem: u64, from_ssd: u64, from_hdd: u64) -> Situation {
 }
 
 /// Occurrence counts and service-time statistics per situation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SituationTable {
     stats: [RunningStats; 9],
 }

@@ -5,7 +5,11 @@
 use crate::time::SimDuration;
 
 /// Welford running mean / variance / min / max. O(1) memory.
-#[derive(Debug, Clone, Copy, Default)]
+/// `PartialEq` is bit-wise on the accumulator state: two instances
+/// compare equal exactly when they absorbed the same observations in
+/// the same order, which is the determinism the cluster equivalence
+/// tests lean on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,

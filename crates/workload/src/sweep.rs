@@ -13,9 +13,63 @@
 //! otherwise serialize on the shared cursor's cache line. Chunks shrink
 //! as the sweep drains (half the remaining work divided by the worker
 //! count, floored at 1) so stragglers still balance.
+//!
+//! The input/output handoff is **lock-free**: the cursor's atomic
+//! `fetch_add` gives each index to exactly one worker, which takes the
+//! input and writes the result for that index exactly once, and the
+//! caller only reads results after joining every worker. Each slot is
+//! therefore a plain [`UnsafeCell`] (see [`SlotVec`]) instead of the two
+//! `Vec<Mutex<Option<_>>>` allocations an earlier revision used — on
+//! cheap items the per-slot lock/unlock pair *was* the dispatch cost
+//! (measured by the `parallel_sweep` bench group).
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// One-shot slot array shared across the sweep workers.
+///
+/// Safety protocol: a slot is only touched by the worker holding that
+/// index's unique claim from the shared cursor (an atomic RMW), and by
+/// the caller after `thread::scope` has joined every worker. No slot is
+/// ever accessed concurrently, so no per-slot synchronization is needed.
+struct SlotVec<T>(Box<[UnsafeCell<Option<T>>]>);
+
+// SAFETY: slots are never accessed concurrently (see the protocol
+// above); `T: Send` because values move across the worker threads.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    fn filled(items: Vec<T>) -> Self {
+        SlotVec(items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect())
+    }
+
+    fn empty(n: usize) -> Self {
+        SlotVec((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Move the value out of slot `i`.
+    ///
+    /// SAFETY: the caller must hold the unique claim on index `i`.
+    unsafe fn take(&self, i: usize) -> T {
+        (*self.0[i].get()).take().expect("each index is claimed once")
+    }
+
+    /// Fill slot `i`.
+    ///
+    /// SAFETY: the caller must hold the unique claim on index `i`.
+    unsafe fn put(&self, i: usize, value: T) {
+        *self.0[i].get() = Some(value);
+    }
+
+    /// Drain the slots in index order (single-threaded, after the scope
+    /// has joined all workers).
+    fn into_values(self) -> impl Iterator<Item = T> {
+        self.0
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner().expect("every index was processed"))
+    }
+}
 
 /// Apply `f` to every element of `inputs` using up to `threads` worker
 /// threads (0 = one per available core). Results come back in input order.
@@ -40,14 +94,14 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    // A shared cursor hands out *chunks* of indices; each slot is taken
-    // and filled exactly once, so per-slot mutexes are uncontended.
-    let items: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // A shared cursor hands out *chunks* of indices; the claim makes
+    // each slot's take/fill exclusive, so the handoff is lock-free.
+    let items = SlotVec::filled(inputs);
+    let results: SlotVec<U> = SlotVec::empty(n);
     let cursor = AtomicUsize::new(0);
     let f = &f;
-    let items = &items;
-    let results = &results;
+    let items_ref = &items;
+    let results_ref = &results;
     let cursor = &cursor;
 
     let panicked = std::thread::scope(|scope| {
@@ -67,13 +121,11 @@ where
                     }
                     let end = (start + want).min(n);
                     for i in start..end {
-                        let input = items[i]
-                            .lock()
-                            .expect("input mutex poisoned")
-                            .take()
-                            .expect("each index is claimed once");
+                        // SAFETY: the `fetch_add` handed [start, end) to
+                        // this worker alone.
+                        let input = unsafe { items_ref.take(i) };
                         let output = f(input);
-                        *results[i].lock().expect("result mutex poisoned") = Some(output);
+                        unsafe { results_ref.put(i, output) };
                     }
                 })
             })
@@ -82,15 +134,7 @@ where
     });
     assert!(!panicked, "a sweep worker panicked");
 
-    results
-        .iter()
-        .map(|m| {
-            m.lock()
-                .expect("result mutex poisoned")
-                .take()
-                .expect("every index was processed")
-        })
-        .collect()
+    results.into_values().collect()
 }
 
 #[cfg(test)]
