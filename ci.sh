@@ -15,6 +15,12 @@ cargo test -q --workspace
 echo "== cluster equivalence (explicit) =="
 cargo test --release -q -p engine --test cluster_equivalence
 
+echo "== postings equivalence (explicit) =="
+cargo test --release -q -p searchidx --test postings_equivalence
+
+echo "== postings_decode bench builds =="
+cargo build --release -p bench --bench postings_decode
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the block-compressed postings
+//! representation: decode throughput against the lazily regenerated
+//! reference lists, backend-vs-backend top-K over a query log, and
+//! galloping vs skip-table intersection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use searchidx::{
+    AndProcessor, BlockPostings, BlockSortedList, CorpusSpec, DecodeArena, DocSortedList,
+    IndexReader, Posting, PostingsBackend, SyntheticIndex, TermId, TopKConfig, TopKProcessor,
+};
+use simclock::Rng;
+use workload::{QueryLog, QueryLogSpec};
+
+fn bench_postings_decode(c: &mut Criterion) {
+    let index = SyntheticIndex::new(CorpusSpec::enwiki_like(100_000, 5));
+    let log = QueryLog::new(QueryLogSpec::aol_like(
+        IndexReader::num_terms(&index),
+        9,
+    ));
+    let mut g = c.benchmark_group("postings_decode");
+    g.sample_size(30);
+
+    // Steady-state serving cost of a head term's first 4k postings:
+    // varint block decode from the warm store vs regeneration through
+    // `postings_range` (transcendental math + a fresh Vec per call).
+    let head: TermId = 0;
+    let depth = 4_096u64;
+    let mut warm = BlockPostings::new(index.doc_freq(head));
+    warm.ensure(&index, head, depth);
+    g.bench_function("block_decode_hot", |b| {
+        let mut buf: Vec<Posting> = Vec::new();
+        b.iter(|| {
+            let mut total = 0u64;
+            for blk in 0..warm.num_blocks() {
+                total += warm.decode_block(blk, &mut buf) as u64;
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("lazy_regen_reference", |b| {
+        b.iter(|| black_box(index.postings_range(head, 0, depth).len() as u64));
+    });
+
+    // End-to-end disjunctive top-K over the same seeded query stream on
+    // each backend — bit-identical outcomes, different traversal cost.
+    g.bench_function("log_query_blocked", |b| {
+        let mut proc = TopKProcessor::new(TopKConfig::default());
+        proc.set_backend(PostingsBackend::Blocked);
+        let mut rng = Rng::new(17);
+        b.iter(|| {
+            let q = log.sample(&mut rng);
+            black_box(proc.process(&index, &q.terms).postings_scanned())
+        });
+    });
+    g.bench_function("log_query_reference_backend", |b| {
+        let mut proc = TopKProcessor::new(TopKConfig::default());
+        proc.set_backend(PostingsBackend::Reference);
+        let mut rng = Rng::new(17);
+        b.iter(|| {
+            let q = log.sample(&mut rng);
+            black_box(proc.process(&index, &q.terms).postings_scanned())
+        });
+    });
+
+    // Skewed intersection (head term ∩ rare term): galloping block-max
+    // cursor vs the reference skip-table cursor over prebuilt lists.
+    let pair: [TermId; 2] = [0, 1_500];
+    let sorted: Vec<(TermId, DocSortedList)> = pair
+        .iter()
+        .map(|&t| (t, DocSortedList::from_postings(&index.postings(t))))
+        .collect();
+    let sorted_refs: Vec<(TermId, &DocSortedList)> =
+        sorted.iter().map(|(t, l)| (*t, l)).collect();
+    let blocked: Vec<(TermId, BlockSortedList)> = pair
+        .iter()
+        .map(|&t| (t, BlockSortedList::from_postings(&index.postings(t))))
+        .collect();
+    let blocked_refs: Vec<(TermId, &BlockSortedList)> =
+        blocked.iter().map(|(t, l)| (*t, l)).collect();
+    let proc = AndProcessor::default();
+    g.bench_function("skip_intersect", |b| {
+        b.iter(|| black_box(proc.intersect(&index, &sorted_refs).match_count()));
+    });
+    g.bench_function("galloping_intersect", |b| {
+        let mut arena = DecodeArena::new();
+        b.iter(|| {
+            black_box(
+                proc.intersect_blocked(&index, &blocked_refs, &mut arena)
+                    .match_count(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_postings_decode);
+criterion_main!(benches);

@@ -8,11 +8,16 @@
 //! stream, comparing every scatter-gather response, and the full
 //! `ClusterReport`s at the end.
 //!
+//! With `--postings` it bisects the *postings backends*: two engines
+//! differing only in `PostingsBackend` (uncompressed reference vs
+//! block-compressed) run in lockstep until the first query whose
+//! response or cache counters diverge.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
-//!         [--cluster] [--workers N]
+//!         [--cluster] [--workers N] [--postings]
 
-use engine::{ClusterExecution, EngineConfig, SearchCluster, SearchEngine};
+use engine::{ClusterExecution, EngineConfig, PostingsBackend, SearchCluster, SearchEngine};
 use hybridcache::PolicyKind;
 use workload::Query;
 
@@ -67,10 +72,75 @@ fn probe_cluster(policy: PolicyKind, workers: usize) {
     println!("no divergence over {queries} cluster queries ({workers} workers)");
 }
 
+/// Lockstep bisection of the postings backends. Reference mode stays off
+/// on both engines, so the backend is the only thing that differs.
+fn probe_postings(policy: PolicyKind, seed_flag: bool) {
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+    let cfg = |backend| {
+        EngineConfig {
+            postings: backend,
+            ..EngineConfig::cached(
+                docs,
+                hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
+                seed,
+            )
+        }
+    };
+    let mut a = SearchEngine::new(cfg(PostingsBackend::Reference));
+    let mut b = SearchEngine::new(cfg(PostingsBackend::Blocked));
+    println!(
+        "postings probe: {docs} docs, arm A = {:?}, arm B = {:?}",
+        a.postings_backend(),
+        b.postings_backend()
+    );
+    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
+        a.seed_static_from_log(queries);
+        b.seed_static_from_log(queries);
+        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
+        if ra != rb {
+            println!("diverged during seeding: {ra:?} vs {rb:?}");
+            return;
+        }
+        println!("seeding identical");
+    }
+    let stream: Vec<Query> = a.log().stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ta = a.execute(q);
+        let tb = b.execute(q);
+        let sa = a.cache().unwrap().stats();
+        let sb = b.cache().unwrap().stats();
+        let (ssa, ssb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        if ta != tb || sa != sb || ssa != ssb {
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
+            println!("  response: {ta} vs {tb}");
+            println!("  stats reference: {sa:?}");
+            println!("  stats blocked:   {sb:?}");
+            println!("  store reference: {ssa:?}");
+            println!("  store blocked:   {ssb:?}");
+            return;
+        }
+    }
+    let skips = b.postings_skip_stats();
+    let store = b.postings_store_stats();
+    println!("no divergence over {queries} queries between postings backends");
+    println!(
+        "  blocked arm: {} block-max probes, {} postings pruned undecoded, \
+         {} terms encoded ({} B)",
+        skips.skip_probes, skips.skipped, store.terms, store.encoded_bytes
+    );
+}
+
 fn main() {
     let mut policy_arg = String::from("cbslru");
     let mut seed_flag = true;
     let mut cluster = false;
+    let mut postings = false;
     let mut workers = 0usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -78,6 +148,7 @@ fn main() {
             "--policy" => policy_arg = args.next().unwrap_or_default(),
             "--no-seed" => seed_flag = false,
             "--cluster" => cluster = true,
+            "--postings" => postings = true,
             "--workers" => {
                 workers = args
                     .next()
@@ -96,6 +167,10 @@ fn main() {
     };
     if cluster {
         probe_cluster(policy, workers);
+        return;
+    }
+    if postings {
+        probe_postings(policy, seed_flag);
         return;
     }
     let cfg = || {

@@ -17,22 +17,31 @@
 //! container the pool can only tie the sequential arm; the ≥2x target
 //! at 4 shards needs ≥2 free cores.
 //!
-//! In both arms every **simulated figure must be bit-identical** (hit
-//! ratio, response times, cache/flash counters, the full
+//! **Postings arm** (PR 3, `BENCH_3.json`): runs the engine workload on
+//! both `PostingsBackend`s — the uncompressed reference traversal and
+//! the block-compressed lists with block-max skipping — with every other
+//! toggle held at its optimized setting, so the measured gap is the
+//! postings representation alone. The blocked arm additionally reports
+//! its block-max accounting (bounds consulted, postings pruned without
+//! decode) and the block store's encoded footprint.
+//!
+//! In all arms every **simulated figure must be bit-identical** (hit
+//! ratio, response times, cache/flash counters, the full `RunReport` /
 //! `ClusterReport`): the optimizations are behavior-preserving by
 //! construction, and this harness re-checks that end-to-end on every
 //! run. Wall-clock is the only number allowed to move.
 //!
 //!     cargo run --release -p bench --bin perf_regress \
-//!         [-- --out PATH] [--cluster-out PATH]
+//!         [-- --out PATH] [--cluster-out PATH] [--postings-out PATH]
 //!
-//! Exit status is non-zero if either arm's simulated figures diverge.
+//! Exit status is non-zero if any arm's simulated figures diverge.
 
 use std::time::Instant;
 
 use bench::{cache_config, run_cached};
 use engine::{
-    ClusterExecution, ClusterReport, EngineConfig, RunReport, SearchCluster, SearchEngine,
+    ClusterExecution, ClusterReport, EngineConfig, PostingsBackend, RunReport, SearchCluster,
+    SearchEngine,
 };
 use hybridcache::PolicyKind;
 
@@ -85,6 +94,147 @@ fn run_arm(label: &'static str, reference: bool) -> Arm {
         evictions: ic.evictions + rc.collateral_evictions,
         wall_secs,
     }
+}
+
+/// One measured postings arm.
+struct PostingsArm {
+    label: &'static str,
+    report: RunReport,
+    evictions: u64,
+    wall_secs: f64,
+    /// Block-max accounting (zeros on the reference backend).
+    skips: searchidx::SkipStats,
+    /// Block-store footprint (zeros on the reference backend).
+    store: searchidx::BlockStoreStats,
+}
+
+fn run_postings_arm(label: &'static str, backend: PostingsBackend) -> PostingsArm {
+    // Identical to the engine arm's workload; reference mode stays OFF on
+    // both arms so the postings backend is the only difference.
+    let cfg = cache_config(
+        MEM_BYTES,
+        SSD_BYTES,
+        PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    );
+    let t0 = Instant::now();
+    let mut e = SearchEngine::new(EngineConfig {
+        postings: backend,
+        ..EngineConfig::cached(DOCS, cfg, SEED)
+    });
+    e.seed_static_from_log(QUERIES);
+    let report = e.run(QUERIES);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let (rc, ic) = e.cache().expect("cached config").store_stats();
+    PostingsArm {
+        label,
+        report,
+        evictions: ic.evictions + rc.collateral_evictions,
+        wall_secs,
+        skips: e.postings_skip_stats(),
+        store: e.postings_store_stats(),
+    }
+}
+
+fn postings_arm_json(a: &PostingsArm) -> String {
+    let r = &a.report;
+    let cache = cache_of(r);
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"wall_queries_per_sec\": {:.3},\n",
+            "      \"sim_hit_ratio\": {:.17},\n",
+            "      \"sim_mean_response_ns\": {},\n",
+            "      \"sim_p99_response_ns\": {},\n",
+            "      \"sim_elapsed_ns\": {},\n",
+            "      \"postings_scanned\": {},\n",
+            "      \"evictions\": {},\n",
+            "      \"ssd_bytes_written\": {},\n",
+            "      \"blockmax_bounds_probed\": {},\n",
+            "      \"blockmax_postings_pruned\": {},\n",
+            "      \"block_store_terms\": {},\n",
+            "      \"block_store_built_postings\": {},\n",
+            "      \"block_store_encoded_bytes\": {},\n",
+            "      \"block_store_hot_postings\": {}\n",
+            "    }}"
+        ),
+        a.label,
+        a.wall_secs,
+        r.queries as f64 / a.wall_secs,
+        r.hit_ratio(),
+        r.mean_response.as_nanos(),
+        r.p99_response.as_nanos(),
+        r.elapsed.as_nanos(),
+        r.postings_scanned,
+        a.evictions,
+        cache.ssd_bytes_written,
+        a.skips.skip_probes,
+        a.skips.skipped,
+        a.store.terms,
+        a.store.built_postings,
+        a.store.encoded_bytes,
+        a.store.hot_postings,
+    )
+}
+
+/// Run both postings arms, emit `BENCH_3.json`, and return whether the
+/// simulated figures were bit-identical.
+fn postings_regress(out: &str) -> bool {
+    let reference = run_postings_arm("reference_postings", PostingsBackend::Reference);
+    eprintln!(
+        "postings reference: {} ({:.2}s wall)",
+        reference.report.summary(),
+        reference.wall_secs
+    );
+    let blocked = run_postings_arm("blocked_postings", PostingsBackend::Blocked);
+    eprintln!(
+        "postings blocked:   {} ({:.2}s wall)",
+        blocked.report.summary(),
+        blocked.wall_secs
+    );
+
+    // The contract: the entire RunReport (and the store-level eviction
+    // counters) is bit-identical — block-max skipping only removes work
+    // the quit rules were about to remove posting-by-posting.
+    let identical =
+        reference.report == blocked.report && reference.evictions == blocked.evictions;
+    let speedup = reference.wall_secs / blocked.wall_secs;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress_postings\",\n",
+            "  \"workload\": {{\n",
+            "    \"docs\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"mem_bytes\": {},\n",
+            "    \"ssd_bytes\": {},\n",
+            "    \"policy\": \"CBSLRU(0.3)\"\n",
+            "  }},\n",
+            "  \"arms\": [\n{},\n{}\n  ],\n",
+            "  \"sim_figures_bit_identical\": {},\n",
+            "  \"wall_clock_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        DOCS,
+        QUERIES,
+        SEED,
+        MEM_BYTES,
+        SSD_BYTES,
+        postings_arm_json(&reference),
+        postings_arm_json(&blocked),
+        identical,
+        speedup,
+    );
+    std::fs::write(out, &json)
+        .unwrap_or_else(|e| panic!("cannot write postings report to {out}: {e}"));
+    println!("{json}");
+    println!("wrote {out}; postings speedup {speedup:.2}x, sim figures identical: {identical}");
+    identical
 }
 
 fn cache_of(r: &RunReport) -> &hybridcache::CacheStats {
@@ -278,6 +428,7 @@ fn cluster_regress(out: &str) -> bool {
 fn main() {
     let mut out = String::from("BENCH_1.json");
     let mut cluster_out = String::from("BENCH_2.json");
+    let mut postings_out = String::from("BENCH_3.json");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -287,6 +438,10 @@ fn main() {
         } else if a == "--cluster-out" {
             if let Some(v) = args.next() {
                 cluster_out = v;
+            }
+        } else if a == "--postings-out" {
+            if let Some(v) = args.next() {
+                postings_out = v;
             }
         }
     }
@@ -343,10 +498,17 @@ fn main() {
     println!("{json}");
     println!("wrote {out}; speedup {speedup:.2}x, sim figures identical: {identical}");
 
+    let postings_identical = postings_regress(&postings_out);
     let cluster_identical = cluster_regress(&cluster_out);
 
     if !identical {
         eprintln!("FAIL: simulated figures diverged between the engine arms");
+    }
+    if !postings_identical {
+        eprintln!(
+            "FAIL: postings backends diverged — bisect with \
+             `cargo run --release -p bench --bin divergence_probe -- --postings`"
+        );
     }
     if !cluster_identical {
         eprintln!(
@@ -354,7 +516,7 @@ fn main() {
              `cargo run --release -p bench --bin divergence_probe -- --cluster`"
         );
     }
-    if !identical || !cluster_identical {
+    if !identical || !postings_identical || !cluster_identical {
         std::process::exit(1);
     }
 }

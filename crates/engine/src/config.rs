@@ -1,7 +1,7 @@
 //! Engine configuration and the CPU cost model.
 
 use hybridcache::HybridConfig;
-use searchidx::TopKConfig;
+use searchidx::{PostingsBackend, TopKConfig};
 use simclock::SimDuration;
 
 /// Where the index files live (the paper's "HDD" vs "SSD" index storage
@@ -66,6 +66,10 @@ pub struct EngineConfig {
     pub index_placement: IndexPlacement,
     /// Query-processing knobs.
     pub topk: TopKConfig,
+    /// Which posting-list representation the processor scans. Both
+    /// backends produce bit-identical simulated figures (`perf_regress`
+    /// postings arm asserts it); `Blocked` is the fast default.
+    pub postings: PostingsBackend,
     /// CPU cost model.
     pub cost: CpuCostModel,
     /// Capture the index-device I/O trace (Fig. 1(b)).
@@ -100,6 +104,7 @@ impl EngineConfig {
             cache: None,
             index_placement: placement,
             topk: Self::default_topk(docs),
+            postings: PostingsBackend::default(),
             cost: CpuCostModel::default(),
             capture_trace: false,
             snippet_fetches: 0,
@@ -114,6 +119,7 @@ impl EngineConfig {
             cache: Some(cache),
             index_placement: IndexPlacement::Hdd,
             topk: Self::default_topk(docs),
+            postings: PostingsBackend::default(),
             cost: CpuCostModel::default(),
             capture_trace: false,
             snippet_fetches: 0,

@@ -108,6 +108,10 @@ pub struct SearchEngine {
     response_hist: Histogram,
     queries_run: u64,
     postings_scanned: u64,
+    /// Aggregated block-max accounting from the blocked postings backend
+    /// (all zeros on the reference backends). Diagnostic only — kept out
+    /// of [`RunReport`], which must stay bit-identical across backends.
+    block_skips: searchidx::SkipStats,
     /// Three-level mode: co-occurrence counts of (heaviest) term pairs.
     pair_freq: FreqCounter<(u32, u32)>,
     /// Intersection serves (hits) and installs, for reporting.
@@ -142,8 +146,10 @@ impl SearchEngine {
             CacheManager::new(hc, device)
         });
         let log = QueryLog::new(QueryLogSpec::aol_like(index.num_terms(), config.seed ^ 0xBEEF));
+        let mut processor = TopKProcessor::new(config.topk);
+        processor.set_backend(config.postings);
         SearchEngine {
-            processor: TopKProcessor::new(config.topk),
+            processor,
             reference_mode: false,
             index,
             layout,
@@ -157,6 +163,7 @@ impl SearchEngine {
             response_hist: Histogram::new(),
             queries_run: 0,
             postings_scanned: 0,
+            block_skips: searchidx::SkipStats::default(),
             pair_freq: FreqCounter::new(),
             intersection_hits: 0,
             intersection_installs: 0,
@@ -201,11 +208,14 @@ impl SearchEngine {
     }
 
     /// Switch both hot paths to their reference implementations: linear
-    /// victim scans in the cache and the `HashMap` top-K accumulator.
-    /// Simulated figures are identical either way (the victim-equivalence
-    /// property tests in `hybridcache` prove the victim choices match);
-    /// only wall-clock differs. The `perf_regress` harness uses this to
-    /// measure the optimized paths against the originals.
+    /// victim scans in the cache and the `HashMap` top-K accumulator
+    /// (which always traverses uncompressed postings, regardless of the
+    /// postings backend). Simulated figures are identical either way (the
+    /// victim-equivalence property tests in `hybridcache` prove the
+    /// victim choices match); only wall-clock differs. The `perf_regress`
+    /// harness uses this to measure the optimized paths against the
+    /// originals. The postings backend is a separate, orthogonal axis —
+    /// see [`SearchEngine::set_postings_backend`].
     pub fn set_reference_mode(&mut self, on: bool) {
         self.reference_mode = on;
         let selection = if on {
@@ -218,12 +228,39 @@ impl SearchEngine {
         }
     }
 
-    fn topk(&self, terms: &[u32]) -> QueryOutcome {
-        if self.reference_mode {
+    /// Select which posting-list representation the processor scans.
+    /// Both produce bit-identical simulated figures; the `perf_regress`
+    /// postings arm measures the wall-clock gap.
+    pub fn set_postings_backend(&mut self, backend: searchidx::PostingsBackend) {
+        self.processor.set_backend(backend);
+    }
+
+    /// The active postings backend.
+    pub fn postings_backend(&self) -> searchidx::PostingsBackend {
+        self.processor.backend()
+    }
+
+    /// Aggregated block-max skip accounting since the last measurement
+    /// reset (all zeros unless the blocked backend ran): `skip_probes`
+    /// block-max bounds consulted, `skipped` postings pruned without
+    /// decode, `visited` postings decoded and scored.
+    pub fn postings_skip_stats(&self) -> searchidx::SkipStats {
+        self.block_skips
+    }
+
+    /// Footprint of the processor's block-compressed store.
+    pub fn postings_store_stats(&self) -> searchidx::BlockStoreStats {
+        self.processor.store_stats()
+    }
+
+    fn topk(&mut self, terms: &[u32]) -> QueryOutcome {
+        let outcome = if self.reference_mode {
             self.processor.process_reference(&self.index, terms)
         } else {
             self.processor.process(&self.index, terms)
-        }
+        };
+        self.block_skips.absorb(outcome.skip_stats);
+        outcome
     }
 
     /// Current virtual time.
@@ -551,6 +588,7 @@ impl SearchEngine {
         self.response = RunningStats::new();
         self.response_hist = Histogram::new();
         self.postings_scanned = 0;
+        self.block_skips = searchidx::SkipStats::default();
         self.index_dev.reset_stats();
         if let Some(cache) = self.cache.as_mut() {
             cache.reset_stats();

@@ -25,6 +25,7 @@ pub mod situations;
 pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
 pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
 pub use engine::SearchEngine;
+pub use searchidx::PostingsBackend;
 pub use model::{predict, FixedCosts, ModelCheck};
 pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};

@@ -1,0 +1,833 @@
+//! Block-compressed posting lists.
+//!
+//! The seed's query hot path regenerates synthetic postings on every
+//! traversal (`IndexReader::postings_range`) — transcendental math and a
+//! fresh `Vec` per chunk. This module provides the second postings
+//! representation of the engine: delta-encoded doc ids packed in
+//! fixed-size blocks, each block carrying enough metadata (`max_doc`,
+//! block-max `tf`) to be *skipped without being decoded*. It follows the
+//! compressed in-memory segment design of Asadi & Lin ("Fast, Incremental
+//! Inverted Indexing in Main Memory") and the block-max indexes of the
+//! WAND family: decode cost is paid per block actually visited, and whole
+//! blocks that cannot matter are jumped via their metadata.
+//!
+//! Two list layouts share the codec:
+//!
+//! * [`BlockPostings`] — **canonical (tf-descending) order**, the order
+//!   the disjunctive [`crate::topk`] processor scans. Blocks of
+//!   [`BLOCK_SIZE`] postings carry a block-max `tf`, the bound behind
+//!   block-max early termination. Lists are built *lazily by prefix*:
+//!   only the depth a workload actually scans is ever generated and
+//!   encoded, mirroring the partial-traversal economics of the paper.
+//! * [`BlockSortedList`] — **doc-ascending order**, the order conjunctive
+//!   evaluation intersects in. Blocks of [`SORTED_BLOCK`] postings carry
+//!   their last (maximum) doc id; [`BlockCursor::advance_to`] gallops
+//!   over that metadata and binary-searches inside a lazily-decoded
+//!   block.
+//!
+//! Decoding goes through a [`DecodeArena`] of pooled buffers so the
+//! steady state allocates nothing.
+
+use std::collections::HashMap;
+
+use crate::skips::{PostingsCursor, SkipStats, SKIP_INTERVAL};
+use crate::types::{DocId, IndexReader, Posting, PostingList, TermId};
+
+/// Postings per block in canonical (tf-descending) lists.
+pub const BLOCK_SIZE: usize = 128;
+
+/// Postings per block in doc-sorted lists. Deliberately equal to
+/// [`SKIP_INTERVAL`]: the galloping cursor then binary-searches exactly
+/// the spans the reference [`crate::skips::SkipCursor`] does, so the two
+/// backends' `visited` accounting is directly comparable (and the
+/// equivalence suite can assert Blocked ≤ Reference).
+pub const SORTED_BLOCK: usize = SKIP_INTERVAL;
+
+/// Which posting-list representation the query processors traverse.
+///
+/// Mirrors the `VictimSelection` / `ClusterExecution` toggles: the
+/// reference arm is the seed's uncompressed path kept verbatim, the
+/// blocked arm is the optimized one, and every simulated figure must be
+/// bit-identical between them (`perf_regress` re-checks this end-to-end;
+/// `postings_equivalence` proves it property-by-property).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PostingsBackend {
+    /// Uncompressed traversal straight off `IndexReader::postings_range`
+    /// (the seed's behavior).
+    Reference,
+    /// Block-compressed lists with block-max skipping and galloping
+    /// intersection.
+    #[default]
+    Blocked,
+}
+
+// ---------------------------------------------------------------------
+// Codec: LEB128 varints, zigzag for signed deltas.
+// ---------------------------------------------------------------------
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// `write_varint` into a stack buffer at offset `n`, returning the new
+/// offset — lets an encoder emit a posting's varints with one bulk
+/// `extend_from_slice` instead of per-byte `push` capacity checks.
+#[inline]
+fn put_varint(buf: &mut [u8; 20], mut n: usize, mut v: u64) -> usize {
+    while v >= 0x80 {
+        buf[n] = (v as u8) | 0x80;
+        n += 1;
+        v >>= 7;
+    }
+    buf[n] = v as u8;
+    n + 1
+}
+
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte < 0x80 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------
+// Decode arena
+// ---------------------------------------------------------------------
+
+/// A pool of decode buffers. Cursors and processors lease a buffer,
+/// decode blocks into it, and release it when done — after a short
+/// warm-up no traversal allocates.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeArena {
+    free: Vec<Vec<Posting>>,
+}
+
+impl DecodeArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        DecodeArena::default()
+    }
+
+    /// Lease a (cleared) buffer.
+    pub fn lease(&mut self) -> Vec<Posting> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool.
+    pub fn release(&mut self, mut buf: Vec<Posting>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical-order blocked lists (the top-K scan representation)
+// ---------------------------------------------------------------------
+
+/// Per-block metadata of a canonical-order list.
+#[derive(Debug, Clone, Copy)]
+struct CanonicalBlock {
+    /// Byte offset of the block's first varint in `data`.
+    offset: u32,
+    /// Postings in the block (== [`BLOCK_SIZE`] except possibly the last).
+    len: u16,
+    /// Largest term frequency in the block — because canonical order is
+    /// tf-descending this is the block's *first* tf, and
+    /// `weight(max_tf) · idf` bounds every contribution the block can
+    /// make: the block-max score of the WAND family.
+    max_tf: u32,
+}
+
+/// A block-compressed posting list in canonical (tf-descending) order,
+/// built lazily by prefix.
+///
+/// Doc ids within a block are zigzag-delta coded against the previous
+/// posting (canonical order leaves them unsorted, so deltas are signed);
+/// term frequencies are zigzag-delta coded too (non-increasing, so the
+/// deltas are small). Each block's first posting is coded against zero,
+/// making blocks independently decodable.
+#[derive(Debug, Clone)]
+pub struct BlockPostings {
+    /// Full list length (the term's document frequency).
+    df: u64,
+    /// Postings encoded so far — always a multiple of [`BLOCK_SIZE`], or
+    /// `df` once the list is complete.
+    built: u64,
+    data: Vec<u8>,
+    blocks: Vec<CanonicalBlock>,
+    /// The first [`HOT_PREFIX`] postings, pinned decoded. Impact order
+    /// means the head of every list is by far the most re-scanned part
+    /// (most queries early-terminate well inside it), so serving it as a
+    /// plain slice skips the varint decode on every revisit; the tail
+    /// past the pin stays compressed-only.
+    hot: Vec<Posting>,
+    /// Traversals recorded via [`BlockPostings::note_visit`].
+    visits: u32,
+}
+
+/// Postings per list pinned in decoded form (a whole number of blocks).
+pub const HOT_PREFIX: u64 = 32 * BLOCK_SIZE as u64;
+
+impl BlockPostings {
+    /// An empty (not yet built) list of known length.
+    pub fn new(df: u64) -> Self {
+        BlockPostings {
+            df,
+            built: 0,
+            data: Vec::new(),
+            blocks: Vec::new(),
+            hot: Vec::new(),
+            visits: 0,
+        }
+    }
+
+    /// Full list length.
+    pub fn df(&self) -> u64 {
+        self.df
+    }
+
+    /// Postings encoded so far.
+    pub fn built(&self) -> u64 {
+        self.built
+    }
+
+    /// Blocks encoded so far.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Encoded footprint in bytes (payload + metadata).
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 + self.blocks.len() as u64 * 10
+    }
+
+    /// Extend the encoded prefix to cover at least `upto` postings
+    /// (rounded up to a whole block, clamped to `df`). Generation goes
+    /// through `index.postings_range`, so the encoded content is exactly
+    /// the canonical sequence the reference backend scans.
+    pub fn ensure<R: IndexReader>(&mut self, index: &R, term: TermId, upto: u64) {
+        let want = upto.min(self.df);
+        if self.built >= want {
+            return;
+        }
+        let target = (want.div_ceil(BLOCK_SIZE as u64) * BLOCK_SIZE as u64).min(self.df);
+        let fresh = index.postings_range(term, self.built, target);
+        debug_assert_eq!(fresh.len() as u64, target - self.built);
+        let pin = HOT_PREFIX.saturating_sub(self.built).min(fresh.len() as u64);
+        self.hot.extend_from_slice(&fresh[..pin as usize]);
+        self.data.reserve(fresh.len() * 6);
+        for chunk in fresh.chunks(BLOCK_SIZE) {
+            let max_tf = chunk.iter().map(|p| p.tf).max().unwrap_or(0);
+            self.blocks.push(CanonicalBlock {
+                offset: u32::try_from(self.data.len()).expect("list under 4 GiB"),
+                len: chunk.len() as u16,
+                max_tf,
+            });
+            let (mut prev_doc, mut prev_tf) = (0i64, 0i64);
+            let mut tmp = [0u8; 20];
+            for p in chunk {
+                let mut n = put_varint(&mut tmp, 0, zigzag(p.doc as i64 - prev_doc));
+                n = put_varint(&mut tmp, n, zigzag(p.tf as i64 - prev_tf));
+                self.data.extend_from_slice(&tmp[..n]);
+                prev_doc = p.doc as i64;
+                prev_tf = p.tf as i64;
+            }
+        }
+        self.built = target;
+    }
+
+    /// The block-max `tf` of block `b` (must be built).
+    #[inline]
+    pub fn block_max_tf(&self, b: usize) -> u32 {
+        self.blocks[b].max_tf
+    }
+
+    /// The pinned decoded prefix (first `min(built, HOT_PREFIX)`
+    /// postings, identical to what decoding the head blocks yields).
+    #[inline]
+    pub fn hot_prefix(&self) -> &[Posting] {
+        &self.hot
+    }
+
+    /// Record a traversal of this list, returning whether it had been
+    /// traversed (or built) before. Scanners use this to defer the
+    /// encode until a term proves reusable: under a Zipf query log the
+    /// once-queried tail never repays an encode, while head terms are
+    /// re-scanned hundreds of times.
+    #[inline]
+    pub fn note_visit(&mut self) -> bool {
+        let seen = self.visits > 0 || self.built > 0;
+        self.visits = self.visits.saturating_add(1);
+        seen
+    }
+
+    /// Decode block `b` (must be built) into `out`, replacing its
+    /// contents. Returns the number of postings decoded.
+    pub fn decode_block(&self, b: usize, out: &mut Vec<Posting>) -> usize {
+        let blk = self.blocks[b];
+        out.clear();
+        let mut pos = blk.offset as usize;
+        let (mut doc, mut tf) = (0i64, 0i64);
+        for _ in 0..blk.len {
+            doc += unzigzag(read_varint(&self.data, &mut pos));
+            tf += unzigzag(read_varint(&self.data, &mut pos));
+            out.push(Posting {
+                doc: doc as DocId,
+                tf: tf as u32,
+            });
+        }
+        blk.len as usize
+    }
+}
+
+/// Aggregate footprint of a [`BlockStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStoreStats {
+    /// Terms with at least one block built.
+    pub terms: usize,
+    /// Postings encoded across all lists.
+    pub built_postings: u64,
+    /// Encoded bytes across all lists (payload + metadata).
+    pub encoded_bytes: u64,
+    /// Postings pinned decoded across all lists (the hot prefixes).
+    pub hot_postings: u64,
+}
+
+/// The per-engine cache of canonical blocked lists, keyed by term.
+/// Contents are append-only: once a block is encoded it never changes,
+/// which is what lets decoded-block caching skip re-decodes safely.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    lists: HashMap<TermId, BlockPostings>,
+}
+
+impl BlockStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// The (possibly still unbuilt) list for `term`, creating it with
+    /// length `df` on first access.
+    pub fn list_mut(&mut self, term: TermId, df: u64) -> &mut BlockPostings {
+        self.lists.entry(term).or_insert_with(|| BlockPostings::new(df))
+    }
+
+    /// Aggregate footprint.
+    pub fn stats(&self) -> BlockStoreStats {
+        let mut s = BlockStoreStats::default();
+        for l in self.lists.values() {
+            if l.built > 0 {
+                s.terms += 1;
+            }
+            s.built_postings += l.built;
+            s.encoded_bytes += l.bytes();
+            s.hot_postings += l.hot.len() as u64;
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Doc-sorted blocked lists + galloping cursor (the intersection side)
+// ---------------------------------------------------------------------
+
+/// Per-block metadata of a doc-sorted list.
+#[derive(Debug, Clone, Copy)]
+struct SortedBlock {
+    offset: u32,
+    len: u16,
+    /// The block's last (largest) doc id — the skip key.
+    max_doc: DocId,
+}
+
+/// A block-compressed, doc-ascending posting list: the blocked
+/// counterpart of [`crate::skips::DocSortedList`]. Doc ids are plain
+/// varint deltas (strictly increasing within a list), term frequencies
+/// raw varints; each block decodes independently.
+#[derive(Debug, Clone)]
+pub struct BlockSortedList {
+    len: usize,
+    data: Vec<u8>,
+    blocks: Vec<SortedBlock>,
+}
+
+impl BlockSortedList {
+    /// Build from any posting list (re-sorts by doc id, like
+    /// `DocSortedList::from_postings`).
+    pub fn from_postings(list: &PostingList) -> Self {
+        let mut postings = list.postings().to_vec();
+        postings.sort_unstable_by_key(|p| p.doc);
+        let mut data = Vec::new();
+        let mut blocks = Vec::with_capacity(postings.len().div_ceil(SORTED_BLOCK));
+        for chunk in postings.chunks(SORTED_BLOCK) {
+            blocks.push(SortedBlock {
+                offset: u32::try_from(data.len()).expect("list under 4 GiB"),
+                len: chunk.len() as u16,
+                max_doc: chunk.last().expect("chunks are non-empty").doc,
+            });
+            let mut prev_doc = 0u64;
+            for p in chunk {
+                write_varint(&mut data, p.doc as u64 - prev_doc);
+                write_varint(&mut data, p.tf as u64);
+                prev_doc = p.doc as u64;
+            }
+        }
+        BlockSortedList {
+            len: postings.len(),
+            data,
+            blocks,
+        }
+    }
+
+    /// Entries in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Encoded footprint in bytes (payload + metadata).
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 + self.blocks.len() as u64 * 10
+    }
+
+    /// Last (largest) doc id of block `b`.
+    #[inline]
+    pub fn max_doc(&self, b: usize) -> DocId {
+        self.blocks[b].max_doc
+    }
+
+    /// Decode block `b` into `out`, replacing its contents.
+    pub fn decode_block(&self, b: usize, out: &mut Vec<Posting>) {
+        let blk = self.blocks[b];
+        out.clear();
+        let mut pos = blk.offset as usize;
+        let mut doc = 0u64;
+        for _ in 0..blk.len {
+            doc += read_varint(&self.data, &mut pos);
+            let tf = read_varint(&self.data, &mut pos) as u32;
+            out.push(Posting {
+                doc: doc as DocId,
+                tf,
+            });
+        }
+    }
+}
+
+/// A cursor over a [`BlockSortedList`] with galloping `advance_to`:
+/// exponential probing over block `max_doc`s brackets the target block in
+/// O(log distance) metadata reads, a binary search pins it down, and only
+/// that one block is decoded and binary-searched.
+///
+/// Traversal accounting matches [`crate::skips::SkipCursor`]'s
+/// conventions: `visited + skipped` equals the positions passed over,
+/// `visited` counts postings individually compared against the target
+/// (and found below it), and `skip_probes` counts metadata or
+/// at-or-above comparisons. Because sorted blocks span exactly
+/// [`SKIP_INTERVAL`] postings, `visited` here is never more than the
+/// reference cursor's for the same traversal.
+#[derive(Debug)]
+pub struct BlockCursor<'a> {
+    list: &'a BlockSortedList,
+    /// Decoded postings of `block` (leased from a [`DecodeArena`]).
+    buf: Vec<Posting>,
+    /// Index of the currently decoded block.
+    block: usize,
+    /// Position within the decoded block.
+    in_block: usize,
+    /// Global position in the list.
+    pos: usize,
+    stats: SkipStats,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// Cursor at the start of the list, leasing its decode buffer from
+    /// `arena`. Release it back with [`BlockCursor::into_buf`].
+    pub fn new(list: &'a BlockSortedList, arena: &mut DecodeArena) -> Self {
+        let mut buf = arena.lease();
+        if !list.is_empty() {
+            list.decode_block(0, &mut buf);
+        }
+        BlockCursor {
+            list,
+            buf,
+            block: 0,
+            in_block: 0,
+            pos: 0,
+            stats: SkipStats::default(),
+        }
+    }
+
+    /// Surrender the decode buffer (for release back to the arena).
+    pub fn into_buf(self) -> Vec<Posting> {
+        self.buf
+    }
+
+    /// The current posting, or `None` at the end.
+    pub fn current(&self) -> Option<Posting> {
+        if self.pos >= self.list.len {
+            None
+        } else {
+            Some(self.buf[self.in_block])
+        }
+    }
+
+    /// Traversal accounting so far.
+    pub fn stats(&self) -> SkipStats {
+        self.stats
+    }
+
+    /// Step to the next posting.
+    pub fn step(&mut self) -> Option<Posting> {
+        if self.pos < self.list.len {
+            self.pos += 1;
+            self.in_block += 1;
+            self.stats.visited += 1;
+            if self.pos < self.list.len && self.in_block == self.buf.len() {
+                self.block += 1;
+                self.in_block = 0;
+                self.list.decode_block(self.block, &mut self.buf);
+            }
+        }
+        self.current()
+    }
+
+    /// Advance to the first posting with `doc >= target`. Galloping over
+    /// block metadata, then binary search inside the landing block.
+    pub fn advance_to(&mut self, target: DocId) -> Option<Posting> {
+        if self.pos >= self.list.len {
+            return None;
+        }
+        // Locate the target block via the metadata.
+        self.stats.skip_probes += 1;
+        if self.list.max_doc(self.block) < target {
+            let nb = self.list.num_blocks();
+            // Gallop: lo always has max_doc < target.
+            let mut lo = self.block;
+            let mut step = 1;
+            let mut hi = loop {
+                let probe = lo + step;
+                if probe >= nb {
+                    break nb - 1;
+                }
+                self.stats.skip_probes += 1;
+                if self.list.max_doc(probe) >= target {
+                    break probe;
+                }
+                lo = probe;
+                step *= 2;
+            };
+            if hi == nb - 1 && self.list.max_doc(hi) < target {
+                // The whole list is below the target.
+                self.stats.skip_probes += 1;
+                self.stats.skipped += (self.list.len - self.pos) as u64;
+                self.pos = self.list.len;
+                return None;
+            }
+            // Binary search the bracket (lo, hi] for the first block
+            // reaching the target.
+            while hi > lo + 1 {
+                let mid = lo + (hi - lo) / 2;
+                self.stats.skip_probes += 1;
+                if self.list.max_doc(mid) >= target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            self.stats.skipped += (hi * SORTED_BLOCK - self.pos) as u64;
+            self.pos = hi * SORTED_BLOCK;
+            self.block = hi;
+            self.in_block = 0;
+            self.list.decode_block(hi, &mut self.buf);
+        }
+        // Binary search within the decoded block: first doc >= target.
+        let start = self.in_block;
+        let (mut lo, mut hi) = (self.in_block, self.buf.len());
+        let mut less = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.buf[mid].doc < target {
+                less += 1;
+                lo = mid + 1;
+            } else {
+                self.stats.skip_probes += 1;
+                hi = mid;
+            }
+        }
+        self.stats.visited += less;
+        self.stats.skipped += (lo - start) as u64 - less;
+        self.pos = self.block * SORTED_BLOCK + lo;
+        self.in_block = lo;
+        debug_assert!(lo < self.buf.len(), "landing block must contain the target");
+        self.current()
+    }
+}
+
+impl PostingsCursor for BlockCursor<'_> {
+    fn current(&self) -> Option<Posting> {
+        BlockCursor::current(self)
+    }
+
+    fn step(&mut self) -> Option<Posting> {
+        BlockCursor::step(self)
+    }
+
+    fn advance_to(&mut self, target: DocId) -> Option<Posting> {
+        BlockCursor::advance_to(self, target)
+    }
+
+    fn stats(&self) -> SkipStats {
+        BlockCursor::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusSpec, SyntheticIndex};
+    use crate::skips::{DocSortedList, SkipCursor};
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        let values: Vec<i64> = vec![0, 1, -1, 63, -64, 127, -128, 300_000, -300_000, i32::MAX as i64];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, zigzag(v));
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(unzigzag(read_varint(&buf, &mut pos)), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn canonical_roundtrip_matches_postings_range() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(3));
+        for term in [0u32, 7, 150, 1999] {
+            let df = crate::types::IndexReader::doc_freq(&idx, term);
+            let mut bp = BlockPostings::new(df);
+            bp.ensure(&idx, term, df);
+            assert_eq!(bp.built(), df);
+            let mut decoded = Vec::new();
+            let mut buf = Vec::new();
+            for b in 0..bp.num_blocks() {
+                bp.decode_block(b, &mut buf);
+                decoded.extend_from_slice(&buf);
+            }
+            let want = idx.postings_range(term, 0, df);
+            assert_eq!(decoded, want, "term {term}");
+        }
+    }
+
+    #[test]
+    fn lazy_prefix_build_is_incremental_and_block_aligned() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(3));
+        let term = 1u32;
+        let df = crate::types::IndexReader::doc_freq(&idx, term);
+        assert!(df > 2 * BLOCK_SIZE as u64, "need a multi-block list");
+        let mut bp = BlockPostings::new(df);
+        bp.ensure(&idx, term, 1);
+        assert_eq!(bp.built(), BLOCK_SIZE as u64, "rounds up to a block");
+        let before = bp.bytes();
+        bp.ensure(&idx, term, 1); // no-op
+        assert_eq!(bp.bytes(), before);
+        bp.ensure(&idx, term, BLOCK_SIZE as u64 + 1);
+        assert_eq!(bp.built(), 2 * BLOCK_SIZE as u64);
+        bp.ensure(&idx, term, u64::MAX);
+        assert_eq!(bp.built(), df);
+        // Stitched decode equals the straight generation.
+        let mut decoded = Vec::new();
+        let mut buf = Vec::new();
+        for b in 0..bp.num_blocks() {
+            bp.decode_block(b, &mut buf);
+            decoded.extend_from_slice(&buf);
+        }
+        assert_eq!(decoded, idx.postings_range(term, 0, df));
+    }
+
+    #[test]
+    fn block_max_bounds_every_tf() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(3));
+        let term = 0u32;
+        let df = crate::types::IndexReader::doc_freq(&idx, term);
+        let mut bp = BlockPostings::new(df);
+        bp.ensure(&idx, term, df);
+        let mut buf = Vec::new();
+        for b in 0..bp.num_blocks() {
+            bp.decode_block(b, &mut buf);
+            let max = buf.iter().map(|p| p.tf).max().unwrap();
+            assert_eq!(bp.block_max_tf(b), max, "block {b}");
+        }
+    }
+
+    #[test]
+    fn store_stats_track_built_lists() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(3));
+        let mut store = BlockStore::new();
+        assert_eq!(store.stats(), BlockStoreStats::default());
+        let df = crate::types::IndexReader::doc_freq(&idx, 5);
+        store.list_mut(5, df).ensure(&idx, 5, df);
+        store.list_mut(9, 100); // created but never built
+        let s = store.stats();
+        assert_eq!(s.terms, 1);
+        assert_eq!(s.built_postings, df);
+        assert!(s.encoded_bytes > 0);
+    }
+
+    fn sorted_list(docs: &[u32]) -> BlockSortedList {
+        let postings = docs
+            .iter()
+            .map(|&doc| Posting { doc, tf: doc % 7 + 1 })
+            .collect();
+        BlockSortedList::from_postings(&PostingList::new(0, postings))
+    }
+
+    fn ref_list(docs: &[u32]) -> DocSortedList {
+        let postings = docs
+            .iter()
+            .map(|&doc| Posting { doc, tf: doc % 7 + 1 })
+            .collect();
+        DocSortedList::from_postings(&PostingList::new(0, postings))
+    }
+
+    #[test]
+    fn sorted_roundtrip() {
+        let docs: Vec<u32> = (0..1000).map(|i| i * 3 + (i % 5)).collect();
+        let bl = sorted_list(&docs);
+        let rl = ref_list(&docs);
+        assert_eq!(bl.len(), rl.len());
+        let mut decoded = Vec::new();
+        let mut buf = Vec::new();
+        for b in 0..bl.num_blocks() {
+            bl.decode_block(b, &mut buf);
+            decoded.extend_from_slice(&buf);
+        }
+        assert_eq!(decoded, rl.postings().to_vec());
+    }
+
+    #[test]
+    fn cursor_matches_skip_cursor_on_mixed_traversals() {
+        let docs: Vec<u32> = (0..5_000).map(|i| i * 3).collect();
+        let bl = sorted_list(&docs);
+        let rl = ref_list(&docs);
+        let mut arena = DecodeArena::new();
+        let mut bc = BlockCursor::new(&bl, &mut arena);
+        let mut sc = SkipCursor::new(&rl);
+        // Interleave steps and advances of wildly different distances.
+        let script: Vec<(bool, u32)> = vec![
+            (false, 0),
+            (true, 10),
+            (false, 0),
+            (true, 3 * 700),
+            (true, 3 * 701),
+            (false, 0),
+            (true, 3 * 4_000 + 1),
+            (true, 3 * 4_999),
+            (true, 3 * 5_000),
+        ];
+        for (step, target) in script {
+            let (a, b) = if step {
+                (bc.step(), sc.step())
+            } else {
+                (bc.advance_to(target), sc.advance_to(target))
+            };
+            assert_eq!(a, b, "step={step} target={target}");
+        }
+        // Identical span accounting, never more individual comparisons.
+        assert_eq!(
+            bc.stats().visited + bc.stats().skipped,
+            sc.stats().visited + sc.stats().skipped
+        );
+        assert!(bc.stats().visited <= sc.stats().visited);
+        arena.release(bc.into_buf());
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn galloping_probes_logarithmically() {
+        let docs: Vec<u32> = (0..100_000).map(|i| i * 2).collect();
+        let bl = sorted_list(&docs);
+        let mut arena = DecodeArena::new();
+        let mut bc = BlockCursor::new(&bl, &mut arena);
+        let p = bc.advance_to(2 * 99_000).expect("in range");
+        assert_eq!(p.doc, 2 * 99_000);
+        let s = bc.stats();
+        let blocks = bl.num_blocks() as u64;
+        assert!(
+            s.skip_probes < 4 * (64 - (blocks.leading_zeros() as u64)) + 16,
+            "gallop must probe O(log blocks), got {} over {} blocks",
+            s.skip_probes,
+            blocks
+        );
+        assert!(s.visited <= 7, "binary search within one block, got {}", s.visited);
+        assert!(s.skipped > 98_000);
+    }
+
+    #[test]
+    fn cursor_exhaustion_and_empty() {
+        let bl = sorted_list(&[]);
+        let mut arena = DecodeArena::new();
+        let mut bc = BlockCursor::new(&bl, &mut arena);
+        assert!(bc.current().is_none());
+        assert!(bc.advance_to(5).is_none());
+        assert!(bc.step().is_none());
+        assert_eq!(bc.stats(), SkipStats::default());
+
+        let bl = sorted_list(&[10, 20, 30]);
+        let mut bc = BlockCursor::new(&bl, &mut arena);
+        assert!(bc.advance_to(31).is_none());
+        assert!(bc.current().is_none());
+        assert!(bc.advance_to(10).is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn cursor_is_monotone() {
+        let docs: Vec<u32> = (0..2_000).map(|i| i * 5).collect();
+        let bl = sorted_list(&docs);
+        let mut arena = DecodeArena::new();
+        let mut bc = BlockCursor::new(&bl, &mut arena);
+        bc.advance_to(5 * 1_500);
+        let at = bc.current().expect("in range").doc;
+        let p = bc.advance_to(3).expect("still at or past previous position");
+        assert!(p.doc >= at);
+    }
+}

@@ -1,14 +1,22 @@
 //! Conjunctive (AND) evaluation with skip-accelerated intersection.
 //!
 //! Complements the disjunctive [`crate::topk`] processor: all query terms
-//! must match. Lists are intersected rarest-first with [`SkipCursor`]s,
-//! so the dense lists are *skipped through* rather than scanned — the
-//! "skip order rather than sequential order" access pattern of the
-//! paper's Sec. III, and the substrate for intersection caching (the
-//! three-level scheme the paper's conclusion points at).
+//! must match. Lists are intersected rarest-first with cursors, so the
+//! dense lists are *skipped through* rather than scanned — the "skip
+//! order rather than sequential order" access pattern of the paper's
+//! Sec. III, and the substrate for intersection caching (the three-level
+//! scheme the paper's conclusion points at).
+//!
+//! The intersection core is generic over [`PostingsCursor`], so it runs
+//! unchanged on the reference [`SkipCursor`] (uncompressed lists, skip
+//! table) and the block-compressed [`BlockCursor`] (galloping block-max
+//! advance, lazily-decoded blocks). Both produce identical matches,
+//! scores, and ranked results; only the traversal accounting differs —
+//! the blocked cursor never visits more postings than the reference.
 
-use crate::skips::{DocSortedList, SkipCursor, SkipStats};
-use crate::types::{IndexReader, Posting, ResultEntry, ScoredDoc, TermId};
+use crate::blocks::{BlockCursor, BlockSortedList, DecodeArena, PostingsBackend};
+use crate::skips::{DocSortedList, PostingsCursor, SkipCursor, SkipStats};
+use crate::types::{tf_weight, IndexReader, Posting, ResultEntry, ScoredDoc, TermId};
 
 /// Outcome of a conjunctive evaluation.
 #[derive(Debug, Clone)]
@@ -34,41 +42,98 @@ impl AndOutcome {
 pub struct AndProcessor {
     /// Results to keep.
     pub k: usize,
+    /// Which list representation [`AndProcessor::process`] intersects.
+    pub backend: PostingsBackend,
 }
 
 impl Default for AndProcessor {
     fn default() -> Self {
-        AndProcessor { k: 50 }
+        AndProcessor {
+            k: 50,
+            backend: PostingsBackend::default(),
+        }
     }
 }
 
 impl AndProcessor {
-    /// Evaluate an AND query over pre-built doc-sorted lists. Lists must
-    /// be supplied with their terms; duplicates are the caller's bug.
+    /// Evaluate an AND query over pre-built doc-sorted lists with
+    /// [`SkipCursor`]s — the reference representation. Lists must be
+    /// supplied with their terms; duplicates are the caller's bug.
     /// Returns the intersection with tf-idf-style scoring.
     pub fn intersect<R: IndexReader>(
         &self,
         index: &R,
         lists: &[(TermId, &DocSortedList)],
     ) -> AndOutcome {
-        let mut skip_stats = SkipStats::default();
         if lists.is_empty() || lists.iter().any(|(_, l)| l.is_empty()) {
-            return AndOutcome {
-                result: ResultEntry { docs: Vec::new() },
-                matches: Vec::new(),
-                skip_stats,
-            };
+            return Self::empty_outcome();
         }
-        // Rarest list drives the intersection.
-        let mut order: Vec<usize> = (0..lists.len()).collect();
-        order.sort_by_key(|&i| lists[i].1.len());
+        let order = Self::rarest_first(lists.iter().map(|(_, l)| l.len()));
         let mut cursors: Vec<SkipCursor<'_>> =
             order.iter().map(|&i| SkipCursor::new(lists[i].1)).collect();
+        let terms: Vec<TermId> = lists.iter().map(|(t, _)| *t).collect();
+        self.intersect_core(index, &terms, &order, &mut cursors)
+    }
 
+    /// Evaluate an AND query over block-compressed doc-sorted lists with
+    /// galloping [`BlockCursor`]s. Decode buffers are leased from (and
+    /// returned to) `arena`, so steady-state evaluation does not
+    /// allocate. Bit-identical outcome to [`AndProcessor::intersect`]
+    /// over the same lists.
+    pub fn intersect_blocked<R: IndexReader>(
+        &self,
+        index: &R,
+        lists: &[(TermId, &BlockSortedList)],
+        arena: &mut DecodeArena,
+    ) -> AndOutcome {
+        if lists.is_empty() || lists.iter().any(|(_, l)| l.is_empty()) {
+            return Self::empty_outcome();
+        }
+        let order = Self::rarest_first(lists.iter().map(|(_, l)| l.len()));
+        let mut cursors: Vec<BlockCursor<'_>> = order
+            .iter()
+            .map(|&i| BlockCursor::new(lists[i].1, arena))
+            .collect();
+        let terms: Vec<TermId> = lists.iter().map(|(t, _)| *t).collect();
+        let outcome = self.intersect_core(index, &terms, &order, &mut cursors);
+        for c in cursors {
+            arena.release(c.into_buf());
+        }
+        outcome
+    }
+
+    fn empty_outcome() -> AndOutcome {
+        AndOutcome {
+            result: ResultEntry { docs: Vec::new() },
+            matches: Vec::new(),
+            skip_stats: SkipStats::default(),
+        }
+    }
+
+    /// Intersection order: rarest list drives.
+    fn rarest_first(lens: impl Iterator<Item = usize>) -> Vec<usize> {
+        let lens: Vec<usize> = lens.collect();
+        let mut order: Vec<usize> = (0..lens.len()).collect();
+        order.sort_by_key(|&i| lens[i]);
+        order
+    }
+
+    /// The backend-agnostic intersection: the rarest list's cursor
+    /// (`cursors[0]`) drives; every candidate doc is `advance_to`-probed
+    /// in the remaining lists. `cursors[j]` walks the list at original
+    /// position `order[j]`; `terms[i]` is the term of original list `i`.
+    fn intersect_core<R: IndexReader, C: PostingsCursor>(
+        &self,
+        index: &R,
+        terms: &[TermId],
+        order: &[usize],
+        cursors: &mut [C],
+    ) -> AndOutcome {
+        let mut skip_stats = SkipStats::default();
         let mut matches: Vec<(u32, Vec<Posting>)> = Vec::new();
         while let Some(candidate) = cursors[0].current() {
             let doc = candidate.doc;
-            let mut row = vec![Posting { doc: 0, tf: 0 }; lists.len()];
+            let mut row = vec![Posting { doc: 0, tf: 0 }; terms.len()];
             row[order[0]] = candidate;
             let mut all_match = true;
             for ci in 1..cursors.len() {
@@ -85,7 +150,7 @@ impl AndProcessor {
             }
             cursors[0].step();
         }
-        for c in &cursors {
+        for c in cursors.iter() {
             skip_stats.absorb(c.stats());
         }
 
@@ -95,10 +160,8 @@ impl AndProcessor {
             .map(|(doc, row)| {
                 let score: f64 = row
                     .iter()
-                    .zip(lists.iter())
-                    .map(|(p, (term, _))| {
-                        (1.0 + (p.tf.max(1) as f64).ln()) * index.idf(*term)
-                    })
+                    .zip(terms.iter())
+                    .map(|(p, term)| tf_weight(p.tf) * index.idf(*term))
                     .sum();
                 ScoredDoc {
                     doc: *doc,
@@ -121,21 +184,35 @@ impl AndProcessor {
         }
     }
 
-    /// Convenience: build the doc-sorted lists from the index and
-    /// intersect. Materializes each term's full list — meant for examples
-    /// and moderate lists; production paths hold [`DocSortedList`]s in a
-    /// cache.
+    /// Convenience: build the sorted lists for the configured backend
+    /// from the index and intersect. Materializes each term's full list —
+    /// meant for examples and moderate lists; production paths hold the
+    /// sorted lists (and a long-lived [`DecodeArena`]) in a cache.
     pub fn process<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> AndOutcome {
         let mut uniq: Vec<TermId> = terms.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
-        let lists: Vec<(TermId, DocSortedList)> = uniq
-            .iter()
-            .map(|&t| (t, DocSortedList::from_postings(&index.postings(t))))
-            .collect();
-        let refs: Vec<(TermId, &DocSortedList)> =
-            lists.iter().map(|(t, l)| (*t, l)).collect();
-        self.intersect(index, &refs)
+        match self.backend {
+            PostingsBackend::Reference => {
+                let lists: Vec<(TermId, DocSortedList)> = uniq
+                    .iter()
+                    .map(|&t| (t, DocSortedList::from_postings(&index.postings(t))))
+                    .collect();
+                let refs: Vec<(TermId, &DocSortedList)> =
+                    lists.iter().map(|(t, l)| (*t, l)).collect();
+                self.intersect(index, &refs)
+            }
+            PostingsBackend::Blocked => {
+                let lists: Vec<(TermId, BlockSortedList)> = uniq
+                    .iter()
+                    .map(|&t| (t, BlockSortedList::from_postings(&index.postings(t))))
+                    .collect();
+                let refs: Vec<(TermId, &BlockSortedList)> =
+                    lists.iter().map(|(t, l)| (*t, l)).collect();
+                let mut arena = DecodeArena::new();
+                self.intersect_blocked(index, &refs, &mut arena)
+            }
+        }
     }
 }
 
@@ -203,6 +280,56 @@ mod tests {
     }
 
     #[test]
+    fn backends_agree_on_everything_but_visit_counts() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let reference = AndProcessor {
+            backend: PostingsBackend::Reference,
+            ..AndProcessor::default()
+        };
+        let blocked = AndProcessor {
+            backend: PostingsBackend::Blocked,
+            ..AndProcessor::default()
+        };
+        for query in [
+            vec![0u32, 1],
+            vec![0, 1500],
+            vec![3, 10, 40],
+            vec![100, 200],
+            vec![5],
+            vec![0, 99_999],
+        ] {
+            let a = reference.process(&idx, &query);
+            let b = blocked.process(&idx, &query);
+            assert_eq!(a.matches, b.matches, "query {query:?}");
+            assert_eq!(a.result, b.result, "query {query:?}");
+            assert!(
+                b.skip_stats.visited <= a.skip_stats.visited,
+                "query {query:?}: blocked visited {} > reference {}",
+                b.skip_stats.visited,
+                a.skip_stats.visited
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_intersection_reuses_arena_buffers() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
+        let proc = AndProcessor::default();
+        let lists: Vec<(TermId, BlockSortedList)> = [0u32, 1, 40]
+            .iter()
+            .map(|&t| (t, BlockSortedList::from_postings(&idx.postings(t))))
+            .collect();
+        let refs: Vec<(TermId, &BlockSortedList)> =
+            lists.iter().map(|(t, l)| (*t, l)).collect();
+        let mut arena = DecodeArena::new();
+        let first = proc.intersect_blocked(&idx, &refs, &mut arena);
+        assert_eq!(arena.pooled(), refs.len(), "all buffers returned");
+        let again = proc.intersect_blocked(&idx, &refs, &mut arena);
+        assert_eq!(arena.pooled(), refs.len(), "buffers recycled, not grown");
+        assert_eq!(first.matches, again.matches);
+    }
+
+    #[test]
     fn empty_term_kills_intersection() {
         let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
         let proc = AndProcessor::default();
@@ -230,7 +357,10 @@ mod tests {
     #[test]
     fn scores_are_ranked_and_bounded_by_k() {
         let idx = SyntheticIndex::new(CorpusSpec::tiny(9));
-        let proc = AndProcessor { k: 5 };
+        let proc = AndProcessor {
+            k: 5,
+            ..AndProcessor::default()
+        };
         let out = proc.process(&idx, &[0, 1]);
         assert!(out.result.docs.len() <= 5);
         assert!(out

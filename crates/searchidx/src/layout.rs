@@ -6,6 +6,14 @@
 //! frequency-sorted list reads only the prefix of the extent — that is
 //! where the paper's partial-read economics (and its Fig. 1 trace shape)
 //! come from.
+//!
+//! The on-device image stays at the fixed [`crate::types::POSTING_BYTES`]
+//! per posting — the simulated I/O figures are defined against it — while
+//! the *in-memory* serving copy may be the block-compressed
+//! [`crate::blocks`] representation, which encodes the same canonical
+//! sequence in fewer bytes. The layout is byte-for-byte reproducible
+//! across runs: it iterates term ranks `0..num_terms`, and index
+//! byproducts feeding it (e.g. `MemIndex::terms()`) are sorted.
 
 use storagecore::{Extent, Lba, SECTOR_SIZE};
 
@@ -175,6 +183,33 @@ mod tests {
         }
         assert_eq!(l.term_at(999), None);
         assert_eq!(l.term_at(l.end()), None);
+    }
+
+    #[test]
+    fn blocked_lists_fit_inside_their_extents() {
+        // The compressed in-memory copy must never outgrow the on-device
+        // extent it mirrors, or memory accounting derived from the layout
+        // would underestimate the serving footprint.
+        let (idx, l) = layout();
+        for t in [0u32, 10, 500, 1999] {
+            let df = idx.doc_freq(t);
+            let mut bp = crate::blocks::BlockPostings::new(df);
+            bp.ensure(&idx, t, df);
+            assert!(
+                bp.bytes() <= l.extent(t).bytes(),
+                "term {t}: encoded {} B > extent {} B",
+                bp.bytes(),
+                l.extent(t).bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn layout_is_reproducible() {
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(7));
+        let a = IndexLayout::build(&idx, 1000);
+        let b = IndexLayout::build(&idx, 1000);
+        assert_eq!(a.starts, b.starts);
     }
 
     #[test]

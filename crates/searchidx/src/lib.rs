@@ -17,8 +17,12 @@
 //!   early termination, reporting per-term **utilization rates** (`PU`,
 //!   the paper's Formula 1 input);
 //! * [`layout`] — the on-device index image: one sector extent per
-//!   posting list, so partial traversals become partial extent reads.
+//!   posting list, so partial traversals become partial extent reads;
+//! * [`blocks`] — the block-compressed in-memory representation: delta
+//!   coded fixed-size blocks with block-max metadata, behind the runtime
+//!   [`PostingsBackend`] toggle, so skipped reads skip decode work too.
 
+pub mod blocks;
 pub mod conjunctive;
 pub mod corpus;
 pub mod docstore;
@@ -28,13 +32,18 @@ pub mod skips;
 pub mod topk;
 pub mod types;
 
+pub use blocks::{
+    BlockCursor, BlockPostings, BlockSortedList, BlockStore, BlockStoreStats, DecodeArena,
+    PostingsBackend, BLOCK_SIZE, SORTED_BLOCK,
+};
 pub use conjunctive::{AndOutcome, AndProcessor};
 pub use corpus::{CorpusSpec, SyntheticIndex};
 pub use docstore::DocStore;
 pub use layout::IndexLayout;
 pub use mem::MemIndex;
-pub use skips::{DocSortedList, SkipCursor, SkipStats, SKIP_INTERVAL};
+pub use skips::{DocSortedList, PostingsCursor, SkipCursor, SkipStats, SKIP_INTERVAL};
 pub use topk::{QueryOutcome, TermUsage, TopKConfig, TopKProcessor};
 pub use types::{
-    DocId, IndexReader, Posting, PostingList, ResultEntry, ScoredDoc, TermId, RESULT_DOC_BYTES,
+    tf_weight, DocId, IndexReader, Posting, PostingList, ResultEntry, ScoredDoc, TermId,
+    RESULT_DOC_BYTES,
 };

@@ -47,9 +47,14 @@ impl MemIndex {
         }
     }
 
-    /// All terms present in the index.
+    /// All terms present in the index, in ascending id order. (`lists`
+    /// is a `HashMap`, whose key order varies run to run — anything
+    /// derived from this iteration, like layout assignments or build
+    /// byproducts, must not inherit that nondeterminism.)
     pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.lists.keys().copied()
+        let mut keys: Vec<TermId> = self.lists.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
     }
 }
 
@@ -108,6 +113,21 @@ mod tests {
         let i = MemIndex::from_docs(Vec::<Vec<TermId>>::new());
         assert_eq!(i.num_docs(), 0);
         assert!(i.postings(0).is_empty());
+    }
+
+    #[test]
+    fn terms_are_sorted_and_complete() {
+        let docs: Vec<Vec<TermId>> = (0..50)
+            .map(|d| vec![(d * 31) % 17, (d * 7) % 13, 40])
+            .collect();
+        let i = MemIndex::from_docs(docs);
+        let listed: Vec<TermId> = i.terms().collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(listed, sorted, "terms() must be sorted and duplicate-free");
+        assert!(listed.contains(&40));
+        assert!(listed.iter().all(|&t| i.doc_freq(t) > 0));
     }
 
     #[test]

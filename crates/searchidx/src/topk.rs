@@ -11,7 +11,11 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use crate::types::{DocId, IndexReader, ResultEntry, ScoredDoc, TermId};
+use crate::blocks::{BlockStore, BlockStoreStats, PostingsBackend, BLOCK_SIZE};
+use crate::skips::SkipStats;
+use crate::types::{
+    tf_weight as weight, DocId, IndexReader, Posting, ResultEntry, ScoredDoc, TermId,
+};
 
 /// Query-processing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +83,12 @@ pub struct QueryOutcome {
     pub result: ResultEntry,
     /// Traversal accounting, in processing order (descending idf).
     pub usage: Vec<TermUsage>,
+    /// Block-max accounting (zero on the reference backends):
+    /// `skip_probes` counts block-max bounds consulted, `skipped` counts
+    /// postings pruned without decoding their block. Diagnostic only — it
+    /// deliberately lives outside `usage`, whose `scanned` counts are
+    /// part of the bit-identical simulated figures.
+    pub skip_stats: SkipStats,
 }
 
 impl QueryOutcome {
@@ -97,13 +107,21 @@ impl QueryOutcome {
 /// are bit-identical to [`TopKProcessor::process_reference`].
 #[derive(Debug, Clone)]
 struct ScoreAccumulator {
-    /// `(doc, score)` pairs; `occupied` marks live slots.
-    slots: Vec<(DocId, f32)>,
-    occupied: Vec<bool>,
+    /// Slot → index into `entries`, [`EMPTY_SLOT`] when free. 4-byte
+    /// slots keep the probe array dense; the payload lives once, in
+    /// insertion order, in `entries`.
+    slots: Vec<u32>,
     mask: usize,
-    /// Slot indices in insertion order — iteration and sparse clearing.
+    /// Occupied slot positions — sparse clearing.
     touched: Vec<u32>,
+    /// `(doc, score)` pairs in insertion order. Threshold refreshes and
+    /// top-K extraction stream this contiguously instead of chasing
+    /// occupied slots through the probe array.
+    entries: Vec<(DocId, f32)>,
 }
+
+/// Free-slot sentinel (an `entries` index, so no doc id is reserved).
+const EMPTY_SLOT: u32 = u32::MAX;
 
 impl Default for ScoreAccumulator {
     fn default() -> Self {
@@ -115,10 +133,10 @@ impl ScoreAccumulator {
     fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.next_power_of_two();
         ScoreAccumulator {
-            slots: vec![(0, 0.0); capacity],
-            occupied: vec![false; capacity],
+            slots: vec![EMPTY_SLOT; capacity],
             mask: capacity - 1,
             touched: Vec::new(),
+            entries: Vec::new(),
         }
     }
 
@@ -131,58 +149,69 @@ impl ScoreAccumulator {
     /// Live entries.
     #[inline]
     fn len(&self) -> usize {
-        self.touched.len()
+        self.entries.len()
     }
 
-    /// Reset for the next query, keeping the allocation. Sparse occupancy
-    /// clears only the touched slots.
+    /// Reset for the next query, keeping the allocations. Sparse
+    /// occupancy clears only the touched slots.
     fn clear(&mut self) {
         if self.touched.len() * 4 < self.slots.len() {
             for &i in &self.touched {
-                self.occupied[i as usize] = false;
+                self.slots[i as usize] = EMPTY_SLOT;
             }
         } else {
-            self.occupied.fill(false);
+            self.slots.fill(EMPTY_SLOT);
         }
         self.touched.clear();
+        self.entries.clear();
     }
 
     /// Accumulate `delta` into `doc`'s score.
     #[inline]
     fn add(&mut self, doc: DocId, delta: f32) {
-        if self.touched.len() * 8 >= self.slots.len() * 7 {
+        if self.entries.len() * 2 >= self.slots.len() {
             self.grow();
         }
         let mut i = self.hash(doc);
         loop {
-            if !self.occupied[i] {
-                self.occupied[i] = true;
-                self.slots[i] = (doc, delta);
+            let idx = self.slots[i];
+            if idx == EMPTY_SLOT {
+                self.slots[i] = self.entries.len() as u32;
                 self.touched.push(i as u32);
+                self.entries.push((doc, delta));
                 return;
             }
-            if self.slots[i].0 == doc {
-                self.slots[i].1 += delta;
+            let e = &mut self.entries[idx as usize];
+            if e.0 == doc {
+                e.1 += delta;
                 return;
             }
             i = (i + 1) & self.mask;
         }
     }
 
-    /// Double the table, preserving insertion order in `touched`.
+    /// Double the probe array and re-seat the (unchanged) entries.
     fn grow(&mut self) {
-        let mut bigger = ScoreAccumulator::with_capacity(self.slots.len() * 2);
-        for &i in &self.touched {
-            let (doc, score) = self.slots[i as usize];
-            bigger.add(doc, score);
+        let capacity = (self.slots.len() * 2).next_power_of_two();
+        self.slots.clear();
+        self.slots.resize(capacity, EMPTY_SLOT);
+        self.mask = capacity - 1;
+        self.touched.clear();
+        for (idx, e) in self.entries.iter().enumerate() {
+            let mut i =
+                ((e.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = idx as u32;
+            self.touched.push(i as u32);
         }
-        *self = bigger;
     }
 
     /// Visit live entries in insertion order.
     #[inline]
     fn iter(&self) -> impl Iterator<Item = (DocId, f32)> + '_ {
-        self.touched.iter().map(|&i| self.slots[i as usize])
+        self.entries.iter().copied()
     }
 
     /// The K-th largest score (0 when fewer than K docs), using a pooled
@@ -206,13 +235,20 @@ impl ScoreAccumulator {
     fn top_k(&self, k: usize, docs: &mut Vec<ScoredDoc>) -> ResultEntry {
         docs.clear();
         docs.extend(self.iter().map(|(doc, score)| ScoredDoc { doc, score }));
-        docs.sort_unstable_by(|a, b| {
+        let cmp = |a: &ScoredDoc, b: &ScoredDoc| {
             b.score
                 .partial_cmp(&a.score)
                 .expect("scores are finite")
                 .then(a.doc.cmp(&b.doc))
-        });
+        };
+        // The comparator is a total order over distinct docs, so
+        // partitioning the best K to the front (O(N)) and sorting only
+        // them yields exactly what sorting the whole set would.
+        if k > 0 && docs.len() > k {
+            docs.select_nth_unstable_by(k - 1, cmp);
+        }
         docs.truncate(k);
+        docs.sort_unstable_by(cmp);
         ResultEntry { docs: docs.clone() }
     }
 }
@@ -223,29 +259,87 @@ struct Scratch {
     acc: ScoreAccumulator,
     scores: Vec<f32>,
     docs: Vec<ScoredDoc>,
+    /// Decode target for blocked scans — the per-engine decode arena of
+    /// the disjunctive path (one buffer suffices: scans visit one block
+    /// at a time).
+    block_buf: Vec<Posting>,
+    /// Which `(term, block)` currently sits in `block_buf`. Blocks are
+    /// immutable once encoded, so a matching key means the decode can be
+    /// skipped outright (hot for the Zipf-repeated head terms).
+    cached_block: Option<(TermId, u64)>,
 }
 
-/// The query processor. Stateless apart from configuration and pooled
-/// scratch buffers; all collection state comes through the
-/// [`IndexReader`].
+/// Memoized [`tf_weight`]: entry `i` is computed by the very function it
+/// replaces, so a lookup returns bit-identical f64s while keeping `ln`
+/// off the blocked scan path (tf is geometric, so virtually every
+/// posting lands inside the table; the rare overflow recomputes).
+#[derive(Debug, Clone)]
+struct WeightTable {
+    table: Vec<f64>,
+}
+
+impl Default for WeightTable {
+    fn default() -> Self {
+        WeightTable {
+            table: (0..=1024).map(|tf| weight(tf as u32)).collect(),
+        }
+    }
+}
+
+impl WeightTable {
+    #[inline]
+    fn get(&self, tf: u32) -> f64 {
+        match self.table.get(tf as usize) {
+            Some(&w) => w,
+            None => weight(tf),
+        }
+    }
+}
+
+/// The query processor. Stateless apart from configuration, pooled
+/// scratch buffers, and the append-only [`BlockStore`] of compressed
+/// lists; all collection state comes through the [`IndexReader`].
 #[derive(Debug, Clone, Default)]
 pub struct TopKProcessor {
     config: TopKConfig,
+    backend: PostingsBackend,
     scratch: RefCell<Scratch>,
+    store: RefCell<BlockStore>,
+    weights: WeightTable,
 }
 
 impl TopKProcessor {
-    /// With explicit configuration.
+    /// With explicit configuration (and the default postings backend).
     pub fn new(config: TopKConfig) -> Self {
         TopKProcessor {
             config,
+            backend: PostingsBackend::default(),
             scratch: RefCell::new(Scratch::default()),
+            store: RefCell::new(BlockStore::default()),
+            weights: WeightTable::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TopKConfig {
         &self.config
+    }
+
+    /// Which postings representation [`TopKProcessor::process`] scans.
+    pub fn backend(&self) -> PostingsBackend {
+        self.backend
+    }
+
+    /// Select the postings representation. Switching away from `Blocked`
+    /// keeps the store's already-encoded lists for a later switch back.
+    pub fn set_backend(&mut self, backend: PostingsBackend) {
+        self.backend = backend;
+    }
+
+    /// Footprint of the block store (what the blocked backend has encoded
+    /// so far).
+    pub fn store_stats(&self) -> BlockStoreStats {
+        self.store.borrow().stats()
     }
 
     /// Dedup the query's terms and order them rarest (highest-idf) first:
@@ -267,14 +361,25 @@ impl TopKProcessor {
     /// Evaluate a disjunctive (OR) query. Terms are processed in
     /// descending-idf order; duplicate terms are collapsed.
     ///
-    /// Hot path: accumulates into the pooled open-addressed scratch table
-    /// instead of a fresh `HashMap`. Bit-identical to
-    /// [`TopKProcessor::process_reference`] — see the equivalence tests.
+    /// Dispatches on the configured [`PostingsBackend`]; both arms are
+    /// bit-identical at the `ResultEntry`/`TermUsage` level (see the
+    /// `postings_equivalence` suite and the `perf_regress` postings arm).
     pub fn process<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
+        match self.backend {
+            PostingsBackend::Reference => self.process_scan(index, terms),
+            PostingsBackend::Blocked => self.process_blocked(index, terms),
+        }
+    }
+
+    /// The uncompressed hot path (PR 1): accumulates into the pooled
+    /// open-addressed scratch table, fetching postings lazily via
+    /// `postings_range`. Bit-identical to
+    /// [`TopKProcessor::process_reference`] — see the equivalence tests.
+    fn process_scan<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
         let order = Self::term_order(index, terms);
 
         let mut scratch = self.scratch.borrow_mut();
-        let Scratch { acc, scores, docs } = &mut *scratch;
+        let Scratch { acc, scores, docs, .. } = &mut *scratch;
         acc.clear();
         let mut usage = Vec::with_capacity(order.len());
         let mut kth_score = 0.0f64;
@@ -341,6 +446,205 @@ impl TopKProcessor {
         QueryOutcome {
             result: acc.top_k(self.config.k, docs),
             usage,
+            skip_stats: SkipStats::default(),
+        }
+    }
+
+    /// The blocked hot path: scans the block-compressed store instead of
+    /// regenerating postings through `postings_range` on every traversal.
+    /// Structurally a mirror of [`TopKProcessor::process_scan`] — same
+    /// chunking (`base_chunk.max(|acc|/4)`), same per-batch threshold
+    /// refresh, same three pruning rules — plus one addition: before a
+    /// block is decoded, its block-max bound `weight(max_tf) · idf` is
+    /// tested against the quit predicate. The predicate is downward
+    /// closed in the contribution and canonical order is tf-descending,
+    /// so `quit(bound)` implies the reference would quit on this block's
+    /// very next posting: skipping the decode reproduces the reference's
+    /// exact `scanned` count, keeping usage (and every simulated figure
+    /// downstream) bit-identical while whole blocks of decode *and*
+    /// generation work disappear.
+    ///
+    /// Three more mechanisms, none of which can move the figures:
+    /// * terms are encoded on their *second* visit (first visits scan
+    ///   uncompressed, reference-style) — the once-queried Zipf tail
+    ///   never funds a build it cannot amortize;
+    /// * the head [`crate::blocks::HOT_PREFIX`] postings of each built
+    ///   list stay pinned decoded, so the impact-ordered region every
+    ///   query re-reads is served as a plain slice;
+    /// * per slice, a hoisted check on the *weakest* posting at the
+    ///   *largest* possible accumulator proves the (monotone) quit
+    ///   predicate cannot fire, letting the per-posting checks drop out
+    ///   of the add loop (`tf_weight` itself is memoized bit-identically
+    ///   in a [`WeightTable`]).
+    fn process_blocked<R: IndexReader>(&self, index: &R, terms: &[TermId]) -> QueryOutcome {
+        let order = Self::term_order(index, terms);
+
+        let mut store = self.store.borrow_mut();
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch {
+            acc,
+            scores,
+            docs,
+            block_buf,
+            cached_block,
+        } = &mut *scratch;
+        acc.clear();
+        let mut usage = Vec::with_capacity(order.len());
+        let mut skip_stats = SkipStats::default();
+        let mut kth_score = 0.0f64;
+
+        let num_terms = order.len();
+        for (term_idx, term) in order.into_iter().enumerate() {
+            let is_last = term_idx + 1 == num_terms;
+            let df = index.doc_freq(term);
+            let idf = index.idf(term);
+            if df == 0 || idf == 0.0 {
+                usage.push(TermUsage {
+                    term,
+                    scanned: 0,
+                    df,
+                });
+                continue;
+            }
+            let list = store.list_mut(term, df);
+            let mut scanned = 0u64;
+            let base_chunk = if self.config.check_every > 0 {
+                self.config.check_every as u64
+            } else {
+                1024
+            };
+            if !list.note_visit() {
+                // First sighting of this term: scan uncompressed, like
+                // the reference arm (same batches, same quit rules, the
+                // memoized weights) and encode nothing. Under a Zipf
+                // log the once-queried tail never repays an encode;
+                // terms that come back pay it on their second visit and
+                // amortize it over every visit after that.
+                'cold: while scanned < df {
+                    let chunk = base_chunk.max(acc.len() as u64 / 4);
+                    let batch = index.postings_range(term, scanned, scanned + chunk);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for p in &batch {
+                        let contribution = self.weights.get(p.tf) * idf;
+                        if self.config.epsilon > 0.0 && acc.len() >= self.config.k {
+                            let quit = contribution < self.config.epsilon * kth_score
+                                || (is_last && contribution <= kth_score)
+                                || (acc.len() >= self.config.accumulator_limit
+                                    && contribution <= kth_score);
+                            if quit {
+                                break 'cold;
+                            }
+                        }
+                        acc.add(p.doc, contribution as f32);
+                        scanned += 1;
+                    }
+                    kth_score = acc.kth_largest(self.config.k, scores);
+                }
+                kth_score = acc.kth_largest(self.config.k, scores);
+                usage.push(TermUsage { term, scanned, df });
+                continue;
+            }
+            'scan: while scanned < df {
+                let chunk = base_chunk.max(acc.len() as u64 / 4);
+                let batch_end = (scanned + chunk).min(df);
+                while scanned < batch_end {
+                    let block = scanned / BLOCK_SIZE as u64;
+                    let block_start = block * BLOCK_SIZE as u64;
+                    // Build only this block: if the gate below quits
+                    // here, the rest of the batch is never generated —
+                    // the reference arm pays `postings_range` for the
+                    // full chunk it is about to abandon.
+                    list.ensure(index, term, block_start + 1);
+                    if self.config.epsilon > 0.0 && acc.len() >= self.config.k {
+                        // Block-max gate: bound every contribution the
+                        // block can make and apply the same quit
+                        // predicate the per-posting loop would.
+                        skip_stats.skip_probes += 1;
+                        let bound =
+                            self.weights.get(list.block_max_tf(block as usize)) * idf;
+                        let quit = bound < self.config.epsilon * kth_score
+                            || (is_last && bound <= kth_score)
+                            || (acc.len() >= self.config.accumulator_limit
+                                && bound <= kth_score);
+                        if quit {
+                            skip_stats.skipped += df - scanned;
+                            break 'scan;
+                        }
+                    }
+                    // Serve the block from the pinned decoded prefix
+                    // when it is covered; decode (through the one-block
+                    // cache) otherwise.
+                    let block_end = (block_start + BLOCK_SIZE as u64).min(df);
+                    let buf: &[Posting] = if block_end <= list.hot_prefix().len() as u64 {
+                        &list.hot_prefix()[block_start as usize..block_end as usize]
+                    } else {
+                        if *cached_block != Some((term, block)) {
+                            list.decode_block(block as usize, block_buf);
+                            *cached_block = Some((term, block));
+                        }
+                        block_buf
+                    };
+                    let lo = (scanned - block_start) as usize;
+                    let hi = ((batch_end - block_start) as usize).min(buf.len());
+                    let slice = &buf[lo..hi];
+                    // Hoisted quit check. The quit predicate is monotone
+                    // — downward in the contribution, upward in the
+                    // accumulator size — and canonical order is
+                    // tf-descending, so the slice's *last* posting at
+                    // the *largest* accumulator the slice could produce
+                    // is the easiest quit there is. If even that cannot
+                    // fire, no posting in the slice can, and the
+                    // per-posting checks drop out of the loop entirely.
+                    let check_free = self.config.epsilon <= 0.0
+                        || match slice.last() {
+                            Some(last) => {
+                                let len_max = acc.len() + slice.len();
+                                let c_min = self.weights.get(last.tf) * idf;
+                                !(len_max >= self.config.k
+                                    && (c_min < self.config.epsilon * kth_score
+                                        || (is_last && c_min <= kth_score)
+                                        || (len_max >= self.config.accumulator_limit
+                                            && c_min <= kth_score)))
+                            }
+                            None => true,
+                        };
+                    if check_free {
+                        for p in slice {
+                            acc.add(p.doc, (self.weights.get(p.tf) * idf) as f32);
+                        }
+                        scanned += slice.len() as u64;
+                        skip_stats.visited += slice.len() as u64;
+                    } else {
+                        for p in slice {
+                            let contribution = self.weights.get(p.tf) * idf;
+                            if self.config.epsilon > 0.0 && acc.len() >= self.config.k {
+                                let quit = contribution < self.config.epsilon * kth_score
+                                    || (is_last && contribution <= kth_score)
+                                    || (acc.len() >= self.config.accumulator_limit
+                                        && contribution <= kth_score);
+                                if quit {
+                                    skip_stats.skipped += df - scanned;
+                                    break 'scan;
+                                }
+                            }
+                            acc.add(p.doc, contribution as f32);
+                            scanned += 1;
+                            skip_stats.visited += 1;
+                        }
+                    }
+                }
+                kth_score = acc.kth_largest(self.config.k, scores);
+            }
+            kth_score = acc.kth_largest(self.config.k, scores);
+            usage.push(TermUsage { term, scanned, df });
+        }
+
+        QueryOutcome {
+            result: acc.top_k(self.config.k, docs),
+            usage,
+            skip_stats,
         }
     }
 
@@ -403,14 +707,9 @@ impl TopKProcessor {
         QueryOutcome {
             result: top_k(&acc, self.config.k),
             usage,
+            skip_stats: SkipStats::default(),
         }
     }
-}
-
-/// Sub-linear tf damping, the classic `1 + ln(tf)`.
-#[inline]
-fn weight(tf: u32) -> f64 {
-    1.0 + (tf.max(1) as f64).ln()
 }
 
 /// The K-th largest accumulator score (0 when fewer than K docs).
@@ -702,6 +1001,68 @@ mod tests {
             let reference = proc.process_reference(&idx, &terms);
             assert_eq!(fast.result, reference.result);
             assert_eq!(fast.usage, reference.usage);
+        }
+    }
+
+    #[test]
+    fn blocked_backend_matches_scan_and_reference() {
+        // Same sweep as `scratch_accumulator_matches_hashmap_reference`,
+        // but pitting the block-compressed backend (with its dirty,
+        // reused store) against both reference paths, and checking the
+        // block-max accounting actually fires under pruning configs.
+        let idx = SyntheticIndex::new(CorpusSpec::tiny(5));
+        let configs = [
+            TopKConfig::default(),
+            TopKConfig {
+                k: 10,
+                epsilon: 0.0,
+                check_every: 16,
+                accumulator_limit: 400,
+            },
+            TopKConfig {
+                k: 10,
+                epsilon: 0.5,
+                check_every: 16,
+                accumulator_limit: 40,
+            },
+            TopKConfig {
+                k: 3,
+                epsilon: 0.3,
+                check_every: 0,
+                accumulator_limit: 8,
+            },
+        ];
+        for config in configs {
+            let mut blocked = TopKProcessor::new(config);
+            blocked.set_backend(PostingsBackend::Blocked);
+            let mut scan = TopKProcessor::new(config);
+            scan.set_backend(PostingsBackend::Reference);
+            let mut pruned_blocks = 0u64;
+            // Two passes: the first sees every term cold (scanned
+            // uncompressed, nothing encoded), the second sees them warm
+            // (store-backed, block-max gated). Outcomes must match the
+            // references in both states.
+            for pass in 0..2 {
+                for q in 0..40u32 {
+                    let terms: Vec<TermId> =
+                        (0..(q % 4 + 1)).map(|i| (q * 37 + i * 211) % 2000).collect();
+                    let b = blocked.process(&idx, &terms);
+                    let s = scan.process(&idx, &terms);
+                    let r = scan.process_reference(&idx, &terms);
+                    assert_eq!(b.result, s.result, "docs/scores for {terms:?} pass {pass}");
+                    assert_eq!(b.usage, s.usage, "scan counts for {terms:?} pass {pass}");
+                    assert_eq!(b.result, r.result);
+                    assert_eq!(b.usage, r.usage);
+                    assert_eq!(s.skip_stats, SkipStats::default(), "reference reports none");
+                    pruned_blocks += b.skip_stats.skip_probes;
+                }
+            }
+            if config.epsilon > 0.0 {
+                assert!(pruned_blocks > 0, "block-max gate must be exercised");
+            }
+            let stats = blocked.store_stats();
+            assert!(stats.terms > 0 && stats.encoded_bytes > 0);
+            assert_eq!(scan.store_stats(), BlockStoreStats::default());
         }
     }
 

@@ -15,6 +15,16 @@ pub const POSTING_BYTES: u64 = 8;
 /// the paper's Sec. VI).
 pub const RESULT_DOC_BYTES: u64 = 400;
 
+/// Sub-linear tf damping, the classic `1 + ln(tf)`. The single source of
+/// truth for the per-posting score contribution `tf_weight(tf) · idf`:
+/// the disjunctive processor, conjunctive evaluation, and the block-max
+/// bounds in [`crate::blocks`] must all use the same function, or
+/// block-max skipping would stop being a sound upper bound.
+#[inline]
+pub fn tf_weight(tf: u32) -> f64 {
+    1.0 + (tf.max(1) as f64).ln()
+}
+
 /// One posting: a document and the term's frequency within it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Posting {

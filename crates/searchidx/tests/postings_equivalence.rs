@@ -1,0 +1,182 @@
+//! Property-based equivalence of the two postings backends.
+//!
+//! The blocked representation is only allowed to change *how fast*
+//! queries run, never *what they return*: random corpora and query mixes
+//! must produce identical top-K results, identical per-term scan counts
+//! (the simulated figures are built from them), identical conjunctive
+//! match sets — and the blocked cursors must never visit more postings
+//! than the reference skip cursors.
+
+use proptest::prelude::*;
+use searchidx::{
+    AndProcessor, BlockPostings, BlockSortedList, DecodeArena, DocSortedList, IndexReader,
+    MemIndex, PostingList, Posting, PostingsBackend, SkipCursor, TermId, TopKConfig,
+    TopKProcessor, BLOCK_SIZE,
+};
+
+/// Random small corpora: documents as term-id sequences over a compact
+/// vocabulary (so lists overlap and intersections are non-trivial).
+fn corpus() -> impl Strategy<Value = Vec<Vec<TermId>>> {
+    prop::collection::vec(prop::collection::vec(0u32..30, 1..20), 1..120)
+}
+
+/// Random query mixes over the same vocabulary (some terms will be OOV).
+fn queries() -> impl Strategy<Value = Vec<Vec<TermId>>> {
+    prop::collection::vec(prop::collection::vec(0u32..34, 1..5), 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Disjunctive top-K: results, scores, and per-term scanned/df counts
+    /// are bit-identical across backends, for exact and pruned configs,
+    /// with both processors accumulating dirty state across the whole
+    /// query mix.
+    #[test]
+    fn topk_backends_bit_identical(
+        docs in corpus(),
+        qs in queries(),
+        k in 1usize..8,
+        eps_pct in 0u32..60,
+        acc_limit in 8usize..64,
+    ) {
+        let idx = MemIndex::from_docs(docs);
+        let config = TopKConfig {
+            k,
+            epsilon: eps_pct as f64 / 100.0,
+            check_every: 16,
+            accumulator_limit: acc_limit,
+        };
+        let mut reference = TopKProcessor::new(config);
+        reference.set_backend(PostingsBackend::Reference);
+        let mut blocked = TopKProcessor::new(config);
+        blocked.set_backend(PostingsBackend::Blocked);
+        for q in &qs {
+            let a = reference.process(&idx, q);
+            let b = blocked.process(&idx, q);
+            prop_assert_eq!(&a.result, &b.result, "top-K for {:?}", q);
+            prop_assert_eq!(&a.usage, &b.usage, "usage for {:?}", q);
+            prop_assert_eq!(
+                a.postings_scanned(), b.postings_scanned(),
+                "scan totals for {:?}", q
+            );
+        }
+    }
+
+    /// Conjunctive evaluation: identical match sets (docs *and* per-term
+    /// postings), identical ranked results, identical match counts — and
+    /// the blocked traversal never examines more postings individually.
+    #[test]
+    fn and_backends_bit_identical(docs in corpus(), qs in queries()) {
+        let idx = MemIndex::from_docs(docs);
+        let reference = AndProcessor { k: 10, backend: PostingsBackend::Reference };
+        let blocked = AndProcessor { k: 10, backend: PostingsBackend::Blocked };
+        for q in &qs {
+            let a = reference.process(&idx, q);
+            let b = blocked.process(&idx, q);
+            prop_assert_eq!(&a.matches, &b.matches, "match set for {:?}", q);
+            prop_assert_eq!(&a.result, &b.result, "ranked result for {:?}", q);
+            prop_assert_eq!(a.match_count(), b.match_count());
+            prop_assert!(
+                b.skip_stats.visited <= a.skip_stats.visited,
+                "blocked visited {} > reference {} for {:?}",
+                b.skip_stats.visited, a.skip_stats.visited, q
+            );
+            prop_assert_eq!(
+                a.skip_stats.visited + a.skip_stats.skipped,
+                b.skip_stats.visited + b.skip_stats.skipped,
+                "span accounting for {:?}", q
+            );
+        }
+    }
+
+    /// The canonical blocked list is a faithful re-encoding: any prefix
+    /// build schedule decodes back to exactly `postings_range(0, built)`.
+    #[test]
+    fn block_postings_roundtrip_any_schedule(
+        docs in corpus(),
+        term in 0u32..30,
+        steps in prop::collection::vec(1u64..80, 1..6),
+    ) {
+        let idx = MemIndex::from_docs(docs);
+        let df = idx.doc_freq(term);
+        let mut bp = BlockPostings::new(df);
+        let mut upto = 0u64;
+        for s in steps {
+            upto = (upto + s).min(df);
+            bp.ensure(&idx, term, upto);
+            prop_assert!(bp.built() >= upto.min(df));
+            prop_assert!(bp.built() <= df);
+            prop_assert!(bp.built() == df || bp.built() % BLOCK_SIZE as u64 == 0);
+        }
+        let mut decoded = Vec::new();
+        let mut buf = Vec::new();
+        for b in 0..bp.num_blocks() {
+            bp.decode_block(b, &mut buf);
+            decoded.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(decoded, idx.postings_range(term, 0, bp.built()));
+    }
+
+    /// Cursor-level equivalence on random doc-sorted lists: an identical
+    /// interleaving of steps and advances lands both cursors on identical
+    /// postings, with identical position accounting and no extra visits.
+    #[test]
+    fn cursors_agree_on_random_walks(
+        gaps in prop::collection::vec(1u32..50, 1..400),
+        jumps in prop::collection::vec((any::<bool>(), 0u32..2_000), 1..60),
+    ) {
+        let mut doc = 0u32;
+        let postings: Vec<Posting> = gaps
+            .iter()
+            .map(|&g| {
+                doc += g;
+                Posting { doc, tf: doc % 5 + 1 }
+            })
+            .collect();
+        let reference = DocSortedList::from_postings(&PostingList::new(0, postings.clone()));
+        let blocked = BlockSortedList::from_postings(&PostingList::new(0, postings));
+        let mut arena = DecodeArena::new();
+        let mut sc = SkipCursor::new(&reference);
+        let mut bc = searchidx::BlockCursor::new(&blocked, &mut arena);
+        for (step, delta) in jumps {
+            let (a, b) = if step {
+                (sc.step(), bc.step())
+            } else {
+                let target = sc.current().map(|p| p.doc).unwrap_or(doc).saturating_add(delta);
+                (sc.advance_to(target), bc.advance_to(target))
+            };
+            prop_assert_eq!(a, b);
+        }
+        prop_assert!(bc.stats().visited <= sc.stats().visited);
+        prop_assert_eq!(
+            sc.stats().visited + sc.stats().skipped,
+            bc.stats().visited + bc.stats().skipped
+        );
+        arena.release(bc.into_buf());
+    }
+}
+
+/// Determinism across store lifetimes: replaying the same query mix
+/// against a fresh blocked processor reproduces the dirty-store run.
+#[test]
+fn blocked_store_state_does_not_leak_into_results() {
+    let docs: Vec<Vec<TermId>> = (0..400u32)
+        .map(|d| (0..(d % 13 + 2)).map(|i| (d * 11 + i * 29) % 40).collect())
+        .collect();
+    let idx = MemIndex::from_docs(docs);
+    let queries: Vec<Vec<TermId>> = (0..80u32)
+        .map(|q| (0..(q % 4 + 1)).map(|i| (q * 17 + i * 7) % 44).collect())
+        .collect();
+    let dirty = TopKProcessor::new(TopKConfig::default());
+    let warm: Vec<_> = queries.iter().map(|q| dirty.process(&idx, q)).collect();
+    let replay: Vec<_> = queries.iter().map(|q| dirty.process(&idx, q)).collect();
+    let fresh = TopKProcessor::new(TopKConfig::default());
+    let cold: Vec<_> = queries.iter().map(|q| fresh.process(&idx, q)).collect();
+    for ((w, r), c) in warm.iter().zip(&replay).zip(&cold) {
+        assert_eq!(w.result, r.result);
+        assert_eq!(w.usage, r.usage);
+        assert_eq!(w.result, c.result);
+        assert_eq!(w.usage, c.usage);
+    }
+}
