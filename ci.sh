@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== rustfmt =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --workspace
 
@@ -18,8 +21,14 @@ cargo test --release -q -p engine --test cluster_equivalence
 echo "== postings equivalence (explicit) =="
 cargo test --release -q -p searchidx --test postings_equivalence
 
+echo "== I/O-path equivalence (explicit) =="
+cargo test --release -q -p engine --test io_path_equivalence
+
 echo "== postings_decode bench builds =="
 cargo build --release -p bench --bench postings_decode
+
+echo "== perf_regress binary builds (BENCH_4 I/O-path arm) =="
+cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings

@@ -86,8 +86,7 @@ fn bench_victim_selection(c: &mut Criterion) {
                     let mut s: ListStore<u32> =
                         ListStore::new(SlotRegion::new(0, BLOCK, 256), BLOCK, true, 16, 0.0);
                     s.set_victim_selection(selection);
-                    let dev =
-                        RamDisk::with_capacity_bytes(64 << 20, SimDuration::from_micros(10));
+                    let dev = RamDisk::with_capacity_bytes(64 << 20, SimDuration::from_micros(10));
                     (s, dev, Rng::new(3))
                 },
                 |(mut s, mut dev, mut rng)| {

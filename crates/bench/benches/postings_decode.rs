@@ -15,10 +15,7 @@ use workload::{QueryLog, QueryLogSpec};
 
 fn bench_postings_decode(c: &mut Criterion) {
     let index = SyntheticIndex::new(CorpusSpec::enwiki_like(100_000, 5));
-    let log = QueryLog::new(QueryLogSpec::aol_like(
-        IndexReader::num_terms(&index),
-        9,
-    ));
+    let log = QueryLog::new(QueryLogSpec::aol_like(IndexReader::num_terms(&index), 9));
     let mut g = c.benchmark_group("postings_decode");
     g.sample_size(30);
 
@@ -71,8 +68,7 @@ fn bench_postings_decode(c: &mut Criterion) {
         .iter()
         .map(|&t| (t, DocSortedList::from_postings(&index.postings(t))))
         .collect();
-    let sorted_refs: Vec<(TermId, &DocSortedList)> =
-        sorted.iter().map(|(t, l)| (*t, l)).collect();
+    let sorted_refs: Vec<(TermId, &DocSortedList)> = sorted.iter().map(|(t, l)| (*t, l)).collect();
     let blocked: Vec<(TermId, BlockSortedList)> = pair
         .iter()
         .map(|&t| (t, BlockSortedList::from_postings(&index.postings(t))))

@@ -15,14 +15,21 @@ use workload::parallel_map;
 
 /// Re-issue the measured op mix (kind, count, mean size) as block-aligned
 /// requests over the region, in a deterministic shuffled order.
-fn replay<F: Ftl>(mut disk: SsdDisk<F>, stats: &IoStats, region_sectors: u64) -> (u64, SimDuration) {
+fn replay<F: Ftl>(
+    mut disk: SsdDisk<F>,
+    stats: &IoStats,
+    region_sectors: u64,
+) -> (u64, SimDuration) {
     let mut rng = simclock::Rng::new(61);
     let spb = 256u64; // sectors per 128 KB block
     let mut plan: Vec<(IoKind, u64)> = Vec::new();
     for kind in [IoKind::Write, IoKind::Read, IoKind::Trim] {
         let k = stats.kind(kind);
         if k.ops() > 0 {
-            plan.extend(std::iter::repeat_n((kind, (k.sectors() / k.ops()).max(1)), k.ops() as usize));
+            plan.extend(std::iter::repeat_n(
+                (kind, (k.sectors() / k.ops()).max(1)),
+                k.ops() as usize,
+            ));
         }
     }
     rng.shuffle(&mut plan);
@@ -42,7 +49,11 @@ fn main() {
     let scale = Scale::from_args();
     let docs = scale.docs_5m();
     let queries = scale.queries();
-    let cfg = cache_config(scale.bytes(20 << 20), scale.bytes(200 << 20), PolicyKind::Cblru);
+    let cfg = cache_config(
+        scale.bytes(20 << 20),
+        scale.bytes(200 << 20),
+        PolicyKind::Cblru,
+    );
     let footprint = (cfg.ssd_sectors() * 512).max(4 << 20);
 
     // Run the real experiment once; its cache-device stats define the mix.
@@ -54,23 +65,35 @@ fn main() {
 
     // The four replays are independent simulations over the same op mix —
     // fan them out like every other sweep.
-    let rows = parallel_map(
-        vec!["page-map", "block-map", "FAST", "DFTL"],
-        0,
-        |name| {
-            let (erases, total) = match name {
-                "page-map" => replay(SsdDisk::with_ftl(PageMapFtl::new(params())), &stats, region_sectors),
-                "block-map" => replay(SsdDisk::with_ftl(BlockMapFtl::new(params())), &stats, region_sectors),
-                "FAST" => replay(SsdDisk::with_ftl(FastFtl::new(params())), &stats, region_sectors),
-                _ => replay(SsdDisk::with_ftl(Dftl::new(params(), 8192)), &stats, region_sectors),
-            };
-            vec![
-                name.to_string(),
-                erases.to_string(),
-                format!("{:.1}", total.as_millis_f64()),
-            ]
-        },
-    );
+    let rows = parallel_map(vec!["page-map", "block-map", "FAST", "DFTL"], 0, |name| {
+        let (erases, total) = match name {
+            "page-map" => replay(
+                SsdDisk::with_ftl(PageMapFtl::new(params())),
+                &stats,
+                region_sectors,
+            ),
+            "block-map" => replay(
+                SsdDisk::with_ftl(BlockMapFtl::new(params())),
+                &stats,
+                region_sectors,
+            ),
+            "FAST" => replay(
+                SsdDisk::with_ftl(FastFtl::new(params())),
+                &stats,
+                region_sectors,
+            ),
+            _ => replay(
+                SsdDisk::with_ftl(Dftl::new(params(), 8192)),
+                &stats,
+                region_sectors,
+            ),
+        };
+        vec![
+            name.to_string(),
+            erases.to_string(),
+            format!("{:.1}", total.as_millis_f64()),
+        ]
+    });
 
     print_table(
         "Ablation: FTL scheme under the CBLRU cache op mix",

@@ -32,7 +32,14 @@ fn main() {
     });
     print_table(
         "Ablation: TEV admission threshold (CBLRU)",
-        &["TEV", "hit_%", "admitted", "rejected", "ssd_writes", "erases"],
+        &[
+            "TEV",
+            "hit_%",
+            "admitted",
+            "rejected",
+            "ssd_writes",
+            "erases",
+        ],
         &results,
     );
     println!(

@@ -17,29 +17,25 @@ fn main() {
     let mem = scale.bytes(20 << 20);
     let ssd = scale.bytes(200 << 20);
 
-    let rows = parallel_map(
-        vec![PolicyKind::Lru, PolicyKind::Cblru],
-        0,
-        |policy| {
-            let mut cfg = cache_config(mem, ssd, policy);
-            // Neutralize admission so the only differences left are
-            // placement granularity and victim selection.
-            cfg.tev = 0.0;
-            cfg.result_freq_threshold = 0;
-            let r = run_cached(docs, cfg, queries, 31);
-            let flash = r.flash.expect("cache SSD present");
-            vec![
-                match policy {
-                    PolicyKind::Lru => "per-entry (LRU)".to_string(),
-                    _ => "RB-assembled (CBLRU)".to_string(),
-                },
-                flash.host_writes.to_string(),
-                flash.block_erases.to_string(),
-                format!("{:.2}", flash.write_amplification),
-                format!("{:.3}", flash.mean_access.as_millis_f64()),
-            ]
-        },
-    );
+    let rows = parallel_map(vec![PolicyKind::Lru, PolicyKind::Cblru], 0, |policy| {
+        let mut cfg = cache_config(mem, ssd, policy);
+        // Neutralize admission so the only differences left are
+        // placement granularity and victim selection.
+        cfg.tev = 0.0;
+        cfg.result_freq_threshold = 0;
+        let r = run_cached(docs, cfg, queries, 31);
+        let flash = r.flash.expect("cache SSD present");
+        vec![
+            match policy {
+                PolicyKind::Lru => "per-entry (LRU)".to_string(),
+                _ => "RB-assembled (CBLRU)".to_string(),
+            },
+            flash.host_writes.to_string(),
+            flash.block_erases.to_string(),
+            format!("{:.2}", flash.write_amplification),
+            format!("{:.3}", flash.mean_access.as_millis_f64()),
+        ]
+    });
     print_table(
         "Ablation: write granularity (admission thresholds neutralized)",
         &["placement", "host_page_writes", "erases", "WA", "access_ms"],

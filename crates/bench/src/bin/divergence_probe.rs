@@ -13,12 +13,18 @@
 //! block-compressed) run in lockstep until the first query whose
 //! response or cache counters diverge.
 //!
+//! With `--iopath` it bisects the *I/O-path arms*: a `Direct` engine and
+//! a `Queued { depth: 1 }` + FIFO engine (which must be its bit-identical
+//! event-driven restatement) run in lockstep, comparing every response,
+//! the cache counters, and both devices' submission-queue accounting.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
-//!         [--cluster] [--workers N] [--postings]
+//!         [--cluster] [--workers N] [--postings] [--iopath]
 
 use engine::{ClusterExecution, EngineConfig, PostingsBackend, SearchCluster, SearchEngine};
 use hybridcache::PolicyKind;
+use storagecore::{IoPath, SchedulerPolicy};
 use workload::Query;
 
 /// Lockstep bisection of the cluster execution arms.
@@ -78,15 +84,13 @@ fn probe_postings(policy: PolicyKind, seed_flag: bool) {
     let docs = 400_000;
     let queries = 30_000usize;
     let seed = 42;
-    let cfg = |backend| {
-        EngineConfig {
-            postings: backend,
-            ..EngineConfig::cached(
-                docs,
-                hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
-                seed,
-            )
-        }
+    let cfg = |backend| EngineConfig {
+        postings: backend,
+        ..EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
+            seed,
+        )
     };
     let mut a = SearchEngine::new(cfg(PostingsBackend::Reference));
     let mut b = SearchEngine::new(cfg(PostingsBackend::Blocked));
@@ -111,7 +115,10 @@ fn probe_postings(policy: PolicyKind, seed_flag: bool) {
         let tb = b.execute(q);
         let sa = a.cache().unwrap().stats();
         let sb = b.cache().unwrap().stats();
-        let (ssa, ssb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        let (ssa, ssb) = (
+            a.cache().unwrap().store_stats(),
+            b.cache().unwrap().store_stats(),
+        );
         if ta != tb || sa != sb || ssa != ssb {
             println!(
                 "first divergence at query {i} (id {}, {} terms)",
@@ -136,11 +143,77 @@ fn probe_postings(policy: PolicyKind, seed_flag: bool) {
     );
 }
 
+/// Lockstep bisection of the I/O-path arms: `Direct` vs its event-driven
+/// restatement at queue depth 1 with FIFO scheduling.
+fn probe_iopath(policy: PolicyKind, seed_flag: bool) {
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+    let cfg = || {
+        EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
+            seed,
+        )
+    };
+    let mut a = SearchEngine::new(cfg());
+    let mut b = SearchEngine::new(cfg());
+    b.set_io_path(IoPath::Queued { depth: 1 });
+    b.set_io_scheduler(SchedulerPolicy::Fifo);
+    println!(
+        "iopath probe: {docs} docs, arm A = {:?}, arm B = {:?} + {:?}",
+        a.io_path(),
+        b.io_path(),
+        b.io_scheduler()
+    );
+    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
+        a.seed_static_from_log(queries);
+        b.seed_static_from_log(queries);
+        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
+        if ra != rb {
+            println!("diverged during seeding: {ra:?} vs {rb:?}");
+            return;
+        }
+        println!("seeding identical");
+    }
+    let stream: Vec<Query> = a.log().stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ta = a.execute(q);
+        let tb = b.execute(q);
+        let sa = a.cache().unwrap().stats();
+        let sb = b.cache().unwrap().stats();
+        let (qa, qb) = (a.index_queue_stats(), b.index_queue_stats());
+        let (ca, cb) = (a.cache_queue_stats(), b.cache_queue_stats());
+        if ta != tb || sa != sb || qa != qb || ca != cb {
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
+            println!("  response: {ta} vs {tb}");
+            println!("  cache stats direct: {sa:?}");
+            println!("  cache stats queued: {sb:?}");
+            println!("  index queue direct: {qa:?}");
+            println!("  index queue queued: {qb:?}");
+            println!("  cache queue direct: {ca:?}");
+            println!("  cache queue queued: {cb:?}");
+            return;
+        }
+    }
+    println!(
+        "no divergence over {queries} queries between I/O-path arms \
+         ({} index dispatches, {} cache dispatches)",
+        b.index_queue_stats().dispatches(),
+        b.cache_queue_stats().dispatches()
+    );
+}
+
 fn main() {
     let mut policy_arg = String::from("cbslru");
     let mut seed_flag = true;
     let mut cluster = false;
     let mut postings = false;
+    let mut iopath = false;
     let mut workers = 0usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -149,12 +222,8 @@ fn main() {
             "--no-seed" => seed_flag = false,
             "--cluster" => cluster = true,
             "--postings" => postings = true,
-            "--workers" => {
-                workers = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(workers)
-            }
+            "--iopath" => iopath = true,
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             _ => {}
         }
     }
@@ -173,9 +242,11 @@ fn main() {
         probe_postings(policy, seed_flag);
         return;
     }
-    let cfg = || {
-        hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy)
-    };
+    if iopath {
+        probe_iopath(policy, seed_flag);
+        return;
+    }
+    let cfg = || hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy);
     let docs = 400_000;
     let queries = 30_000usize;
     let seed = 42;
@@ -192,7 +263,10 @@ fn main() {
             println!("diverged during seeding: {ra:?} vs {rb:?}");
             return;
         }
-        let (sa, sb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        let (sa, sb) = (
+            a.cache().unwrap().store_stats(),
+            b.cache().unwrap().store_stats(),
+        );
         if sa != sb {
             println!("store stats diverged during seeding:\n  {sa:?}\n  {sb:?}");
             return;
@@ -206,9 +280,16 @@ fn main() {
         let tb = b.execute(q);
         let sa = a.cache().unwrap().stats();
         let sb = b.cache().unwrap().stats();
-        let (ssa, ssb) = (a.cache().unwrap().store_stats(), b.cache().unwrap().store_stats());
+        let (ssa, ssb) = (
+            a.cache().unwrap().store_stats(),
+            b.cache().unwrap().store_stats(),
+        );
         if ta != tb || sa != sb || ssa != ssb {
-            println!("first divergence at query {i} (id {}, {} terms)", q.id, q.terms.len());
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
             println!("  response: {ta} vs {tb}");
             println!("  stats a: {sa:?}");
             println!("  stats b: {sb:?}");

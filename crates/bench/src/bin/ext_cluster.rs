@@ -65,7 +65,14 @@ fn main() {
         .collect();
     print_table(
         "Extension: cluster scale-out (scatter-gather, per-shard 2LC cache)",
-        &["shards", "plain_ms", "cached_ms", "plain_qps", "cached_qps", "hit_%"],
+        &[
+            "shards",
+            "plain_ms",
+            "cached_ms",
+            "plain_qps",
+            "cached_qps",
+            "hit_%",
+        ],
         &rows,
     );
     println!(

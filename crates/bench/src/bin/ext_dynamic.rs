@@ -34,7 +34,14 @@ fn main() {
     });
     print_table(
         "Extension: TTL sweep (dynamic scenario, CBLRU)",
-        &["TTL", "hit_%", "resp_ms", "expirations", "fresh_hits", "erases"],
+        &[
+            "TTL",
+            "hit_%",
+            "resp_ms",
+            "expirations",
+            "fresh_hits",
+            "erases",
+        ],
         &results,
     );
     println!(

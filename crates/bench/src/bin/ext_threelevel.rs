@@ -52,7 +52,15 @@ fn main() {
     });
     print_table(
         "Extension: two-level vs three-level (intersection) caching",
-        &["configuration", "hit_%", "resp_ms", "qps", "xc_hits", "xc_installs", "hdd_ops"],
+        &[
+            "configuration",
+            "hit_%",
+            "resp_ms",
+            "qps",
+            "xc_hits",
+            "xc_installs",
+            "hdd_ops",
+        ],
         &results,
     );
     println!(

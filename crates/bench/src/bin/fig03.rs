@@ -63,12 +63,7 @@ fn main() {
         .iter()
         .step_by((counts.len() / 40).max(1))
         .enumerate()
-        .map(|(i, (_, c))| {
-            vec![
-                (i * (counts.len() / 40).max(1)).to_string(),
-                c.to_string(),
-            ]
-        })
+        .map(|(i, (_, c))| vec![(i * (counts.len() / 40).max(1)).to_string(), c.to_string()])
         .collect();
     print_table(
         "Fig 3(b) term access frequency distribution (ranked)",

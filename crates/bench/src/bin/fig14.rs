@@ -50,12 +50,7 @@ fn main() {
                     .map(|(_, _, h)| pct(*h))
                     .expect("swept")
             };
-            vec![
-                (s >> 20).to_string(),
-                find("RC"),
-                find("IC"),
-                find("RIC"),
-            ]
+            vec![(s >> 20).to_string(), find("RC"), find("IC"), find("RIC")]
         })
         .collect();
     print_table(

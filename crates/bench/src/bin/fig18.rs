@@ -51,7 +51,13 @@ fn main() {
     let points: Vec<(u64, Arch)> = scale
         .doc_points()
         .into_iter()
-        .flat_map(|d| [(d, Arch::OneLevelHdd), (d, Arch::OneLevelSsd), (d, Arch::TwoLevelHdd)])
+        .flat_map(|d| {
+            [
+                (d, Arch::OneLevelHdd),
+                (d, Arch::OneLevelSsd),
+                (d, Arch::TwoLevelHdd),
+            ]
+        })
         .collect();
     let results = parallel_map(points, 0, |(docs, arch)| {
         let r = match arch {
@@ -110,9 +116,7 @@ fn main() {
     });
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(name, resp, cost)| {
-            vec![name.to_string(), ms(*resp), format!("{cost:.2}")]
-        })
+        .map(|(name, resp, cost)| vec![name.to_string(), ms(*resp), format!("{cost:.2}")])
         .collect();
     print_table(
         "Fig 18(b) capacity mixes at the largest collection",

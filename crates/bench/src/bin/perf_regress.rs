@@ -25,14 +25,30 @@
 //! its block-max accounting (bounds consulted, postings pruned without
 //! decode) and the block store's encoded footprint.
 //!
-//! In all arms every **simulated figure must be bit-identical** (hit
+//! **I/O-path arm** (PR 4, `BENCH_4.json`): runs the engine workload
+//! three times across the `IoPath` toggle — the synchronous `Direct`
+//! reference, `Queued { depth: 1 }` + FIFO (which must be bit-identical
+//! to `Direct`, queue accounting included), and `Queued { depth: 4 }` +
+//! elevator scheduling, where NCQ-style reordering of the batched index
+//! reads is *allowed* to move the simulated response times. A second
+//! uncached seek-bound pair (`ncq_arms`) isolates the elevator's
+//! benefit: with every query batching HDD index reads, depth-4 elevator
+//! scheduling shortens the seek path and improves mean response — the
+//! headline `response_time_ratio_vs_direct`. On the hybrid config the
+//! cache SSD absorbs most reads and the dominant queueing effect is
+//! RB-flush lane contention, so that ratio (`hybrid_response_time_*`)
+//! dips slightly below 1 and is recorded alongside. Both deep arms
+//! report measured mean/max device-queue occupancy.
+//!
+//! In the first three arms every **simulated figure must be bit-identical** (hit
 //! ratio, response times, cache/flash counters, the full `RunReport` /
 //! `ClusterReport`): the optimizations are behavior-preserving by
 //! construction, and this harness re-checks that end-to-end on every
 //! run. Wall-clock is the only number allowed to move.
 //!
 //!     cargo run --release -p bench --bin perf_regress \
-//!         [-- --out PATH] [--cluster-out PATH] [--postings-out PATH]
+//!         [-- --out PATH] [--cluster-out PATH] [--postings-out PATH] \
+//!         [--iopath-out PATH] [--iopath-depth N]
 //!
 //! Exit status is non-zero if any arm's simulated figures diverge.
 
@@ -40,10 +56,11 @@ use std::time::Instant;
 
 use bench::{cache_config, run_cached};
 use engine::{
-    ClusterExecution, ClusterReport, EngineConfig, PostingsBackend, RunReport, SearchCluster,
-    SearchEngine,
+    ClusterExecution, ClusterReport, EngineConfig, IndexPlacement, PostingsBackend, RunReport,
+    SearchCluster, SearchEngine,
 };
 use hybridcache::PolicyKind;
+use storagecore::{BlockDevice, IoPath, IoStats, QueueDepthStats, SchedulerPolicy};
 
 // The pinned workload: large enough that victim selection and top-K
 // accumulation dominate, small enough for a CI-friendly run.
@@ -199,8 +216,7 @@ fn postings_regress(out: &str) -> bool {
     // The contract: the entire RunReport (and the store-level eviction
     // counters) is bit-identical — block-max skipping only removes work
     // the quit rules were about to remove posting-by-posting.
-    let identical =
-        reference.report == blocked.report && reference.evictions == blocked.evictions;
+    let identical = reference.report == blocked.report && reference.evictions == blocked.evictions;
     let speedup = reference.wall_secs / blocked.wall_secs;
 
     let json = format!(
@@ -305,9 +321,7 @@ fn run_cluster_arm(label: &'static str, exec: ClusterExecution) -> ClusterArm {
     let t0 = Instant::now();
     let report = c.run(CLUSTER_QUERIES);
     let wall_secs = t0.elapsed().as_secs_f64();
-    let max_busy_secs = c
-        .max_worker_busy()
-        .map_or(wall_secs, |d| d.as_secs_f64());
+    let max_busy_secs = c.max_worker_busy().map_or(wall_secs, |d| d.as_secs_f64());
     ClusterArm {
         label,
         report,
@@ -425,10 +439,319 @@ fn cluster_regress(out: &str) -> bool {
     identical
 }
 
+/// One measured I/O-path arm.
+struct IoPathArm {
+    label: String,
+    path: String,
+    scheduler: &'static str,
+    report: RunReport,
+    wall_secs: f64,
+    /// Submission-queue accounting at the index device.
+    index_queue: QueueDepthStats,
+    /// Submission-queue accounting at the cache SSD.
+    cache_queue: QueueDepthStats,
+    /// Full cache-SSD stats (part of the bit-identity contract).
+    cache_dev: IoStats,
+}
+
+fn run_iopath_arm(
+    label: String,
+    path_name: String,
+    sched_name: &'static str,
+    path: IoPath,
+    policy: SchedulerPolicy,
+) -> IoPathArm {
+    let cfg = cache_config(
+        MEM_BYTES,
+        SSD_BYTES,
+        PolicyKind::Cbslru {
+            static_fraction: 0.3,
+        },
+    );
+    let t0 = Instant::now();
+    let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cfg, SEED));
+    e.seed_static_from_log(QUERIES);
+    e.set_io_path(path);
+    e.set_io_scheduler(policy);
+    let report = e.run(QUERIES);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    IoPathArm {
+        label,
+        path: path_name,
+        scheduler: sched_name,
+        report,
+        wall_secs,
+        index_queue: e.index_queue_stats(),
+        cache_queue: e.cache_queue_stats(),
+        cache_dev: e.cache().expect("cached config").device().stats().clone(),
+    }
+}
+
+/// One measured NCQ arm: the uncached seek-bound workload, where the
+/// index HDD's queue is the bottleneck and elevator reordering is the
+/// whole effect.
+struct NcqArm {
+    label: String,
+    path: String,
+    scheduler: &'static str,
+    report: RunReport,
+    wall_secs: f64,
+    index_queue: QueueDepthStats,
+}
+
+/// Every query misses (no cache), so each one batches its index reads —
+/// this is the workload where the device queue actually fills and the
+/// elevator's seek-shortening shows up as a response-time win.
+const NCQ_QUERIES: usize = 10_000;
+
+fn run_ncq_arm(
+    label: String,
+    path_name: String,
+    sched_name: &'static str,
+    path: IoPath,
+    policy: SchedulerPolicy,
+) -> NcqArm {
+    let t0 = Instant::now();
+    let mut e = SearchEngine::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, SEED));
+    e.set_io_path(path);
+    e.set_io_scheduler(policy);
+    let report = e.run(NCQ_QUERIES);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    NcqArm {
+        label,
+        path: path_name,
+        scheduler: sched_name,
+        report,
+        wall_secs,
+        index_queue: e.index_queue_stats(),
+    }
+}
+
+fn ncq_arm_json(a: &NcqArm) -> String {
+    let r = &a.report;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"io_path\": \"{}\",\n",
+            "      \"scheduler\": \"{}\",\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"sim_mean_response_ns\": {},\n",
+            "      \"sim_p99_response_ns\": {},\n",
+            "      \"sim_elapsed_ns\": {},\n",
+            "      \"index_queue_dispatches\": {},\n",
+            "      \"index_queue_mean_occupancy\": {:.6},\n",
+            "      \"index_queue_max_occupancy\": {},\n",
+            "      \"index_queue_mean_wait_ns\": {},\n",
+            "      \"index_queue_max_wait_ns\": {}\n",
+            "    }}"
+        ),
+        a.label,
+        a.path,
+        a.scheduler,
+        a.wall_secs,
+        r.mean_response.as_nanos(),
+        r.p99_response.as_nanos(),
+        r.elapsed.as_nanos(),
+        a.index_queue.dispatches(),
+        a.index_queue.mean_occupancy(),
+        a.index_queue.max_occupancy(),
+        a.index_queue.mean_wait().as_nanos(),
+        a.index_queue.max_wait().as_nanos(),
+    )
+}
+
+fn iopath_arm_json(a: &IoPathArm) -> String {
+    let r = &a.report;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{}\",\n",
+            "      \"io_path\": \"{}\",\n",
+            "      \"scheduler\": \"{}\",\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"sim_hit_ratio\": {:.17},\n",
+            "      \"sim_mean_response_ns\": {},\n",
+            "      \"sim_p99_response_ns\": {},\n",
+            "      \"sim_elapsed_ns\": {},\n",
+            "      \"index_queue_dispatches\": {},\n",
+            "      \"index_queue_mean_occupancy\": {:.6},\n",
+            "      \"index_queue_max_occupancy\": {},\n",
+            "      \"index_queue_mean_wait_ns\": {},\n",
+            "      \"index_queue_max_wait_ns\": {},\n",
+            "      \"cache_queue_dispatches\": {},\n",
+            "      \"cache_queue_mean_occupancy\": {:.6},\n",
+            "      \"cache_queue_max_occupancy\": {}\n",
+            "    }}"
+        ),
+        a.label,
+        a.path,
+        a.scheduler,
+        a.wall_secs,
+        r.hit_ratio(),
+        r.mean_response.as_nanos(),
+        r.p99_response.as_nanos(),
+        r.elapsed.as_nanos(),
+        a.index_queue.dispatches(),
+        a.index_queue.mean_occupancy(),
+        a.index_queue.max_occupancy(),
+        a.index_queue.mean_wait().as_nanos(),
+        a.index_queue.max_wait().as_nanos(),
+        a.cache_queue.dispatches(),
+        a.cache_queue.mean_occupancy(),
+        a.cache_queue.max_occupancy(),
+    )
+}
+
+/// Run the three I/O-path arms, emit `BENCH_4.json`, and return whether
+/// the depth-1 FIFO arm was bit-identical to the `Direct` reference.
+/// `depth` sets the deep arm's queue depth (4 in the committed report;
+/// `--iopath-depth` sweeps it).
+fn iopath_regress(out: &str, depth: usize) -> bool {
+    let direct = run_iopath_arm(
+        "direct".into(),
+        "direct".into(),
+        "fifo",
+        IoPath::Direct,
+        SchedulerPolicy::Fifo,
+    );
+    eprintln!(
+        "iopath direct:   {} ({:.2}s wall)",
+        direct.report.summary(),
+        direct.wall_secs
+    );
+    let queued1 = run_iopath_arm(
+        "queued_depth1_fifo".into(),
+        "queued(1)".into(),
+        "fifo",
+        IoPath::Queued { depth: 1 },
+        SchedulerPolicy::Fifo,
+    );
+    eprintln!(
+        "iopath queued-1: {} ({:.2}s wall)",
+        queued1.report.summary(),
+        queued1.wall_secs
+    );
+    let deep = run_iopath_arm(
+        format!("queued_depth{depth}_elevator"),
+        format!("queued({depth})"),
+        "elevator",
+        IoPath::Queued { depth },
+        SchedulerPolicy::Elevator,
+    );
+    eprintln!(
+        "iopath queued-{depth}: {} ({:.2}s wall)",
+        deep.report.summary(),
+        deep.wall_secs
+    );
+
+    // The NCQ pair: the uncached seek-bound workload, where every query
+    // batches index reads and elevator reordering shortens the seek path.
+    let ncq_direct = run_ncq_arm(
+        "ncq_direct".into(),
+        "direct".into(),
+        "fifo",
+        IoPath::Direct,
+        SchedulerPolicy::Fifo,
+    );
+    eprintln!(
+        "ncq direct:      {} ({:.2}s wall)",
+        ncq_direct.report.summary(),
+        ncq_direct.wall_secs
+    );
+    let ncq_deep = run_ncq_arm(
+        format!("ncq_queued_depth{depth}_elevator"),
+        format!("queued({depth})"),
+        "elevator",
+        IoPath::Queued { depth },
+        SchedulerPolicy::Elevator,
+    );
+    eprintln!(
+        "ncq queued-{depth}:    {} ({:.2}s wall)",
+        ncq_deep.report.summary(),
+        ncq_deep.wall_secs
+    );
+
+    // The contract: at depth 1 + FIFO the pipeline degenerates to the
+    // synchronous call tree — the full RunReport, both submission-queue
+    // sections, and the cache SSD's complete IoStats are bit-identical.
+    let identical = direct.report == queued1.report
+        && direct.index_queue == queued1.index_queue
+        && direct.cache_queue == queued1.cache_queue
+        && direct.cache_dev == queued1.cache_dev;
+    // The headline: NCQ reordering is *supposed* to move response times
+    // downward on the seek-bound workload (elevator shortens each
+    // batch's seek path). On the hybrid config the same deep queue is
+    // reported too, but there the cache SSD absorbs most reads and the
+    // dominant queueing effect is RB-flush lane contention — that ratio
+    // dips slightly below 1 and is recorded honestly alongside.
+    let response_ratio = ncq_direct.report.mean_response.as_nanos() as f64
+        / ncq_deep.report.mean_response.as_nanos() as f64;
+    let hybrid_ratio =
+        direct.report.mean_response.as_nanos() as f64 / deep.report.mean_response.as_nanos() as f64;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress_iopath\",\n",
+            "  \"workload\": {{\n",
+            "    \"docs\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"mem_bytes\": {},\n",
+            "    \"ssd_bytes\": {},\n",
+            "    \"policy\": \"CBSLRU(0.3)\"\n",
+            "  }},\n",
+            "  \"queue_depth\": {},\n",
+            "  \"arms\": [\n{},\n{},\n{}\n  ],\n",
+            "  \"ncq_workload\": {{ \"docs\": {}, \"queries\": {}, \"placement\": \"hdd_no_cache\" }},\n",
+            "  \"ncq_arms\": [\n{},\n{}\n  ],\n",
+            "  \"sim_figures_bit_identical\": {},\n",
+            "  \"deep_max_device_queue_occupancy\": {},\n",
+            "  \"deep_mean_device_queue_occupancy\": {:.6},\n",
+            "  \"response_time_ratio_vs_direct\": {:.6},\n",
+            "  \"hybrid_deep_max_device_queue_occupancy\": {},\n",
+            "  \"hybrid_response_time_ratio_vs_direct\": {:.6}\n",
+            "}}\n"
+        ),
+        DOCS,
+        QUERIES,
+        SEED,
+        MEM_BYTES,
+        SSD_BYTES,
+        depth,
+        iopath_arm_json(&direct),
+        iopath_arm_json(&queued1),
+        iopath_arm_json(&deep),
+        DOCS,
+        NCQ_QUERIES,
+        ncq_arm_json(&ncq_direct),
+        ncq_arm_json(&ncq_deep),
+        identical,
+        ncq_deep.index_queue.max_occupancy(),
+        ncq_deep.index_queue.mean_occupancy(),
+        response_ratio,
+        deep.index_queue.max_occupancy(),
+        hybrid_ratio,
+    );
+    std::fs::write(out, &json)
+        .unwrap_or_else(|e| panic!("cannot write iopath report to {out}: {e}"));
+    println!("{json}");
+    println!(
+        "wrote {out}; depth-{depth} NCQ response ratio {response_ratio:.3}x \
+         (max queue occupancy {}), hybrid deep ratio {hybrid_ratio:.3}x, \
+         depth-1 identical: {identical}",
+        ncq_deep.index_queue.max_occupancy()
+    );
+    identical
+}
+
 fn main() {
     let mut out = String::from("BENCH_1.json");
     let mut cluster_out = String::from("BENCH_2.json");
     let mut postings_out = String::from("BENCH_3.json");
+    let mut iopath_out = String::from("BENCH_4.json");
+    let mut iopath_depth = 4usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -443,18 +766,39 @@ fn main() {
             if let Some(v) = args.next() {
                 postings_out = v;
             }
+        } else if a == "--iopath-out" {
+            if let Some(v) = args.next() {
+                iopath_out = v;
+            }
+        } else if a == "--iopath-depth" {
+            if let Some(v) = args.next() {
+                iopath_depth = v.parse().expect("--iopath-depth takes an integer");
+            }
         }
     }
 
     // Smoke-check the shared harness path once so the binary exercises
     // the exact entry points the figure binaries use.
-    let warm = run_cached(50_000, cache_config(4 << 20, 40 << 20, PolicyKind::Cblru), 2_000, SEED);
+    let warm = run_cached(
+        50_000,
+        cache_config(4 << 20, 40 << 20, PolicyKind::Cblru),
+        2_000,
+        SEED,
+    );
     eprintln!("warm-up: {}", warm.summary());
 
     let naive = run_arm("reference", true);
-    eprintln!("reference: {} ({:.2}s wall)", naive.report.summary(), naive.wall_secs);
+    eprintln!(
+        "reference: {} ({:.2}s wall)",
+        naive.report.summary(),
+        naive.wall_secs
+    );
     let fast = run_arm("optimized", false);
-    eprintln!("optimized: {} ({:.2}s wall)", fast.report.summary(), fast.wall_secs);
+    eprintln!(
+        "optimized: {} ({:.2}s wall)",
+        fast.report.summary(),
+        fast.wall_secs
+    );
 
     // The contract: every simulated figure is bit-identical across arms.
     let identical = naive.report.hit_ratio() == fast.report.hit_ratio()
@@ -493,13 +837,13 @@ fn main() {
         identical,
         speedup,
     );
-    std::fs::write(&out, &json)
-        .unwrap_or_else(|e| panic!("cannot write report to {out}: {e}"));
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write report to {out}: {e}"));
     println!("{json}");
     println!("wrote {out}; speedup {speedup:.2}x, sim figures identical: {identical}");
 
     let postings_identical = postings_regress(&postings_out);
     let cluster_identical = cluster_regress(&cluster_out);
+    let iopath_identical = iopath_regress(&iopath_out, iopath_depth);
 
     if !identical {
         eprintln!("FAIL: simulated figures diverged between the engine arms");
@@ -516,7 +860,14 @@ fn main() {
              `cargo run --release -p bench --bin divergence_probe -- --cluster`"
         );
     }
-    if !identical || !postings_identical || !cluster_identical {
+    if !iopath_identical {
+        eprintln!(
+            "FAIL: the queued depth-1 FIFO arm diverged from the Direct \
+             reference — bisect with \
+             `cargo run --release -p bench --bin divergence_probe -- --iopath`"
+        );
+    }
+    if !identical || !postings_identical || !cluster_identical || !iopath_identical {
         std::process::exit(1);
     }
 }

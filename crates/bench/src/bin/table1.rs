@@ -11,7 +11,11 @@ fn main() {
     println!("Table I (measured) — {docs} docs, {queries} queries, CBLRU 2LC\n");
     let report = run_cached(
         docs,
-        cache_config(scale.bytes(20 << 20), scale.bytes(200 << 20), PolicyKind::Cblru),
+        cache_config(
+            scale.bytes(20 << 20),
+            scale.bytes(200 << 20),
+            PolicyKind::Cblru,
+        ),
         queries,
         1,
     );

@@ -8,10 +8,23 @@ fn main() {
     println!("Table III — simulation environment settings\n");
     println!("{:<14} page-mapping (ideal, the paper's baseline)", "FTL");
     println!("{:<14} {} B", "Page Size", p.page_bytes);
-    println!("{:<14} {} KB ({} pages)", "Block Size", p.block_bytes() / 1024, p.pages_per_block);
+    println!(
+        "{:<14} {} KB ({} pages)",
+        "Block Size",
+        p.block_bytes() / 1024,
+        p.pages_per_block
+    );
     println!("{:<14} {:.3} us", "Page Read", p.page_read.as_micros_f64());
-    println!("{:<14} {:.3} us", "Page Write", p.page_write.as_micros_f64());
-    println!("{:<14} {:.1} ms", "Block Erase", p.block_erase.as_millis_f64());
+    println!(
+        "{:<14} {:.3} us",
+        "Page Write",
+        p.page_write.as_micros_f64()
+    );
+    println!(
+        "{:<14} {:.1} ms",
+        "Block Erase",
+        p.block_erase.as_millis_f64()
+    );
     assert_eq!(p.page_bytes, 2048);
     assert_eq!(p.block_bytes(), 128 * 1024);
     assert_eq!(p.page_read.as_nanos(), 32_725);

@@ -72,12 +72,7 @@ pub fn cache_config(mem_bytes: u64, ssd_bytes: u64, policy: PolicyKind) -> Hybri
 
 /// Build and run one cached engine; CBSLRU configurations are seeded from
 /// log analysis first (the paper's workflow).
-pub fn run_cached(
-    docs: u64,
-    cache: HybridConfig,
-    queries: usize,
-    seed: u64,
-) -> engine::RunReport {
+pub fn run_cached(docs: u64, cache: HybridConfig, queries: usize, seed: u64) -> engine::RunReport {
     let policy = cache.policy;
     let mut e = SearchEngine::new(EngineConfig::cached(docs, cache, seed));
     if matches!(policy, PolicyKind::Cbslru { .. }) {
@@ -155,7 +150,10 @@ mod tests {
     #[test]
     fn scale_points() {
         let s = Scale(0.1);
-        assert_eq!(s.doc_points(), vec![100_000, 200_000, 300_000, 400_000, 500_000]);
+        assert_eq!(
+            s.doc_points(),
+            vec![100_000, 200_000, 300_000, 400_000, 500_000]
+        );
         assert_eq!(s.docs_5m(), 500_000);
         assert_eq!(s.query_points().len(), 10);
         assert_eq!(s.queries(), 4_000);

@@ -62,7 +62,11 @@ impl ByteBudget {
 
     /// Release `bytes`. Panics on underflow — that's double-free of space.
     pub fn credit(&mut self, bytes: u64) {
-        assert!(bytes <= self.used, "budget underflow: {bytes} > {}", self.used);
+        assert!(
+            bytes <= self.used,
+            "budget underflow: {bytes} > {}",
+            self.used
+        );
         self.used -= bytes;
     }
 }

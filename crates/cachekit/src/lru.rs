@@ -104,7 +104,10 @@ impl<K: Eq + Hash + Clone> LruList<K> {
             };
             i
         } else {
-            assert!(self.nodes.len() < u32::MAX as usize - 1, "LRU list overflow");
+            assert!(
+                self.nodes.len() < u32::MAX as usize - 1,
+                "LRU list overflow"
+            );
             self.nodes.push(Node {
                 key: key.clone(),
                 prev: NIL,

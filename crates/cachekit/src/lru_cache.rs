@@ -124,7 +124,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
         let mut evicted = Vec::new();
         while !self.budget.fits(bytes) {
-            let victim = self.list.pop_lru().expect("budget says full, list says empty");
+            let victim = self
+                .list
+                .pop_lru()
+                .expect("budget says full, list says empty");
             let slot = self.map.remove(&victim).expect("list/map agree");
             self.budget.credit(slot.bytes);
             evicted.push((victim, slot.value, slot.bytes));

@@ -441,15 +441,15 @@ mod tests {
         // Touch window members (drift), outsiders (no-op for the window),
         // remove from both regions, pop, and re-insert.
         for op in [
-            (0u8, 1u32),  // touch member
-            (0, 11),      // touch outsider
-            (1, 0),       // remove member
-            (1, 9),       // remove outsider
-            (2, 0),       // pop_lru
-            (3, 100),     // insert
-            (0, 100),     // touch fresh
-            (3, 101),     // insert
-            (2, 0),       // pop
+            (0u8, 1u32), // touch member
+            (0, 11),     // touch outsider
+            (1, 0),      // remove member
+            (1, 9),      // remove outsider
+            (2, 0),      // pop_lru
+            (3, 100),    // insert
+            (0, 100),    // touch fresh
+            (3, 101),    // insert
+            (2, 0),      // pop
         ] {
             match op.0 {
                 0 => {

@@ -118,10 +118,7 @@ impl<K: Eq + Hash + Clone, S: Ord + Copy> MaxScoreIndex<K, S> {
     /// The victim: highest score, ties to the smallest stamp (LRU-most),
     /// skipping at most one excluded key.
     pub fn peek_best(&self, exclude: Option<&K>) -> Option<&K> {
-        self.by_score
-            .values()
-            .rev()
-            .find(|k| Some(*k) != exclude)
+        self.by_score.values().rev().find(|k| Some(*k) != exclude)
     }
 
     /// Remove everything.

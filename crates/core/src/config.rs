@@ -160,9 +160,7 @@ impl HybridConfig {
     /// Total SSD footprint in sectors (result + list + intersection
     /// regions).
     pub fn ssd_sectors(&self) -> u64 {
-        (self.result_slots() as u64
-            + self.list_blocks() as u64
-            + self.intersection_blocks() as u64)
+        (self.result_slots() as u64 + self.list_blocks() as u64 + self.intersection_blocks() as u64)
             * self.sectors_per_block()
     }
 

@@ -122,12 +122,23 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
                 config.window,
                 sf,
             ),
-            ssd_ic: ListStore::new(list_region, config.block_bytes, cost_based, config.window, sf),
+            ssd_ic: ListStore::new(
+                list_region,
+                config.block_bytes,
+                cost_based,
+                config.window,
+                sf,
+            ),
             device,
             result_ttl: config.ttl.map(TtlTracker::new),
             list_ttl: config.ttl.map(TtlTracker::new),
             mem_xc: config.intersections.map(|x| {
-                MemListCache::new(x.mem_bytes, config.policy, config.window, config.block_bytes)
+                MemListCache::new(
+                    x.mem_bytes,
+                    config.policy,
+                    config.window,
+                    config.block_bytes,
+                )
             }),
             ssd_xc: config.intersections.map(|_| {
                 ListStore::new(
@@ -248,14 +259,15 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             self.stats.intersections.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
-        if self.config.policy.is_cost_based() && !admit_list(meta.freq, blocks, self.config.tev)
-        {
+        if self.config.policy.is_cost_based() && !admit_list(meta.freq, blocks, self.config.tev) {
             self.stats.intersections.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
         let avoided_before = ssd.stats().rewrites_avoided;
+        self.device.set_background(true);
         let (written, latency) =
             ssd.offer(pair, blocks, meta.si_bytes, meta.freq, &mut self.device);
+        self.device.set_background(false);
         if ssd.stats().rewrites_avoided > avoided_before {
             self.stats.intersections.rewrites_avoided += 1;
         } else if written {
@@ -293,7 +305,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         }
         ttl.forget(&id);
         self.mem_rc.remove(id);
+        self.device.set_background(true);
         let t = self.ssd_rc.invalidate(id, &mut self.device);
+        self.device.set_background(false);
         self.stats.ssd_time += t;
         true
     }
@@ -308,7 +322,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         }
         ttl.forget(&term);
         self.mem_ic.remove(term);
+        self.device.set_background(true);
         let t = self.ssd_ic.invalidate(term, &mut self.device);
+        self.device.set_background(false);
         self.stats.ssd_time += t;
         true
     }
@@ -371,14 +387,15 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             return (Some(v.clone()), Tier::Mem, SimDuration::ZERO);
         }
         let mark = self.config.scheme == CachingScheme::Hybrid;
-        if let Some((value, _freq, read_latency)) = self.ssd_rc.lookup(id, &mut self.device, mark)
-        {
+        if let Some((value, _freq, read_latency)) = self.ssd_rc.lookup(id, &mut self.device, mark) {
             self.stats.results.ssd_hits += 1;
             self.stats.ssd_time += read_latency;
             self.stats.ssd_bytes_read += self.config.result_entry_bytes;
             let mut background = SimDuration::ZERO;
             if self.config.scheme == CachingScheme::Exclusive {
+                self.device.set_background(true);
                 background += self.ssd_rc.invalidate(id, &mut self.device);
+                self.device.set_background(false);
             }
             background += self.admit_result_to_mem(id, value.clone());
             self.stats.ssd_time += background;
@@ -422,7 +439,11 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             return SimDuration::ZERO;
         }
         let avoided_before = self.ssd_rc.stats().rewrites_avoided;
+        // RB flush: a queued background write that overlaps foreground
+        // reads instead of blocking the miss path.
+        self.device.set_background(true);
         let latency = self.ssd_rc.offer(id, value, freq, &mut self.device);
+        self.device.set_background(false);
         if self.ssd_rc.stats().rewrites_avoided > avoided_before {
             self.stats.results.rewrites_avoided += 1;
         } else {
@@ -489,7 +510,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
                     self.stats.ssd_bytes_read += extra;
                     if self.config.scheme == CachingScheme::Exclusive {
                         // Deletion is background work.
+                        self.device.set_background(true);
                         let t = self.ssd_ic.invalidate(term, &mut self.device);
+                        self.device.set_background(false);
                         self.stats.ssd_time += t;
                     }
                 }
@@ -515,7 +538,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             self.stats.ssd_bytes_read += serve.from_ssd;
             if self.config.scheme == CachingScheme::Exclusive {
                 // Deletion is background work.
+                self.device.set_background(true);
                 let t = self.ssd_ic.invalidate(term, &mut self.device);
+                self.device.set_background(false);
                 self.stats.ssd_time += t;
             }
         }
@@ -605,16 +630,18 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             self.stats.lists.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
-        if self.config.policy.is_cost_based()
-            && !admit_list(meta.freq, blocks, self.config.tev)
-        {
+        if self.config.policy.is_cost_based() && !admit_list(meta.freq, blocks, self.config.tev) {
             self.stats.lists.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
         let avoided_before = self.ssd_ic.stats().rewrites_avoided;
+        // RB flush: a queued background write that overlaps foreground
+        // reads instead of blocking the miss path.
+        self.device.set_background(true);
         let (written, latency) =
             self.ssd_ic
                 .offer(term, blocks, cached_bytes, meta.freq, &mut self.device);
+        self.device.set_background(false);
         if self.ssd_ic.stats().rewrites_avoided > avoided_before {
             self.stats.lists.rewrites_avoided += 1;
         } else if written {
@@ -633,7 +660,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
     /// Seed the static result partition (CBSLRU): the most frequent
     /// queries from log analysis, best first.
     pub fn seed_static_results(&mut self, entries: Vec<(QueryId, V, u64)>) -> SimDuration {
+        self.device.set_background(true);
         let t = self.ssd_rc.seed_static(entries, &mut self.device);
+        self.device.set_background(false);
         self.stats.ssd_time += t;
         t
     }
@@ -649,7 +678,9 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             })
             .filter(|(_, blocks, _, _)| *blocks > 0)
             .collect();
+        self.device.set_background(true);
         let t = self.ssd_ic.seed_static(prepared, &mut self.device);
+        self.device.set_background(false);
         self.stats.ssd_time += t;
         t
     }
@@ -719,7 +750,11 @@ mod tests {
         assert!(m.stats().results.ssd_admissions >= 6);
         // One of the early queries must now hit on SSD.
         let (v, tier, t) = m.lookup_result(0);
-        assert_eq!(tier, Tier::Ssd, "query 0 was evicted and assembled into an RB");
+        assert_eq!(
+            tier,
+            Tier::Ssd,
+            "query 0 was evicted and assembled into an RB"
+        );
         assert_eq!(v, Some(0));
         assert!(t > SimDuration::ZERO);
         assert_eq!(m.stats().results.ssd_hits, 1);
@@ -793,9 +828,18 @@ mod tests {
         // twice-accessed term 7 (EV 2) under CBLRU and is flushed to SSD.
         m.lookup_list(8, SB, 4 * SB, 0.5);
         m.lookup_list(9, SB, 4 * SB, 0.5);
-        assert!(m.mem_ic.peek(8).is_none(), "lowest-EV term evicted from memory");
-        assert!(m.mem_ic.peek(7).is_some(), "higher-EV term survives in memory");
-        assert!(m.ssd_ic.cached_bytes(8).is_some(), "evicted term flushed to SSD");
+        assert!(
+            m.mem_ic.peek(8).is_none(),
+            "lowest-EV term evicted from memory"
+        );
+        assert!(
+            m.mem_ic.peek(7).is_some(),
+            "higher-EV term survives in memory"
+        );
+        assert!(
+            m.ssd_ic.cached_bytes(8).is_some(),
+            "evicted term flushed to SSD"
+        );
         // Next access to the evicted term hits the SSD tier.
         let s = m.lookup_list(8, SB / 2, 4 * SB, 0.5);
         assert!(s.from_ssd > 0);

@@ -259,12 +259,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
     /// Hit path: bump recency + frequency, and grow the cached prefix /
     /// refresh PU if this access needed more of the list. Returns the
     /// (updated) metadata on hit.
-    pub fn touch(
-        &mut self,
-        term: K,
-        needed_bytes: u64,
-        observed_pu: f64,
-    ) -> Option<ListMeta> {
+    pub fn touch(&mut self, term: K, needed_bytes: u64, observed_pu: f64) -> Option<ListMeta> {
         if !self.lru.touch(&term) {
             return None;
         }
@@ -305,7 +300,10 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
     /// refused: the rejected metadata comes back as `Err` so the caller
     /// can flush it onward.
     pub fn insert(&mut self, term: K, meta: ListMeta) -> Result<Vec<(K, ListMeta)>, ListMeta> {
-        assert!(!self.map.contains_key(&term), "insert of cached key {term:?}");
+        assert!(
+            !self.map.contains_key(&term),
+            "insert of cached key {term:?}"
+        );
         if !self.budget.admissible(meta.si_bytes) {
             return Err(meta);
         }
@@ -484,7 +482,10 @@ mod tests {
         c.insert(3, meta(SB, 1.0, 1)).unwrap(); // outside window
         let ev = c.insert(4, meta(SB, 1.0, 50)).unwrap();
         assert_eq!(ev[0].0, 2, "lowest EV inside the window loses");
-        assert!(c.peek(1).is_some(), "high-EV entry survives despite being LRU");
+        assert!(
+            c.peek(1).is_some(),
+            "high-EV entry survives despite being LRU"
+        );
     }
 
     #[test]

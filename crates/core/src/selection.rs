@@ -10,7 +10,9 @@ pub fn sc_blocks(si_bytes: u64, pu: f64, sb_bytes: u64) -> u64 {
     assert!(sb_bytes > 0, "block size must be positive");
     assert!((0.0..=1.0).contains(&pu), "PU must be a rate, got {pu}");
     let useful = (si_bytes as f64 * pu).ceil() as u64;
-    useful.div_ceil(sb_bytes).max(if si_bytes > 0 { 1 } else { 0 })
+    useful
+        .div_ceil(sb_bytes)
+        .max(if si_bytes > 0 { 1 } else { 0 })
 }
 
 /// Formula 1, in bytes: the cached size is an integral number of blocks

@@ -526,11 +526,14 @@ mod tests {
         let mut dev = device();
         s.offer(1, 2, 2 * BLOCK, 5, &mut dev); // LRU
         s.offer(2, 2, 2 * BLOCK, 5, &mut dev); // MRU
-        // Make the *MRU* entry replaceable; window (2) covers both.
+                                               // Make the *MRU* entry replaceable; window (2) covers both.
         s.lookup(2, BLOCK, &mut dev, true);
         s.offer(3, 2, 2 * BLOCK, 5, &mut dev);
         assert!(s.cached_bytes(1).is_some(), "normal LRU entry survives");
-        assert!(s.cached_bytes(2).is_none(), "replaceable entry was replaced");
+        assert!(
+            s.cached_bytes(2).is_none(),
+            "replaceable entry was replaced"
+        );
         assert_eq!(s.stats().replaceable_victims, 1);
     }
 
@@ -541,8 +544,8 @@ mod tests {
         s.offer(1, 1, BLOCK, 5, &mut dev); // LRU, size 1
         s.offer(2, 4, 4 * BLOCK, 5, &mut dev); // size 4
         s.offer(3, 1, BLOCK, 5, &mut dev); // MRU, size 1
-        // Need 4 blocks: the size-4 entry is the exact match, even though
-        // entry 1 is older.
+                                           // Need 4 blocks: the size-4 entry is the exact match, even though
+                                           // entry 1 is older.
         s.offer(4, 4, 4 * BLOCK, 5, &mut dev);
         assert!(s.cached_bytes(1).is_some());
         assert!(s.cached_bytes(2).is_none(), "size match evicted");
@@ -620,7 +623,10 @@ mod tests {
         let mut s = ListStore::new(SlotRegion::new(0, BLOCK, 4), BLOCK, true, 2, 0.5);
         let mut dev = device();
         // Budget = 2 blocks; the 3-block list cannot be seeded.
-        s.seed_static(vec![(100, 3, 3 * BLOCK, 50), (101, 2, 2 * BLOCK, 40)], &mut dev);
+        s.seed_static(
+            vec![(100, 3, 3 * BLOCK, 50), (101, 2, 2 * BLOCK, 40)],
+            &mut dev,
+        );
         assert!(s.cached_bytes(100).is_none());
         assert_eq!(s.cached_bytes(101), Some(2 * BLOCK));
     }

@@ -363,9 +363,10 @@ impl<V: Clone> ResultStore<V> {
             // Fig. 11's max-IREN victim, answered by the incremental
             // index; the scan below is the seed's reference path.
             VictimSelection::Indexed => self.iren_index.peek_best(None).copied(),
-            VictimSelection::Scan => {
-                self.rb_lru.best_in_replace_first(|&s| self.iren(s)).copied()
-            }
+            VictimSelection::Scan => self
+                .rb_lru
+                .best_in_replace_first(|&s| self.iren(s))
+                .copied(),
         }?;
         self.destroy_rb(victim);
         Some(victim)
@@ -495,7 +496,9 @@ impl<V: Clone> ResultStore<V> {
             .collect::<Vec<_>>()
             .chunks(self.entries_per_rb)
         {
-            let Some(slot) = self.region.alloc() else { break };
+            let Some(slot) = self.region.alloc() else {
+                break;
+            };
             let mut rb = Rb::new(self.entries_per_rb, true);
             for (i, (id, value, freq)) in chunk.iter().enumerate() {
                 rb.entries[i] = Some(*id);
@@ -627,8 +630,8 @@ mod tests {
         let mut dev = device();
         fill_rb(&mut s, &mut dev, 0..6); // RB A (slot LRU order: A)
         fill_rb(&mut s, &mut dev, 6..12); // RB B
-        // Make RB B dirtier: two of its entries replaceable; but touch it
-        // MRU afterwards? Window = 2 covers both. A has IREN 0, B has 2.
+                                          // Make RB B dirtier: two of its entries replaceable; but touch it
+                                          // MRU afterwards? Window = 2 covers both. A has IREN 0, B has 2.
         s.lookup(6, &mut dev, true);
         s.lookup(7, &mut dev, true);
         // Third RB must overwrite B (max IREN), not A.
@@ -636,7 +639,10 @@ mod tests {
         assert!(s.contains(0), "RB A untouched");
         assert!(!s.contains(8), "RB B's normal entries were destroyed");
         assert!(s.contains(12));
-        assert!(s.stats().collateral_evictions >= 4, "B had 4 normal entries");
+        assert!(
+            s.stats().collateral_evictions >= 4,
+            "B had 4 normal entries"
+        );
     }
 
     #[test]

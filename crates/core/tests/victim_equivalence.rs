@@ -14,9 +14,7 @@
 
 use hybridcache::mem::{ListMeta, MemListCache};
 use hybridcache::ssd::{ListStore, ResultStore, SlotRegion};
-use hybridcache::{
-    CacheManager, CachingScheme, HybridConfig, PolicyKind, VictimSelection,
-};
+use hybridcache::{CacheManager, CachingScheme, HybridConfig, PolicyKind, VictimSelection};
 use proptest::prelude::*;
 use simclock::{SimDuration, SimTime};
 use storagecore::RamDisk;

@@ -117,18 +117,14 @@ fn worker_main(
                 let t0 = Instant::now();
                 let latencies = engines
                     .iter_mut()
-                    .map(|(id, engine)| {
-                        (*id, queries.iter().map(|q| engine.execute(q)).collect())
-                    })
+                    .map(|(id, engine)| (*id, queries.iter().map(|q| engine.execute(q)).collect()))
                     .collect();
                 Reply::Batch {
                     latencies,
                     busy: t0.elapsed(),
                 }
             }
-            Job::Report => {
-                Reply::Report(engines.iter().map(|(id, e)| (*id, e.report())).collect())
-            }
+            Job::Report => Reply::Report(engines.iter().map(|(id, e)| (*id, e.report())).collect()),
         };
         if replies.send(reply).is_err() {
             break; // coordinator went away mid-job
@@ -370,8 +366,7 @@ impl SearchCluster {
     /// clocks, device wear), so the toggle is safe mid-run and the
     /// simulated figures never depend on when it happens.
     pub fn set_execution(&mut self, exec: ClusterExecution) {
-        let engines = match std::mem::replace(&mut self.backend, Backend::Sequential(Vec::new()))
-        {
+        let engines = match std::mem::replace(&mut self.backend, Backend::Sequential(Vec::new())) {
             Backend::Sequential(engines) => engines,
             Backend::Parallel(pool) => pool.shutdown(),
         };
@@ -506,10 +501,7 @@ mod tests {
 
     #[test]
     fn cluster_runs_and_reports() {
-        let mut c = SearchCluster::new(
-            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 5),
-            4,
-        );
+        let mut c = SearchCluster::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 5), 4);
         assert_eq!(c.shards(), 4);
         assert_eq!(c.execution(), ClusterExecution::Sequential);
         let r = c.run(100);
@@ -522,10 +514,7 @@ mod tests {
     fn fanout_response_is_max_plus_merge() {
         // The cluster response must never be faster than its fastest
         // shard, and the fan-out gap must be visible.
-        let mut c = SearchCluster::new(
-            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 7),
-            4,
-        );
+        let mut c = SearchCluster::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 7), 4);
         let r = c.run(200);
         assert!(r.mean_response > r.mean_fastest_shard);
     }
@@ -539,17 +528,11 @@ mod tests {
         // the accumulator-budget floor).
         let big = 400_000;
         let single = {
-            let mut c = SearchCluster::new(
-                EngineConfig::no_cache(big, IndexPlacement::Hdd, 9),
-                1,
-            );
+            let mut c = SearchCluster::new(EngineConfig::no_cache(big, IndexPlacement::Hdd, 9), 1);
             c.run(80).mean_response
         };
         let sharded = {
-            let mut c = SearchCluster::new(
-                EngineConfig::no_cache(big, IndexPlacement::Hdd, 9),
-                4,
-            );
+            let mut c = SearchCluster::new(EngineConfig::no_cache(big, IndexPlacement::Hdd, 9), 4);
             c.run(80).mean_response
         };
         assert!(
@@ -571,10 +554,7 @@ mod tests {
 
     #[test]
     fn pool_clamps_worker_count_and_reports_arm() {
-        let mut c = SearchCluster::new(
-            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 5),
-            2,
-        );
+        let mut c = SearchCluster::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 5), 2);
         c.set_execution(ClusterExecution::Parallel { workers: 16 });
         assert_eq!(
             c.execution(),
@@ -592,10 +572,7 @@ mod tests {
     fn engines_survive_a_round_trip_through_the_pool() {
         // Sequential → parallel → sequential: cumulative state (clock,
         // response stats) keeps accumulating across the migrations.
-        let mut c = SearchCluster::new(
-            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 13),
-            3,
-        );
+        let mut c = SearchCluster::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 13), 3);
         c.run(40);
         c.set_execution(ClusterExecution::Parallel { workers: 2 });
         c.run(40);

@@ -3,6 +3,7 @@
 use hybridcache::HybridConfig;
 use searchidx::{PostingsBackend, TopKConfig};
 use simclock::SimDuration;
+use storagecore::{IoPath, SchedulerPolicy};
 
 /// Where the index files live (the paper's "HDD" vs "SSD" index storage
 /// variants of Figs. 15, 16(a) and 18(a)).
@@ -80,6 +81,17 @@ pub struct EngineConfig {
     /// fetch. Result-cache hits skip these reads entirely, which is part
     /// of why result caching pays.
     pub snippet_fetches: usize,
+    /// How the engine reaches its devices: the synchronous reference
+    /// call-tree (`Direct`) or the explicit submit/complete pipeline
+    /// (`Queued { depth }`). `Queued { depth: 1 }` + FIFO is
+    /// bit-identical to `Direct` (the `io_path_equivalence` suite proves
+    /// it); larger depths overlap independent requests.
+    pub io_path: IoPath,
+    /// Dispatch-order policy for the queued path (ignored by `Direct`).
+    pub io_scheduler: SchedulerPolicy,
+    /// Flash channels on the cache SSD (1 = the paper's Table III
+    /// device). More channels let queued page operations overlap.
+    pub ssd_channels: u32,
 }
 
 impl EngineConfig {
@@ -108,6 +120,9 @@ impl EngineConfig {
             cost: CpuCostModel::default(),
             capture_trace: false,
             snippet_fetches: 0,
+            io_path: IoPath::Direct,
+            io_scheduler: SchedulerPolicy::Fifo,
+            ssd_channels: 1,
         }
     }
 
@@ -123,6 +138,9 @@ impl EngineConfig {
             cost: CpuCostModel::default(),
             capture_trace: false,
             snippet_fetches: 0,
+            io_path: IoPath::Direct,
+            io_scheduler: SchedulerPolicy::Fifo,
+            ssd_channels: 1,
         }
     }
 }

@@ -1,15 +1,17 @@
 //! The simulated search engine.
 
 use cachekit::FreqCounter;
-use hddsim::{HddDisk, HddParams};
 use flashsim::{PageMapFtl, SsdDisk};
+use hddsim::{HddDisk, HddParams};
 use hybridcache::{CacheManager, Tier};
 use searchidx::{
     CorpusSpec, DocStore, IndexLayout, IndexReader, QueryOutcome, SyntheticIndex, TopKProcessor,
 };
 use simclock::{Clock, Histogram, RunningStats, SimDuration, SimTime};
-use storagecore::{BlockDevice, Extent, Geometry, IoError, IoEvent, IoStats, TraceSink};
-use storagecore::trace::TracedDevice;
+use storagecore::{
+    BlockDevice, Extent, Geometry, IoError, IoEvent, IoPath, IoRequest, IoStats, Lba,
+    PipelinedDevice, QueueDepthStats, SchedulerPolicy, TraceSink,
+};
 use workload::{Query, QueryLog, QueryLogSpec};
 
 use crate::config::{EngineConfig, IndexPlacement};
@@ -61,6 +63,34 @@ impl BlockDevice for IndexDevice {
             IndexDevice::Ssd(d) => d.reset_stats(),
         }
     }
+
+    fn lanes(&self) -> u32 {
+        match self {
+            IndexDevice::Hdd(d) => d.lanes(),
+            IndexDevice::Ssd(d) => d.lanes(),
+        }
+    }
+
+    fn lane_of(&self, extent: Extent) -> Option<u32> {
+        match self {
+            IndexDevice::Hdd(d) => d.lane_of(extent),
+            IndexDevice::Ssd(d) => d.lane_of(extent),
+        }
+    }
+
+    fn head_position(&self) -> Lba {
+        match self {
+            IndexDevice::Hdd(d) => d.head_position(),
+            IndexDevice::Ssd(d) => d.head_position(),
+        }
+    }
+
+    fn last_op_barrier(&self) -> bool {
+        match self {
+            IndexDevice::Hdd(d) => d.last_op_barrier(),
+            IndexDevice::Ssd(d) => d.last_op_barrier(),
+        }
+    }
 }
 
 /// Trace sink that buffers only when enabled.
@@ -93,10 +123,16 @@ pub struct SearchEngine {
     index: SyntheticIndex,
     layout: IndexLayout,
     docstore: DocStore,
-    index_dev: TracedDevice<IndexDevice, ToggleSink>,
+    /// Index device behind the explicit I/O pipeline. In
+    /// [`IoPath::Direct`] the wrapper is a synchronous pass-through with
+    /// the legacy trace-timestamp semantics; in `Queued` mode the engine
+    /// batches deferred reads through submit/wait.
+    index_dev: PipelinedDevice<IndexDevice, ToggleSink>,
     /// Payloads are [`CachedResult`] — one shared buffer per entry, so
     /// the manager's admit/flush clones are refcount bumps, not copies.
-    cache: Option<CacheManager<CachedResult, SsdDisk<PageMapFtl>>>,
+    cache: Option<CacheManager<CachedResult, PipelinedDevice<SsdDisk<PageMapFtl>>>>,
+    /// The active I/O path, mirrored onto both pipelined devices.
+    io_path: IoPath,
     processor: TopKProcessor,
     /// Run the straight-line reference paths (linear victim scans,
     /// `HashMap` top-K) instead of the indexed/pooled ones.
@@ -142,10 +178,17 @@ impl SearchEngine {
         };
         let cache = config.cache.clone().map(|hc| {
             let footprint = (hc.ssd_base_lba + hc.ssd_sectors()) * storagecore::SECTOR_SIZE as u64;
-            let device = SsdDisk::paper(footprint.max(4 << 20));
-            CacheManager::new(hc, device)
+            let device =
+                SsdDisk::paper_channels(footprint.max(4 << 20), config.ssd_channels.max(1));
+            let mut piped = PipelinedDevice::direct(device);
+            piped.set_path(config.io_path);
+            piped.set_policy(config.io_scheduler);
+            CacheManager::new(hc, piped)
         });
-        let log = QueryLog::new(QueryLogSpec::aol_like(index.num_terms(), config.seed ^ 0xBEEF));
+        let log = QueryLog::new(QueryLogSpec::aol_like(
+            index.num_terms(),
+            config.seed ^ 0xBEEF,
+        ));
         let mut processor = TopKProcessor::new(config.topk);
         processor.set_backend(config.postings);
         SearchEngine {
@@ -154,8 +197,14 @@ impl SearchEngine {
             index,
             layout,
             docstore,
-            index_dev: TracedDevice::new(index_dev, sink),
+            index_dev: {
+                let mut piped = PipelinedDevice::new(index_dev, sink);
+                piped.set_path(config.io_path);
+                piped.set_policy(config.io_scheduler);
+                piped
+            },
             cache,
+            io_path: config.io_path,
             log,
             clock: Clock::new(),
             situations: SituationTable::new(),
@@ -182,8 +231,7 @@ impl SearchEngine {
     fn expected_intersection_bytes(&self, a: u32, b: u32) -> u64 {
         let docs = self.index.num_docs().max(1);
         let expect =
-            (self.index.doc_freq(a) as u128 * self.index.doc_freq(b) as u128 / docs as u128)
-                as u64;
+            (self.index.doc_freq(a) as u128 * self.index.doc_freq(b) as u128 / docs as u128) as u64;
         (expect * 12).max(64)
     }
 
@@ -203,8 +251,53 @@ impl SearchEngine {
     }
 
     /// The cache manager, when configured.
-    pub fn cache(&self) -> Option<&CacheManager<CachedResult, SsdDisk<PageMapFtl>>> {
+    pub fn cache(
+        &self,
+    ) -> Option<&CacheManager<CachedResult, PipelinedDevice<SsdDisk<PageMapFtl>>>> {
         self.cache.as_ref()
+    }
+
+    /// Switch the I/O path at runtime (devices are idle between
+    /// queries, so the toggle is always legal there). `Direct` and
+    /// `Queued { depth: 1 }` + FIFO produce bit-identical figures.
+    pub fn set_io_path(&mut self, path: IoPath) {
+        self.io_path = path;
+        self.index_dev.set_path(path);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.device_mut().set_path(path);
+        }
+    }
+
+    /// The active I/O path.
+    pub fn io_path(&self) -> IoPath {
+        self.io_path
+    }
+
+    /// Switch the submission-queue scheduler (FIFO reference, NCQ-style
+    /// elevator, or deadline-bounded elevator).
+    pub fn set_io_scheduler(&mut self, policy: SchedulerPolicy) {
+        self.index_dev.set_policy(policy);
+        if let Some(cache) = self.cache.as_mut() {
+            cache.device_mut().set_policy(policy);
+        }
+    }
+
+    /// The active scheduler policy.
+    pub fn io_scheduler(&self) -> SchedulerPolicy {
+        self.index_dev.policy()
+    }
+
+    /// Queue-depth accounting of the index device.
+    pub fn index_queue_stats(&self) -> QueueDepthStats {
+        *self.index_dev.stats().queue()
+    }
+
+    /// Queue-depth accounting of the cache SSD (zeros when uncached).
+    pub fn cache_queue_stats(&self) -> QueueDepthStats {
+        self.cache
+            .as_ref()
+            .map(|c| *c.device().stats().queue())
+            .unwrap_or_default()
     }
 
     /// Switch both hot paths to their reference implementations: linear
@@ -312,6 +405,16 @@ impl SearchEngine {
     /// Execute one query on the virtual clock, returning its response
     /// time.
     pub fn execute(&mut self, query: &Query) -> SimDuration {
+        match self.io_path {
+            IoPath::Direct => self.execute_direct(query),
+            IoPath::Queued { depth } => self.execute_queued(query, depth.max(1)),
+        }
+    }
+
+    /// The synchronous reference arm: every device call returns its
+    /// latency and the clock advances in place. Kept verbatim as the
+    /// `Direct` half of the [`IoPath`] toggle.
+    fn execute_direct(&mut self, query: &Query) -> SimDuration {
         let start = self.clock.now();
         let cost = self.config.cost;
         self.clock.advance(cost.per_query);
@@ -462,6 +565,207 @@ impl SearchEngine {
         self.finish(start)
     }
 
+    /// The event-driven arm: foreground index reads become explicit
+    /// submissions in windows of `depth`, and the response derives from
+    /// completion timestamps (`finish − submit`) rather than summed call
+    /// latencies. Per-device request order matches the direct arm
+    /// exactly — the cache SSD is driven term-by-term and the index
+    /// device FIFO at depth 1 degenerates to the synchronous call-tree,
+    /// which is what makes `Queued { depth: 1 }` bit-identical to
+    /// `Direct` (the `io_path_equivalence` suite proves it). At larger
+    /// depths the batch finishes when its last completion lands, so
+    /// independent requests on different lanes overlap.
+    fn execute_queued(&mut self, query: &Query, depth: usize) -> SimDuration {
+        let start = self.clock.now();
+        let cost = self.config.cost;
+        self.clock.advance(cost.per_query);
+        if let Some(cache) = self.cache.as_mut() {
+            // Feed the clock through for TTL expiry (dynamic scenario).
+            cache.set_now(start);
+            cache.device_mut().set_now(start);
+        }
+
+        // Query management: the result cache first.
+        if let Some(cache) = self.cache.as_mut() {
+            let lookup_start = self.clock.now();
+            cache.device_mut().set_now(lookup_start);
+            let (result, tier, latency) = cache.lookup_result(query.id);
+            self.clock.advance(latency);
+            if let Some(result) = result {
+                self.clock.advance(cost.mem_read(result.bytes()));
+                let service = self.clock.now() - lookup_start;
+                let situation = match tier {
+                    Tier::Mem => Situation::S1ResultMem,
+                    _ => Situation::S3ResultSsd,
+                };
+                self.situations.record(situation, service);
+                return self.finish(start);
+            }
+        }
+
+        // Compute from the index, charging list I/O per visited prefix.
+        let outcome = self.topk(&query.terms);
+        self.postings_scanned += outcome.postings_scanned();
+
+        // Three-level mode (identical to the direct arm: intersection
+        // serves are cache-device work, dispatched inline).
+        let mut paired: Option<(u32, u32)> = None;
+        if self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.intersections_enabled())
+        {
+            let mut heavy: Vec<(u64, u32)> = outcome
+                .usage
+                .iter()
+                .filter(|u| u.scanned > 0)
+                .map(|u| (u.bytes_scanned(), u.term))
+                .collect();
+            if heavy.len() >= 2 {
+                heavy.sort_unstable_by_key(|&(bytes, _)| std::cmp::Reverse(bytes));
+                let pair = (heavy[0].1.min(heavy[1].1), heavy[0].1.max(heavy[1].1));
+                let est = self.expected_intersection_bytes(pair.0, pair.1);
+                let threshold = self
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.config().intersections)
+                    .map_or(u64::MAX, |x| x.pair_threshold);
+                let now = self.clock.now();
+                let cache = self.cache.as_mut().expect("checked above");
+                cache.device_mut().set_now(now);
+                if let Some(serve) = cache.lookup_intersection(pair, est) {
+                    self.intersection_hits += 1;
+                    self.clock.advance(serve.ssd_latency);
+                    self.clock.advance(cost.mem_read(serve.from_mem));
+                    let situation = if serve.from_ssd > 0 {
+                        Situation::S4ListSsd
+                    } else {
+                        Situation::S2ListMem
+                    };
+                    self.situations
+                        .record(situation, serve.ssd_latency + cost.mem_read(serve.from_mem));
+                    paired = Some(pair);
+                } else if self.pair_freq.record(&pair) >= threshold {
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.install_intersection(pair, est);
+                    self.intersection_installs += 1;
+                }
+            }
+        }
+
+        // Phase 1: cache lookups in term order. HDD/index reads are
+        // deferred as (record slot, extent) pairs; the situation records
+        // are buffered in term order and completed after phase 2, so the
+        // `SituationTable` sees the exact record sequence of the direct
+        // arm (its running stats are float-order-sensitive).
+        let mut records: Vec<(Situation, SimDuration)> = Vec::new();
+        let mut deferred: Vec<(usize, Extent)> = Vec::new();
+        for u in &outcome.usage {
+            if u.scanned == 0 {
+                continue;
+            }
+            if let Some((a, b)) = paired {
+                if u.term == a || u.term == b {
+                    continue; // served by the cached intersection
+                }
+            }
+            let needed = u.bytes_scanned();
+            let pu = u.utilization();
+            let full = self.index.list_bytes(u.term);
+            if let Some(cache) = self.cache.as_mut() {
+                cache.device_mut().set_now(self.clock.now());
+                let serve = cache.lookup_list(u.term, needed, full, pu);
+                self.clock.advance(serve.ssd_latency);
+                self.clock.advance(cost.mem_read(serve.from_mem));
+                let slot = records.len();
+                records.push((
+                    classify_list(serve.from_mem, serve.from_ssd, serve.from_hdd),
+                    serve.ssd_latency + cost.mem_read(serve.from_mem),
+                ));
+                if serve.from_hdd + serve.fill_from_hdd > 0 {
+                    let from = serve.from_mem + serve.from_ssd;
+                    let to = needed + serve.fill_from_hdd;
+                    deferred.push((slot, self.layout.range_extent(u.term, from.min(to - 1), to)));
+                }
+            } else {
+                let slot = records.len();
+                records.push((Situation::S9ListHdd, SimDuration::ZERO));
+                deferred.push((slot, self.layout.prefix_extent(u.term, needed)));
+            }
+        }
+
+        // Phase 2: submit the deferred reads in windows of `depth`; the
+        // window costs wall-clock until its last completion, and each
+        // term's situation charge is its own response time.
+        for window in deferred.chunks(depth) {
+            let base = self.clock.now();
+            self.index_dev.set_now(base);
+            let ids: Vec<(usize, u64)> = window
+                .iter()
+                .map(|&(slot, extent)| {
+                    let id = self
+                        .index_dev
+                        .submit(IoRequest::read(extent))
+                        .expect("index extents are on-device");
+                    (slot, id)
+                })
+                .collect();
+            let mut batch_end = base;
+            for (slot, id) in ids {
+                let c = self
+                    .index_dev
+                    .wait(id)
+                    .expect("index extents are on-device");
+                records[slot].1 += c.response();
+                batch_end = batch_end.max(c.finish_at);
+            }
+            self.clock.advance(batch_end.since(base));
+        }
+        for (situation, duration) in records {
+            self.situations.record(situation, duration);
+        }
+
+        // Stored-field (snippet) fetches, batched through the same queue.
+        let fetches = self.config.snippet_fetches.min(outcome.result.docs.len());
+        let extents: Vec<Extent> = outcome.result.docs[..fetches]
+            .iter()
+            .map(|d| self.docstore.extent(d.doc))
+            .collect();
+        for window in extents.chunks(depth) {
+            let base = self.clock.now();
+            self.index_dev.set_now(base);
+            let ids: Vec<u64> = window
+                .iter()
+                .map(|&extent| {
+                    self.index_dev
+                        .submit(IoRequest::read(extent))
+                        .expect("doc store is on-device")
+                })
+                .collect();
+            let mut batch_end = base;
+            for id in ids {
+                let c = self.index_dev.wait(id).expect("doc store is on-device");
+                batch_end = batch_end.max(c.finish_at);
+            }
+            self.clock.advance(batch_end.since(base));
+        }
+
+        // Scoring + result-page assembly CPU.
+        self.clock
+            .advance(cost.per_posting * outcome.postings_scanned());
+        self.clock
+            .advance(cost.per_result_doc * outcome.result.docs.len() as u64);
+
+        if let Some(cache) = self.cache.as_mut() {
+            cache.device_mut().set_now(self.clock.now());
+            let t = cache.complete_result(query.id, CachedResult::encode(&outcome.result));
+            self.clock.advance(t);
+        }
+        self.situations
+            .record(Situation::S8ResultHdd, self.clock.now() - start);
+        self.finish(start)
+    }
+
     fn finish(&mut self, start: SimTime) -> SimDuration {
         let response = self.clock.now() - start;
         self.response.push_duration(response);
@@ -538,7 +842,7 @@ impl SearchEngine {
         let flash = self.cache.as_ref().map(|c| {
             use flashsim::Ftl as _;
             let dev = c.device();
-            let ftl = dev.ftl();
+            let ftl = dev.inner().ftl();
             let nand = ftl.nand().stats();
             let fstats = ftl.stats();
             let io = dev.stats();

@@ -25,8 +25,8 @@ pub mod situations;
 pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
 pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
 pub use engine::SearchEngine;
-pub use searchidx::PostingsBackend;
 pub use model::{predict, FixedCosts, ModelCheck};
 pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};
+pub use searchidx::PostingsBackend;
 pub use situations::{Situation, SituationTable};

@@ -67,8 +67,7 @@ pub fn predict(report: &RunReport, fixed: FixedCosts) -> ModelCheck {
     }
     // S1/S3 events don't include the per-query fixed cost (their timing
     // starts at the cache lookup); S8 does (it spans the whole query).
-    let uncovered =
-        (t.count(Situation::S1ResultMem) + t.count(Situation::S3ResultSsd)) as f64;
+    let uncovered = (t.count(Situation::S1ResultMem) + t.count(Situation::S3ResultSsd)) as f64;
     total_ns += uncovered * fixed.per_query.as_nanos() as f64;
     ModelCheck {
         predicted: SimDuration::from_nanos((total_ns / queries as f64).round() as u64),

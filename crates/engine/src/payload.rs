@@ -92,7 +92,10 @@ mod tests {
     fn clone_shares_the_buffer() {
         let a = CachedResult::encode(&entry(50));
         let b = a.clone();
-        assert!(std::ptr::eq(a.0.as_slice().as_ptr(), b.0.as_slice().as_ptr()));
+        assert!(std::ptr::eq(
+            a.0.as_slice().as_ptr(),
+            b.0.as_slice().as_ptr()
+        ));
         assert_eq!(a, b);
     }
 }

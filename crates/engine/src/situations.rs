@@ -136,9 +136,7 @@ impl SituationTable {
 
     /// Render the table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Situation  Description           Probability  Mean time\n",
-        );
+        let mut out = String::from("Situation  Description           Probability  Mean time\n");
         for s in Situation::ALL {
             out.push_str(&format!(
                 "{:<10} {:<21} {:>10.4}%  {}\n",

@@ -58,7 +58,10 @@ fn uncached_arms_match_too() {
     let seq = run_arm(cfg(), 3, ClusterExecution::Sequential, QUERIES);
     for workers in [2usize, 3] {
         let par = run_arm(cfg(), 3, ClusterExecution::Parallel { workers }, QUERIES);
-        assert_eq!(seq, par, "uncached parallel arm diverged at workers={workers}");
+        assert_eq!(
+            seq, par,
+            "uncached parallel arm diverged at workers={workers}"
+        );
     }
 }
 

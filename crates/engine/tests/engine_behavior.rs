@@ -17,7 +17,10 @@ fn no_cache_run_reads_the_index() {
     let mut e = SearchEngine::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, SEED));
     let report = e.run(300);
     assert_eq!(report.queries, 300);
-    assert!(report.index_ops > 0, "every query must touch the index device");
+    assert!(
+        report.index_ops > 0,
+        "every query must touch the index device"
+    );
     assert!(report.mean_response > simclock::SimDuration::from_micros(100));
     assert!(report.throughput_qps > 0.0);
     assert!(report.hit_ratio() == 0.0);
@@ -52,7 +55,11 @@ fn caching_raises_hit_ratio_and_cuts_response_time() {
         SEED,
     ));
     let with_cache = cached.run(800);
-    assert!(with_cache.hit_ratio() > 0.2, "hit ratio {}", with_cache.hit_ratio());
+    assert!(
+        with_cache.hit_ratio() > 0.2,
+        "hit ratio {}",
+        with_cache.hit_ratio()
+    );
     assert!(
         with_cache.mean_response < uncached.mean_response,
         "cached {} vs uncached {}",
@@ -134,10 +141,7 @@ fn cost_based_policies_raise_hit_ratio() {
     };
     let lru = hit(PolicyKind::Lru);
     let cblru = hit(PolicyKind::Cblru);
-    assert!(
-        cblru > lru,
-        "CBLRU hit ratio {cblru} must beat LRU {lru}"
-    );
+    assert!(cblru > lru, "CBLRU hit ratio {cblru} must beat LRU {lru}");
 }
 
 #[test]

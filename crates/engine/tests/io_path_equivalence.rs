@@ -1,0 +1,171 @@
+//! The I/O-path toggle's two arms must be indistinguishable at the
+//! reference point: `Queued { depth: 1 }` with a FIFO scheduler
+//! degenerates to the synchronous `Direct` call tree, so every
+//! simulated figure — the full [`RunReport`], the device [`IoStats`]
+//! including the submission-queue section, flash wear, and the
+//! per-request trace — must agree bit-for-bit. Deeper queues are then
+//! free to reorder and overlap without silently shifting the paper's
+//! numbers.
+
+use engine::{EngineConfig, IndexPlacement, RunReport, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+use proptest::prelude::*;
+use storagecore::{BlockDevice, IoPath, SchedulerPolicy};
+
+const DOCS: u64 = 40_000;
+const QUERIES: usize = 300;
+
+fn cached_cfg(seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::cached(
+        DOCS,
+        HybridConfig::paper(1 << 20, 8 << 20, PolicyKind::Cblru),
+        seed,
+    );
+    cfg.capture_trace = true;
+    cfg
+}
+
+fn engine_with(cfg: EngineConfig, path: IoPath, policy: SchedulerPolicy) -> SearchEngine {
+    let mut e = SearchEngine::new(cfg);
+    e.set_io_path(path);
+    e.set_io_scheduler(policy);
+    e
+}
+
+/// Everything the two arms must agree on, beyond the `RunReport`.
+fn assert_devices_identical(a: &mut SearchEngine, b: &mut SearchEngine) {
+    // Full device stats, submission-queue section included.
+    assert_eq!(a.index_queue_stats(), b.index_queue_stats());
+    assert_eq!(a.cache_queue_stats(), b.cache_queue_stats());
+    if let (Some(ca), Some(cb)) = (a.cache(), b.cache()) {
+        assert_eq!(ca.device().stats(), cb.device().stats());
+    }
+    // Per-request dispatch order: same kinds, extents and service
+    // latencies in the same sequence (trace timestamps may differ — the
+    // direct wrapper self-advances while the queued arm syncs to the
+    // engine clock — but the I/O itself may not).
+    let ta = a.take_trace();
+    let tb = b.take_trace();
+    assert_eq!(ta.len(), tb.len());
+    for (x, y) in ta.iter().zip(tb.iter()) {
+        assert_eq!((x.kind, x.extent, x.latency), (y.kind, y.extent, y.latency));
+    }
+}
+
+#[test]
+fn depth_one_fifo_matches_direct_bit_for_bit() {
+    let mut direct = engine_with(cached_cfg(3), IoPath::Direct, SchedulerPolicy::Fifo);
+    let mut queued = engine_with(
+        cached_cfg(3),
+        IoPath::Queued { depth: 1 },
+        SchedulerPolicy::Fifo,
+    );
+    let rd = direct.run(QUERIES);
+    let rq = queued.run(QUERIES);
+    assert_eq!(rd, rq, "depth-1 FIFO must be the synchronous reference");
+    assert_devices_identical(&mut direct, &mut queued);
+}
+
+#[test]
+fn depth_one_is_reference_under_every_scheduler() {
+    // With at most one pending request every policy picks the same
+    // (only) candidate, so the scheduler knob cannot matter at depth 1.
+    let direct = engine_with(cached_cfg(5), IoPath::Direct, SchedulerPolicy::Fifo).run(QUERIES);
+    for policy in [SchedulerPolicy::Elevator, SchedulerPolicy::Deadline] {
+        let r = engine_with(cached_cfg(5), IoPath::Queued { depth: 1 }, policy).run(QUERIES);
+        assert_eq!(direct, r, "depth-1 diverged under {policy:?}");
+    }
+}
+
+#[test]
+fn uncached_arms_match_on_both_placements() {
+    for placement in [IndexPlacement::Hdd, IndexPlacement::Ssd] {
+        let cfg = || EngineConfig::no_cache(DOCS, placement, 17);
+        let rd = engine_with(cfg(), IoPath::Direct, SchedulerPolicy::Fifo).run(QUERIES);
+        let rq =
+            engine_with(cfg(), IoPath::Queued { depth: 1 }, SchedulerPolicy::Fifo).run(QUERIES);
+        assert_eq!(rd, rq, "uncached {placement:?} arm diverged");
+    }
+}
+
+#[test]
+fn mid_run_toggle_changes_nothing() {
+    // Switch arms halfway through: the second-half window must equal an
+    // all-direct run's, because the queued arm carries the cumulative
+    // cache/device state forward unchanged.
+    let mut toggled = engine_with(cached_cfg(9), IoPath::Direct, SchedulerPolicy::Fifo);
+    toggled.run(QUERIES / 2);
+    toggled.set_io_path(IoPath::Queued { depth: 1 });
+    let toggled_report = toggled.run(QUERIES / 2);
+
+    let mut straight = engine_with(cached_cfg(9), IoPath::Direct, SchedulerPolicy::Fifo);
+    straight.run(QUERIES / 2);
+    let straight_report = straight.run(QUERIES / 2);
+    assert_eq!(toggled_report, straight_report);
+
+    // And back again: queued → direct mid-run is equally invisible.
+    let mut back = engine_with(
+        cached_cfg(9),
+        IoPath::Queued { depth: 1 },
+        SchedulerPolicy::Fifo,
+    );
+    back.run(QUERIES / 2);
+    back.set_io_path(IoPath::Direct);
+    assert_eq!(back.run(QUERIES / 2), straight_report);
+}
+
+#[test]
+fn lockstep_responses_match_per_query() {
+    // What `divergence_probe --iopath` automates: every individual
+    // response time must agree, not just the aggregates.
+    let mut direct = engine_with(cached_cfg(7), IoPath::Direct, SchedulerPolicy::Fifo);
+    let mut queued = engine_with(
+        cached_cfg(7),
+        IoPath::Queued { depth: 1 },
+        SchedulerPolicy::Fifo,
+    );
+    let stream = direct.log().clone().stream(120);
+    for (i, q) in stream.iter().enumerate() {
+        let td = direct.execute(q);
+        let tq = queued.execute(q);
+        assert_eq!(td, tq, "response diverged at query {i}");
+    }
+}
+
+#[test]
+fn deep_queue_measures_real_occupancy() {
+    // Sanity for the BENCH_4 arm: at depth 4 the uncached-HDD engine
+    // batches its index reads, so the device queue must actually fill.
+    let cfg = EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 23);
+    let mut e = engine_with(cfg, IoPath::Queued { depth: 4 }, SchedulerPolicy::Elevator);
+    let r: RunReport = e.run(QUERIES);
+    assert!(r.queries > 0);
+    let q = e.index_queue_stats();
+    assert!(
+        q.max_occupancy() > 1,
+        "depth-4 run never filled the queue (max occupancy {})",
+        q.max_occupancy()
+    );
+    assert!(q.mean_occupancy() >= 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Depth-1 FIFO equivalence across seeds, cached and uncached.
+    #[test]
+    fn depth_one_fifo_is_reference_for_every_seed(seed in 0u64..1_000, cached: bool) {
+        let cfg = || if cached {
+            EngineConfig::cached(
+                DOCS,
+                HybridConfig::paper(1 << 20, 8 << 20, PolicyKind::Cblru),
+                seed,
+            )
+        } else {
+            EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, seed)
+        };
+        let rd = engine_with(cfg(), IoPath::Direct, SchedulerPolicy::Fifo).run(120);
+        let rq = engine_with(cfg(), IoPath::Queued { depth: 1 }, SchedulerPolicy::Fifo).run(120);
+        prop_assert_eq!(rd, rq);
+    }
+}

@@ -175,7 +175,7 @@ impl Dftl {
         // Carve the translation region out of the top of the logical space:
         // t pages must map the remaining (total - t) pages.
         let mut tpages = total.div_ceil(entries_per_tpage);
-        while (total - tpages) .div_ceil(entries_per_tpage) < tpages && tpages > 1 {
+        while (total - tpages).div_ceil(entries_per_tpage) < tpages && tpages > 1 {
             tpages -= 1;
         }
         let host_pages = total - tpages;

@@ -107,8 +107,7 @@ impl FastFtl {
             }
         }
         let watermark = self.nand.params().gc_low_watermark;
-        if (self.log_blocks.len() >= self.log_capacity
-            || (self.free.len() as u64) <= watermark)
+        if (self.log_blocks.len() >= self.log_capacity || (self.free.len() as u64) <= watermark)
             && !self.log_blocks.is_empty()
         {
             *latency += self.merge_oldest()?;
@@ -175,7 +174,11 @@ impl FastFtl {
         let mut t = SimDuration::ZERO;
         for offset in 0..ppb as u32 {
             let lpn = lblock * ppb + offset as u64;
-            let src = self.log_map.get(&lpn).copied().or_else(|| self.data_ppn(lpn));
+            let src = self
+                .log_map
+                .get(&lpn)
+                .copied()
+                .or_else(|| self.data_ppn(lpn));
             if let Some(ppn) = src {
                 t += self.nand.read(ppn);
                 let (_, tw) = self.nand.program_at(fresh, offset, lpn);
@@ -208,7 +211,11 @@ impl Ftl for FastFtl {
         self.check_lpn(lpn)?;
         self.stats.host_reads += 1;
         let mut t = self.params().controller_overhead;
-        let src = self.log_map.get(&lpn).copied().or_else(|| self.data_ppn(lpn));
+        let src = self
+            .log_map
+            .get(&lpn)
+            .copied()
+            .or_else(|| self.data_ppn(lpn));
         if let Some(ppn) = src {
             t += self.nand.read(ppn);
         }
@@ -303,7 +310,11 @@ mod tests {
         assert_eq!(f.log_blocks_in_use(), 1);
         // Read must see the log copy.
         assert_eq!(f.read(0).unwrap(), f.params().page_read);
-        assert_eq!(f.nand().valid_pages(), ppb, "exactly one live copy per page");
+        assert_eq!(
+            f.nand().valid_pages(),
+            ppb,
+            "exactly one live copy per page"
+        );
     }
 
     #[test]

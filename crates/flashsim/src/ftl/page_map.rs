@@ -368,7 +368,9 @@ mod tests {
         for _ in 0..(logical * 10) {
             f.write(rng.next_below(logical)).unwrap();
         }
-        let wa = f.stats().write_amplification(f.nand().stats().page_programs);
+        let wa = f
+            .stats()
+            .write_amplification(f.nand().stats().page_programs);
         assert!(wa > 1.0, "WA = {wa}");
         assert!(wa < 4.0, "WA = {wa} unreasonably high for 25% OP");
     }
@@ -380,7 +382,9 @@ mod tests {
         for lpn in 0..logical {
             f.write(lpn).unwrap();
         }
-        let wa = f.stats().write_amplification(f.nand().stats().page_programs);
+        let wa = f
+            .stats()
+            .write_amplification(f.nand().stats().page_programs);
         assert!((wa - 1.0).abs() < 1e-12, "first fill must not amplify");
     }
 
@@ -454,7 +458,11 @@ mod tests {
                 }
             }
             let (min, max, mean) = f.nand().wear();
-            (min, (max - min) as f64 / mean.max(1e-9), f.wear_migrations())
+            (
+                min,
+                (max - min) as f64 / mean.max(1e-9),
+                f.wear_migrations(),
+            )
         };
         let (min_off, imbalance_off, mig_off) = run(0);
         let (min_on, imbalance_on, mig_on) = run(8);
@@ -485,7 +493,10 @@ mod tests {
                 assert!(f.read(lpn).unwrap() >= f.params().page_read);
             }
         }
-        assert_eq!(f.nand().valid_pages(), (0..logical).filter(|&l| f.is_mapped(l)).count() as u64);
+        assert_eq!(
+            f.nand().valid_pages(),
+            (0..logical).filter(|&l| f.is_mapped(l)).count() as u64
+        );
     }
 
     #[test]

@@ -48,8 +48,8 @@ impl FlashParams {
         // Enough physical blocks that the logical capacity fits under the
         // over-provisioning reserve.
         let logical_blocks = logical_bytes.div_ceil(block_bytes);
-        let blocks = ((logical_blocks as f64 / (1.0 - overprovision)).ceil() as u64)
-            .max(logical_blocks + 2);
+        let blocks =
+            ((logical_blocks as f64 / (1.0 - overprovision)).ceil() as u64).max(logical_blocks + 2);
         FlashParams {
             page_bytes: PAPER_PAGE_BYTES,
             pages_per_block: 64,

@@ -143,6 +143,11 @@ impl BlockDevice for HddDisk {
     fn reset_stats(&mut self) {
         self.stats.reset();
     }
+
+    /// Expose the head for NCQ-style seek-distance scheduling.
+    fn head_position(&self) -> Lba {
+        self.head
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +263,45 @@ mod tests {
         assert_eq!(d.stats().ops(IoKind::Write), 1);
         d.reset_stats();
         assert_eq!(d.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn elevator_ncq_shortens_seek_travel() {
+        use storagecore::{IoPath, IoRequest, PipelinedDevice, SchedulerPolicy};
+        // Submission order alternates between a low and a high band — the
+        // worst case for FIFO, which seeks across the stroke every
+        // request. The elevator sweeps each band in turn.
+        let lbas = [
+            0u64, 1_500_000, 60_000, 1_560_000, 120_000, 1_620_000, 180_000, 1_680_000,
+        ];
+        let run = |policy| {
+            let mut d = PipelinedDevice::direct(disk());
+            d.set_path(IoPath::Queued { depth: 8 });
+            d.set_policy(policy);
+            for &lba in &lbas {
+                d.submit(IoRequest::read(Extent::new(lba, 8))).unwrap();
+            }
+            d.wait_all().unwrap();
+            assert_eq!(d.stats().queue().max_occupancy(), 8);
+            d.stats().total_busy()
+        };
+        let fifo = run(SchedulerPolicy::Fifo);
+        let elevator = run(SchedulerPolicy::Elevator);
+        assert!(
+            elevator * 2 < fifo,
+            "NCQ reorder should at least halve seek travel: {elevator} vs {fifo}"
+        );
+        // With nothing aged past the deadline window the deadline policy
+        // makes the elevator's choices.
+        assert_eq!(run(SchedulerPolicy::Deadline), elevator);
+    }
+
+    #[test]
+    fn head_position_tracks_last_access() {
+        let mut d = disk();
+        assert_eq!(d.head_position(), 0);
+        d.read(Extent::new(600_000, 8)).unwrap();
+        assert_eq!(d.head_position(), 600_008);
     }
 
     #[test]

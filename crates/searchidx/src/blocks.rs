@@ -241,7 +241,9 @@ impl BlockPostings {
         let target = (want.div_ceil(BLOCK_SIZE as u64) * BLOCK_SIZE as u64).min(self.df);
         let fresh = index.postings_range(term, self.built, target);
         debug_assert_eq!(fresh.len() as u64, target - self.built);
-        let pin = HOT_PREFIX.saturating_sub(self.built).min(fresh.len() as u64);
+        let pin = HOT_PREFIX
+            .saturating_sub(self.built)
+            .min(fresh.len() as u64);
         self.hot.extend_from_slice(&fresh[..pin as usize]);
         self.data.reserve(fresh.len() * 6);
         for chunk in fresh.chunks(BLOCK_SIZE) {
@@ -338,7 +340,9 @@ impl BlockStore {
     /// The (possibly still unbuilt) list for `term`, creating it with
     /// length `df` on first access.
     pub fn list_mut(&mut self, term: TermId, df: u64) -> &mut BlockPostings {
-        self.lists.entry(term).or_insert_with(|| BlockPostings::new(df))
+        self.lists
+            .entry(term)
+            .or_insert_with(|| BlockPostings::new(df))
     }
 
     /// Aggregate footprint.
@@ -627,7 +631,18 @@ mod tests {
 
     #[test]
     fn varint_zigzag_roundtrip() {
-        let values: Vec<i64> = vec![0, 1, -1, 63, -64, 127, -128, 300_000, -300_000, i32::MAX as i64];
+        let values: Vec<i64> = vec![
+            0,
+            1,
+            -1,
+            63,
+            -64,
+            127,
+            -128,
+            300_000,
+            -300_000,
+            i32::MAX as i64,
+        ];
         let mut buf = Vec::new();
         for &v in &values {
             write_varint(&mut buf, zigzag(v));
@@ -716,7 +731,10 @@ mod tests {
     fn sorted_list(docs: &[u32]) -> BlockSortedList {
         let postings = docs
             .iter()
-            .map(|&doc| Posting { doc, tf: doc % 7 + 1 })
+            .map(|&doc| Posting {
+                doc,
+                tf: doc % 7 + 1,
+            })
             .collect();
         BlockSortedList::from_postings(&PostingList::new(0, postings))
     }
@@ -724,7 +742,10 @@ mod tests {
     fn ref_list(docs: &[u32]) -> DocSortedList {
         let postings = docs
             .iter()
-            .map(|&doc| Posting { doc, tf: doc % 7 + 1 })
+            .map(|&doc| Posting {
+                doc,
+                tf: doc % 7 + 1,
+            })
             .collect();
         DocSortedList::from_postings(&PostingList::new(0, postings))
     }
@@ -798,7 +819,11 @@ mod tests {
             s.skip_probes,
             blocks
         );
-        assert!(s.visited <= 7, "binary search within one block, got {}", s.visited);
+        assert!(
+            s.visited <= 7,
+            "binary search within one block, got {}",
+            s.visited
+        );
         assert!(s.skipped > 98_000);
     }
 
@@ -827,7 +852,9 @@ mod tests {
         let mut bc = BlockCursor::new(&bl, &mut arena);
         bc.advance_to(5 * 1_500);
         let at = bc.current().expect("in range").doc;
-        let p = bc.advance_to(3).expect("still at or past previous position");
+        let p = bc
+            .advance_to(3)
+            .expect("still at or past previous position");
         assert!(p.doc >= at);
     }
 }

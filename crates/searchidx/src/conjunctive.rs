@@ -319,8 +319,7 @@ mod tests {
             .iter()
             .map(|&t| (t, BlockSortedList::from_postings(&idx.postings(t))))
             .collect();
-        let refs: Vec<(TermId, &BlockSortedList)> =
-            lists.iter().map(|(t, l)| (*t, l)).collect();
+        let refs: Vec<(TermId, &BlockSortedList)> = lists.iter().map(|(t, l)| (*t, l)).collect();
         let mut arena = DecodeArena::new();
         let first = proc.intersect_blocked(&idx, &refs, &mut arena);
         assert_eq!(arena.pooled(), refs.len(), "all buffers returned");
@@ -363,11 +362,7 @@ mod tests {
         };
         let out = proc.process(&idx, &[0, 1]);
         assert!(out.result.docs.len() <= 5);
-        assert!(out
-            .result
-            .docs
-            .windows(2)
-            .all(|w| w[0].score >= w[1].score));
+        assert!(out.result.docs.windows(2).all(|w| w[0].score >= w[1].score));
         // Every scored doc is a real match.
         let match_docs: HashSet<u32> = out.matches.iter().map(|(d, _)| *d).collect();
         assert!(out.result.docs.iter().all(|d| match_docs.contains(&d.doc)));

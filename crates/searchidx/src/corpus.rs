@@ -79,9 +79,7 @@ impl SyntheticIndex {
     pub fn new(spec: CorpusSpec) -> Self {
         assert!(spec.docs > 0 && spec.vocab > 0 && spec.avg_doc_len > 0);
         assert!(spec.alpha > 0.0);
-        let zipf_norm: f64 = (1..=spec.vocab)
-            .map(|r| (r as f64).powf(-spec.alpha))
-            .sum();
+        let zipf_norm: f64 = (1..=spec.vocab).map(|r| (r as f64).powf(-spec.alpha)).sum();
         let tokens = spec.total_tokens() as f64;
         let df = (0..spec.vocab)
             .map(|rank| {
@@ -177,8 +175,8 @@ impl IndexReader for SyntheticIndex {
         let ln_q = if p >= 1.0 { 0.0 } else { (1.0 - p).ln() };
         (start..end)
             .map(|i| {
-                let doc = ((doc_start as u128 + i as u128 * stride as u128) % docs as u128)
-                    as DocId;
+                let doc =
+                    ((doc_start as u128 + i as u128 * stride as u128) % docs as u128) as DocId;
                 let tf = if ln_q == 0.0 {
                     1
                 } else {
@@ -258,10 +256,7 @@ mod tests {
     #[test]
     fn lists_are_tf_descending() {
         let l = idx().postings(3);
-        assert!(l
-            .postings()
-            .windows(2)
-            .all(|w| w[0].tf >= w[1].tf));
+        assert!(l.postings().windows(2).all(|w| w[0].tf >= w[1].tf));
     }
 
     #[test]
@@ -334,8 +329,7 @@ mod tests {
         let i = idx();
         let term = 0u32; // head term saturates df, mean tf > 1
         let l = i.postings(term);
-        let mean: f64 =
-            l.postings().iter().map(|p| p.tf as f64).sum::<f64>() / l.len() as f64;
+        let mean: f64 = l.postings().iter().map(|p| p.tf as f64).sum::<f64>() / l.len() as f64;
         let expected = i.occurrences(term) / i.doc_freq(term) as f64;
         assert!(
             (mean / expected - 1.0).abs() < 0.35,

@@ -81,9 +81,7 @@ impl IndexLayout {
     /// one sector — touching a list always costs a sector).
     pub fn prefix_extent(&self, term: TermId, bytes: u64) -> Extent {
         let full = self.extent(term);
-        let sectors = bytes
-            .div_ceil(SECTOR_SIZE as u64)
-            .clamp(1, full.sectors);
+        let sectors = bytes.div_ceil(SECTOR_SIZE as u64).clamp(1, full.sectors);
         Extent::new(full.lba, sectors)
     }
 

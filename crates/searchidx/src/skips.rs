@@ -157,7 +157,7 @@ impl<'a> SkipCursor<'a> {
             return None; // every block exhausted
         }
         self.stats.skip_probes += 1; // the probe that stopped the loop
-        // Binary search within [pos, block_end) for the first doc >= target.
+                                     // Binary search within [pos, block_end) for the first doc >= target.
         let block_end = ((block + 1) * SKIP_INTERVAL).min(self.list.postings.len());
         let start = self.pos;
         let (mut lo, mut hi) = (self.pos, block_end);
@@ -205,7 +205,10 @@ mod tests {
     fn list(docs: &[u32]) -> DocSortedList {
         let postings = docs
             .iter()
-            .map(|&doc| Posting { doc, tf: doc % 7 + 1 })
+            .map(|&doc| Posting {
+                doc,
+                tf: doc % 7 + 1,
+            })
             .collect();
         DocSortedList::from_postings(&PostingList::new(0 as TermId, postings))
     }
@@ -234,7 +237,11 @@ mod tests {
         let mut c = SkipCursor::new(&l);
         assert_eq!(c.advance_to(20).expect("found").doc, 20);
         assert_eq!(c.advance_to(25).expect("found").doc, 30);
-        assert_eq!(c.advance_to(30).expect("found").doc, 30, "idempotent at target");
+        assert_eq!(
+            c.advance_to(30).expect("found").doc,
+            30,
+            "idempotent at target"
+        );
         assert!(c.advance_to(41).is_none());
     }
 
@@ -320,7 +327,9 @@ mod tests {
         let mut x = 1u64;
         loop {
             // Deterministic pseudo-random forward targets.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let cur = c.current().map(|p| p.doc).unwrap_or(u32::MAX);
             let target = cur.saturating_add((x >> 33) as u32 % 700);
             let before = match c.current() {

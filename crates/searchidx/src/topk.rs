@@ -224,8 +224,8 @@ impl ScoreAccumulator {
         scores.clear();
         scores.extend(self.iter().map(|(_, s)| s));
         let idx = scores.len() - k;
-        let (_, kth, _) = scores
-            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("scores are finite"));
+        let (_, kth, _) =
+            scores.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("scores are finite"));
         *kth as f64
     }
 
@@ -379,7 +379,9 @@ impl TopKProcessor {
         let order = Self::term_order(index, terms);
 
         let mut scratch = self.scratch.borrow_mut();
-        let Scratch { acc, scores, docs, .. } = &mut *scratch;
+        let Scratch {
+            acc, scores, docs, ..
+        } = &mut *scratch;
         acc.clear();
         let mut usage = Vec::with_capacity(order.len());
         let mut kth_score = 0.0f64;
@@ -562,12 +564,10 @@ impl TopKProcessor {
                         // block can make and apply the same quit
                         // predicate the per-posting loop would.
                         skip_stats.skip_probes += 1;
-                        let bound =
-                            self.weights.get(list.block_max_tf(block as usize)) * idf;
+                        let bound = self.weights.get(list.block_max_tf(block as usize)) * idf;
                         let quit = bound < self.config.epsilon * kth_score
                             || (is_last && bound <= kth_score)
-                            || (acc.len() >= self.config.accumulator_limit
-                                && bound <= kth_score);
+                            || (acc.len() >= self.config.accumulator_limit && bound <= kth_score);
                         if quit {
                             skip_stats.skipped += df - scanned;
                             break 'scan;
@@ -936,11 +936,7 @@ mod tests {
         let a = proc.process(&idx, &[2, 7]);
         let b = proc.process(&idx, &[7, 2]);
         assert_eq!(a.result, b.result, "term order must not matter");
-        assert!(a
-            .result
-            .docs
-            .windows(2)
-            .all(|w| w[0].score >= w[1].score));
+        assert!(a.result.docs.windows(2).all(|w| w[0].score >= w[1].score));
     }
 
     #[test]
@@ -974,8 +970,9 @@ mod tests {
         for config in configs {
             let proc = TopKProcessor::new(config);
             for q in 0..40u32 {
-                let terms: Vec<TermId> =
-                    (0..(q % 4 + 1)).map(|i| (q * 37 + i * 211) % 2000).collect();
+                let terms: Vec<TermId> = (0..(q % 4 + 1))
+                    .map(|i| (q * 37 + i * 211) % 2000)
+                    .collect();
                 let fast = proc.process(&idx, &terms);
                 let reference = proc.process_reference(&idx, &terms);
                 assert_eq!(fast.result, reference.result, "docs/scores for {terms:?}");
@@ -1044,8 +1041,9 @@ mod tests {
             // references in both states.
             for pass in 0..2 {
                 for q in 0..40u32 {
-                    let terms: Vec<TermId> =
-                        (0..(q % 4 + 1)).map(|i| (q * 37 + i * 211) % 2000).collect();
+                    let terms: Vec<TermId> = (0..(q % 4 + 1))
+                        .map(|i| (q * 37 + i * 211) % 2000)
+                        .collect();
                     let b = blocked.process(&idx, &terms);
                     let s = scan.process(&idx, &terms);
                     let r = scan.process_reference(&idx, &terms);

@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 use searchidx::{
     AndProcessor, BlockPostings, BlockSortedList, DecodeArena, DocSortedList, IndexReader,
-    MemIndex, PostingList, Posting, PostingsBackend, SkipCursor, TermId, TopKConfig,
-    TopKProcessor, BLOCK_SIZE,
+    MemIndex, Posting, PostingList, PostingsBackend, SkipCursor, TermId, TopKConfig, TopKProcessor,
+    BLOCK_SIZE,
 };
 
 /// Random small corpora: documents as term-id sequences over a compact

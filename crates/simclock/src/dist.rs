@@ -39,7 +39,13 @@ impl Zipf {
         let h_x1 = h(1.5) - 1.0;
         let h_n = h(n as f64 + 0.5);
         let s = 2.0 - h_integral_inv(h(2.5) - zipf_pow(2.0, alpha), alpha);
-        Zipf { n, alpha, h_x1, h_n, s }
+        Zipf {
+            n,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
     }
 
     /// Number of ranks.
@@ -269,7 +275,13 @@ mod tests {
 
     #[test]
     fn zipf_stays_in_range() {
-        for &(n, a) in &[(1u64, 1.0f64), (2, 0.5), (10, 1.0), (1000, 0.8), (1_000_000, 1.2)] {
+        for &(n, a) in &[
+            (1u64, 1.0f64),
+            (2, 0.5),
+            (10, 1.0),
+            (1000, 0.8),
+            (1_000_000, 1.2),
+        ] {
             let z = Zipf::new(n, a);
             let mut rng = Rng::new(99);
             for _ in 0..5_000 {

@@ -117,7 +117,7 @@ impl RunningStats {
 /// nanoseconds). 64 buckets cover the entire `u64` range; relative error of
 /// a reported percentile is bounded by one octave, which is plenty for
 /// latency *shapes*.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
     count: u64,

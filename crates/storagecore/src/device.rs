@@ -3,10 +3,11 @@
 
 use core::fmt;
 
-use simclock::SimDuration;
+use simclock::{SimDuration, SimTime};
 
+use crate::queue::IoRequest;
 use crate::stats::IoStats;
-use crate::types::{Extent, Geometry, IoKind};
+use crate::types::{Extent, Geometry, IoKind, Lba};
 
 /// Errors a device can return. These are *protocol* errors — a correct
 /// driver never triggers them; they exist so the simulators can be strict
@@ -84,13 +85,65 @@ pub trait BlockDevice {
         Ok(())
     }
 
-    /// Submit a request by kind — convenience for trace replay.
+    /// Submit a request by kind — convenience for trace replay. Routed
+    /// through [`BlockDevice::request`] so there is exactly one
+    /// request-construction path.
     fn submit(&mut self, kind: IoKind, extent: Extent) -> Result<SimDuration, IoError> {
-        match kind {
-            IoKind::Read => self.read(extent),
-            IoKind::Write => self.write(extent),
-            IoKind::Trim => self.trim(extent),
+        self.request(&IoRequest::new(kind, extent))
+    }
+
+    /// Service one explicit [`IoRequest`]. Plain devices dispatch by kind;
+    /// [`crate::PipelinedDevice`] overrides this to route through its
+    /// submission queue.
+    fn request(&mut self, req: &IoRequest) -> Result<SimDuration, IoError> {
+        match req.kind {
+            IoKind::Read => self.read(req.extent),
+            IoKind::Write => self.write(req.extent),
+            IoKind::Trim => self.trim(req.extent),
         }
+    }
+
+    // --- Pipeline topology hooks (defaults model a single-lane device) ---
+
+    /// Number of independent service lanes (flash channels, …). The
+    /// pipeline overlaps requests dispatched to *different* lanes.
+    fn lanes(&self) -> u32 {
+        1
+    }
+
+    /// Which lane services `extent`; `None` means the request occupies
+    /// every lane (e.g. a multi-channel flash stripe).
+    fn lane_of(&self, extent: Extent) -> Option<u32> {
+        let _ = extent;
+        Some(0)
+    }
+
+    /// Current mechanical head position, for seek-aware scheduling.
+    /// Non-mechanical devices report 0.
+    fn head_position(&self) -> Lba {
+        0
+    }
+
+    /// Whether the most recent request triggered work that serializes the
+    /// whole device (e.g. an FTL garbage-collection erase). The pipeline
+    /// treats such a request as a barrier across all lanes.
+    fn last_op_barrier(&self) -> bool {
+        false
+    }
+
+    /// Hint that subsequent requests are background work (write-buffer
+    /// flushes, dead-entry trims). Plain devices ignore it;
+    /// [`crate::PipelinedDevice`] dispatches background requests off the
+    /// foreground queue.
+    fn set_background(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Sync the device-side submission clock to the driver's. Monotone:
+    /// implementations must never move their clock backwards. Plain
+    /// devices ignore it.
+    fn set_now(&mut self, now: SimTime) {
+        let _ = now;
     }
 }
 

@@ -13,6 +13,7 @@
 //! [`shadow::ShadowStore`].
 
 pub mod device;
+pub mod queue;
 pub mod ramdisk;
 pub mod shadow;
 pub mod stats;
@@ -20,7 +21,10 @@ pub mod trace;
 pub mod types;
 
 pub use device::{BlockDevice, IoError};
+pub use queue::{
+    IoCompletion, IoPath, IoRequest, PipelinedDevice, SchedulerPolicy, DEADLINE_WINDOW,
+};
 pub use ramdisk::RamDisk;
-pub use stats::IoStats;
+pub use stats::{IoStats, QueueDepthStats};
 pub use trace::{IoEvent, NullSink, TraceSink, VecSink};
 pub use types::{Extent, Geometry, IoKind, Lba, SECTOR_SIZE};

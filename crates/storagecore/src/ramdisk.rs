@@ -100,7 +100,10 @@ mod tests {
             SimDuration::from_nanos(2_100)
         );
         // Trim charges base only.
-        assert_eq!(d.trim(Extent::new(0, 100)).unwrap(), SimDuration::from_micros(2));
+        assert_eq!(
+            d.trim(Extent::new(0, 100)).unwrap(),
+            SimDuration::from_micros(2)
+        );
     }
 
     #[test]
@@ -121,6 +124,9 @@ mod tests {
             d.read(Extent::new(i, 1)).unwrap();
         }
         assert_eq!(d.stats().ops(IoKind::Read), 5);
-        assert_eq!(d.stats().kind(IoKind::Read).busy(), SimDuration::from_micros(5));
+        assert_eq!(
+            d.stats().kind(IoKind::Read).busy(),
+            SimDuration::from_micros(5)
+        );
     }
 }

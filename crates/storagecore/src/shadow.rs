@@ -107,7 +107,10 @@ mod tests {
         s.write(Extent::new(0, 1), &[2u8; 100]);
         let back = s.read(Extent::new(0, 1));
         assert!(back[..100].iter().all(|&b| b == 2));
-        assert!(back[100..].iter().all(|&b| b == 0), "stale bytes must not survive");
+        assert!(
+            back[100..].iter().all(|&b| b == 0),
+            "stale bytes must not survive"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use simclock::{Histogram, SimDuration};
 use crate::types::IoKind;
 
 /// Counters for one request kind.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KindStats {
     ops: u64,
     sectors: u64,
@@ -43,13 +43,92 @@ impl KindStats {
     }
 }
 
+/// Submission-queue accounting maintained by the event-driven I/O
+/// pipeline ([`crate::PipelinedDevice`]). The synchronous `Direct` path
+/// records every request at occupancy 1 with zero wait, so these
+/// counters stay comparable across [`crate::IoPath`] arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepthStats {
+    dispatches: u64,
+    occupancy_sum: u64,
+    max_occupancy: u64,
+    wait: SimDuration,
+    max_wait: SimDuration,
+    busy: SimDuration,
+}
+
+impl QueueDepthStats {
+    /// Requests dispatched through the queue.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Largest number of requests outstanding at any dispatch (including
+    /// the one being dispatched).
+    pub fn max_occupancy(&self) -> u64 {
+        self.max_occupancy
+    }
+
+    /// Mean queue occupancy observed at dispatch instants.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Total time requests spent waiting in the queue.
+    pub fn total_wait(&self) -> SimDuration {
+        self.wait
+    }
+
+    /// Longest single queue wait.
+    pub fn max_wait(&self) -> SimDuration {
+        self.max_wait
+    }
+
+    /// Mean queue wait per dispatched request.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.dispatches == 0 {
+            SimDuration::ZERO
+        } else {
+            self.wait / self.dispatches
+        }
+    }
+
+    /// Total device-busy (service) time booked through the queue.
+    pub fn busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    fn record(&mut self, occupancy: u64, wait: SimDuration, service: SimDuration) {
+        self.dispatches += 1;
+        self.occupancy_sum += occupancy;
+        self.max_occupancy = self.max_occupancy.max(occupancy);
+        self.wait += wait;
+        self.max_wait = self.max_wait.max(wait);
+        self.busy += service;
+    }
+
+    fn merge(&mut self, other: &QueueDepthStats) {
+        self.dispatches += other.dispatches;
+        self.occupancy_sum += other.occupancy_sum;
+        self.max_occupancy = self.max_occupancy.max(other.max_occupancy);
+        self.wait += other.wait;
+        self.max_wait = self.max_wait.max(other.max_wait);
+        self.busy += other.busy;
+    }
+}
+
 /// Cumulative statistics a [`crate::BlockDevice`] maintains.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IoStats {
     read: KindStats,
     write: KindStats,
     trim: KindStats,
     latency_hist: Histogram,
+    queue: QueueDepthStats,
 }
 
 impl IoStats {
@@ -69,6 +148,17 @@ impl IoStats {
         k.sectors += sectors;
         k.busy += latency;
         self.latency_hist.record_duration(latency);
+    }
+
+    /// Record one dispatch through the submission queue.
+    pub fn record_queued(&mut self, occupancy: u64, wait: SimDuration, service: SimDuration) {
+        self.queue.record(occupancy, wait, service);
+    }
+
+    /// Submission-queue accounting (zero when the device is driven
+    /// synchronously without a pipeline wrapper).
+    pub fn queue(&self) -> &QueueDepthStats {
+        &self.queue
     }
 
     /// Stats for one kind.
@@ -135,6 +225,7 @@ impl IoStats {
             dst.busy += src.busy;
         }
         self.latency_hist.merge(&other.latency_hist);
+        self.queue.merge(&other.queue);
     }
 
     /// Zero everything.
@@ -158,7 +249,10 @@ mod tests {
         assert_eq!(s.ops(IoKind::Trim), 0);
         assert_eq!(s.kind(IoKind::Read).sectors(), 16);
         assert_eq!(s.kind(IoKind::Read).bytes(), 16 * 512);
-        assert_eq!(s.kind(IoKind::Read).mean_latency(), SimDuration::from_micros(15));
+        assert_eq!(
+            s.kind(IoKind::Read).mean_latency(),
+            SimDuration::from_micros(15)
+        );
         assert_eq!(s.total_ops(), 3);
         assert_eq!(s.total_busy(), SimDuration::from_micros(130));
     }
@@ -184,7 +278,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.ops(IoKind::Read), 2);
         assert_eq!(a.ops(IoKind::Trim), 1);
-        assert_eq!(a.kind(IoKind::Read).mean_latency(), SimDuration::from_micros(10));
+        assert_eq!(
+            a.kind(IoKind::Read).mean_latency(),
+            SimDuration::from_micros(10)
+        );
     }
 
     #[test]
@@ -194,6 +291,31 @@ mod tests {
         s.reset();
         assert_eq!(s.total_ops(), 0);
         assert_eq!(s.mean_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn queue_section_accumulates_and_merges() {
+        let mut s = IoStats::new();
+        s.record_queued(1, SimDuration::ZERO, SimDuration::from_micros(10));
+        s.record_queued(
+            3,
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(10),
+        );
+        assert_eq!(s.queue().dispatches(), 2);
+        assert_eq!(s.queue().max_occupancy(), 3);
+        assert!((s.queue().mean_occupancy() - 2.0).abs() < 1e-12);
+        assert_eq!(s.queue().total_wait(), SimDuration::from_micros(20));
+        assert_eq!(s.queue().max_wait(), SimDuration::from_micros(20));
+        assert_eq!(s.queue().mean_wait(), SimDuration::from_micros(10));
+        assert_eq!(s.queue().busy(), SimDuration::from_micros(20));
+        let mut t = IoStats::new();
+        t.record_queued(5, SimDuration::from_micros(4), SimDuration::from_micros(1));
+        s.merge(&t);
+        assert_eq!(s.queue().dispatches(), 3);
+        assert_eq!(s.queue().max_occupancy(), 5);
+        s.reset();
+        assert_eq!(s.queue(), &QueueDepthStats::default());
     }
 
     #[test]

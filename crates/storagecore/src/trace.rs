@@ -6,9 +6,7 @@
 
 use simclock::{SimDuration, SimTime};
 
-use crate::device::{BlockDevice, IoError};
-use crate::stats::IoStats;
-use crate::types::{Extent, Geometry, IoKind};
+use crate::types::{Extent, IoKind};
 
 /// One completed block-level request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +21,11 @@ pub struct IoEvent {
     pub extent: Extent,
     /// Service latency charged by the device.
     pub latency: SimDuration,
+    /// When the device started servicing the request (`at` plus queue
+    /// wait). Synchronous drivers record `start == at`.
+    pub start: SimTime,
+    /// When the completion was delivered (`start + latency`).
+    pub finish: SimTime,
 }
 
 /// Receives trace events.
@@ -66,155 +69,5 @@ impl VecSink {
 impl TraceSink for VecSink {
     fn record(&mut self, event: IoEvent) {
         self.events.push(event);
-    }
-}
-
-/// Wraps a device and emits an [`IoEvent`] per request to an owned sink.
-///
-/// The wrapper also keeps a driver-side clock so events carry submission
-/// times: each request advances the internal clock by its latency, modelling
-/// a driver that issues requests back-to-back. Callers that interleave
-/// compute time can [`TracedDevice::advance`] the clock between requests.
-#[derive(Debug)]
-pub struct TracedDevice<D, S> {
-    inner: D,
-    sink: S,
-    seq: u64,
-    now: SimTime,
-}
-
-impl<D: BlockDevice, S: TraceSink> TracedDevice<D, S> {
-    /// Wrap `inner`, sending events to `sink`.
-    pub fn new(inner: D, sink: S) -> Self {
-        TracedDevice {
-            inner,
-            sink,
-            seq: 0,
-            now: SimTime::ZERO,
-        }
-    }
-
-    /// The wrapped device.
-    pub fn inner(&self) -> &D {
-        &self.inner
-    }
-
-    /// Mutable access to the wrapped device.
-    pub fn inner_mut(&mut self) -> &mut D {
-        &mut self.inner
-    }
-
-    /// The sink.
-    pub fn sink(&self) -> &S {
-        &self.sink
-    }
-
-    /// Mutable sink access (e.g. to drain buffered events).
-    pub fn sink_mut(&mut self) -> &mut S {
-        &mut self.sink
-    }
-
-    /// Unwrap into device and sink.
-    pub fn into_parts(self) -> (D, S) {
-        (self.inner, self.sink)
-    }
-
-    /// Advance the driver clock by non-I/O time.
-    pub fn advance(&mut self, d: SimDuration) {
-        self.now += d;
-    }
-
-    fn dispatch(&mut self, kind: IoKind, extent: Extent) -> Result<SimDuration, IoError> {
-        let latency = self.inner.submit(kind, extent)?;
-        self.sink.record(IoEvent {
-            seq: self.seq,
-            at: self.now,
-            kind,
-            extent,
-            latency,
-        });
-        self.seq += 1;
-        self.now += latency;
-        Ok(latency)
-    }
-}
-
-impl<D: BlockDevice, S: TraceSink> BlockDevice for TracedDevice<D, S> {
-    fn geometry(&self) -> Geometry {
-        self.inner.geometry()
-    }
-
-    fn read(&mut self, extent: Extent) -> Result<SimDuration, IoError> {
-        self.dispatch(IoKind::Read, extent)
-    }
-
-    fn write(&mut self, extent: Extent) -> Result<SimDuration, IoError> {
-        self.dispatch(IoKind::Write, extent)
-    }
-
-    fn trim(&mut self, extent: Extent) -> Result<SimDuration, IoError> {
-        self.dispatch(IoKind::Trim, extent)
-    }
-
-    fn stats(&self) -> &IoStats {
-        self.inner.stats()
-    }
-
-    fn reset_stats(&mut self) {
-        self.inner.reset_stats();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ramdisk::RamDisk;
-
-    fn dev() -> TracedDevice<RamDisk, VecSink> {
-        TracedDevice::new(
-            RamDisk::with_capacity_bytes(1 << 20, SimDuration::from_micros(10)),
-            VecSink::new(),
-        )
-    }
-
-    #[test]
-    fn events_carry_sequence_and_extent() {
-        let mut d = dev();
-        d.write(Extent::new(0, 4)).unwrap();
-        d.read(Extent::new(0, 4)).unwrap();
-        d.read(Extent::new(100, 1)).unwrap();
-        let ev = d.sink().events();
-        assert_eq!(ev.len(), 3);
-        assert_eq!(ev[0].seq, 0);
-        assert_eq!(ev[2].seq, 2);
-        assert_eq!(ev[0].kind, IoKind::Write);
-        assert_eq!(ev[2].extent, Extent::new(100, 1));
-    }
-
-    #[test]
-    fn driver_clock_accumulates_latency_and_compute() {
-        let mut d = dev();
-        d.read(Extent::new(0, 1)).unwrap(); // at t=0
-        d.advance(SimDuration::from_micros(5));
-        d.read(Extent::new(1, 1)).unwrap(); // at t=10+5
-        let ev = d.sink().events();
-        assert_eq!(ev[0].at, SimTime::ZERO);
-        assert_eq!(ev[1].at, SimTime::from_nanos(15_000));
-    }
-
-    #[test]
-    fn failed_requests_are_not_traced() {
-        let mut d = dev();
-        assert!(d.read(Extent::new(0, 0)).is_err());
-        assert!(d.sink().events().is_empty());
-    }
-
-    #[test]
-    fn stats_pass_through() {
-        let mut d = dev();
-        d.read(Extent::new(0, 2)).unwrap();
-        assert_eq!(d.stats().ops(IoKind::Read), 1);
-        d.reset_stats();
-        assert_eq!(d.stats().total_ops(), 0);
     }
 }

@@ -1,26 +1,33 @@
 //! Plain-text trace interchange format.
 //!
-//! One event per line: `seq kind lba sectors at_ns latency_ns`, with
+//! One event per line:
+//! `seq kind lba sectors at_ns latency_ns start_ns finish_ns`, with
 //! `kind` ∈ {R, W, T} — close enough to the UMass/SPC text traces that
 //! converted real traces drop straight in. `#`-prefixed lines are
-//! comments.
+//! comments. The v1 six-field form (without the submit/complete pair)
+//! still parses: `start` defaults to `at` and `finish` to
+//! `at + latency`, i.e. a synchronous driver.
 
 use simclock::{SimDuration, SimTime};
 use storagecore::{Extent, IoEvent, IoKind};
 
-/// Serialize events to the text format.
+/// Serialize events to the text format (v2: submit/complete pairs).
 pub fn write_trace(events: &[IoEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 32);
-    out.push_str("# hybridstore trace v1: seq kind lba sectors at_ns latency_ns\n");
+    let mut out = String::with_capacity(events.len() * 40);
+    out.push_str(
+        "# hybridstore trace v2: seq kind lba sectors at_ns latency_ns start_ns finish_ns\n",
+    );
     for e in events {
         out.push_str(&format!(
-            "{} {} {} {} {} {}\n",
+            "{} {} {} {} {} {} {} {}\n",
             e.seq,
             e.kind.label(),
             e.extent.lba,
             e.extent.sectors,
             e.at.as_nanos(),
             e.latency.as_nanos(),
+            e.start.as_nanos(),
+            e.finish.as_nanos(),
         ));
     }
     out
@@ -37,7 +44,11 @@ pub struct ParseError {
 
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -82,6 +93,20 @@ pub fn parse_trace(text: &str) -> Result<Vec<IoEvent>, ParseError> {
         let latency: u64 = next("latency_ns")?
             .parse()
             .map_err(|_| err("latency_ns is not an integer"))?;
+        // v2 appends the submit/complete pair; v1 lines stop here and
+        // describe a synchronous driver.
+        let (start, finish) = match parts.next() {
+            None => (at, at + latency),
+            Some(s) => {
+                let start: u64 = s.parse().map_err(|_| err("start_ns is not an integer"))?;
+                let finish: u64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing field: finish_ns"))?
+                    .parse()
+                    .map_err(|_| err("finish_ns is not an integer"))?;
+                (start, finish)
+            }
+        };
         if parts.next().is_some() {
             return Err(err("trailing fields"));
         }
@@ -91,6 +116,8 @@ pub fn parse_trace(text: &str) -> Result<Vec<IoEvent>, ParseError> {
             extent: Extent::new(lba, sectors),
             at: SimTime::from_nanos(at),
             latency: SimDuration::from_nanos(latency),
+            start: SimTime::from_nanos(start),
+            finish: SimTime::from_nanos(finish),
         });
     }
     Ok(events)
@@ -111,12 +138,23 @@ mod tests {
         let back = parse_trace(&text).expect("own output parses");
         assert_eq!(events.len(), back.len());
         for (a, b) in events.iter().zip(back.iter()) {
-            assert_eq!(a.seq, b.seq);
-            assert_eq!(a.kind, b.kind);
-            assert_eq!(a.extent, b.extent);
-            assert_eq!(a.at, b.at);
-            assert_eq!(a.latency, b.latency);
+            assert_eq!(a, b, "v2 round-trips every field");
         }
+    }
+
+    #[test]
+    fn v1_lines_default_to_synchronous_timestamps() {
+        let events = parse_trace("3 R 100 8 50 7\n").expect("v1 parses");
+        assert_eq!(events[0].start.as_nanos(), 50);
+        assert_eq!(events[0].finish.as_nanos(), 57);
+    }
+
+    #[test]
+    fn v2_lines_carry_queue_wait() {
+        let events = parse_trace("0 R 100 8 50 7 60 67\n").expect("v2 parses");
+        assert_eq!(events[0].at.as_nanos(), 50);
+        assert_eq!(events[0].start.as_nanos(), 60, "10 ns queue wait");
+        assert_eq!(events[0].finish.as_nanos(), 67);
     }
 
     #[test]
@@ -138,7 +176,13 @@ mod tests {
         assert_eq!(e.line, 1);
         assert!(e.message.contains("missing field"));
 
-        let e = parse_trace("1 R 100 8 0 0 extra\n").expect_err("long line");
+        let e = parse_trace("1 R 100 8 0 0 extra\n").expect_err("bad start");
+        assert!(e.message.contains("start_ns"));
+
+        let e = parse_trace("1 R 100 8 0 0 5\n").expect_err("start without finish");
+        assert!(e.message.contains("finish_ns"));
+
+        let e = parse_trace("1 R 100 8 0 0 5 5 9\n").expect_err("long line");
         assert!(e.message.contains("trailing"));
 
         let e = parse_trace("x R 100 8 0 0\n").expect_err("bad int");

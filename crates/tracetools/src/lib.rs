@@ -22,7 +22,7 @@ pub mod replay;
 pub mod stackdist;
 pub mod synth;
 
-pub use analyze::TraceProfile;
+pub use analyze::{QueueDepthProfile, TraceProfile};
 pub use format::{parse_trace, write_trace};
 pub use replay::replay;
 pub use stackdist::StackDistance;

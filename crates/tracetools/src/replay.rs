@@ -1,7 +1,7 @@
 //! Trace replay against a device model.
 
 use simclock::SimDuration;
-use storagecore::{BlockDevice, IoError, IoEvent};
+use storagecore::{BlockDevice, IoError, IoEvent, IoRequest};
 
 /// Outcome of replaying a trace.
 #[derive(Debug, Clone, Default)]
@@ -40,7 +40,9 @@ pub fn replay<D: BlockDevice>(device: &mut D, events: &[IoEvent]) -> ReplayRepor
             extent.sectors = span;
             extent.lba %= sectors - span + 1;
         }
-        match device.submit(e.kind, extent) {
+        // One request-construction path: replay goes through the same
+        // `IoRequest` the event pipeline dispatches.
+        match device.request(&IoRequest::new(e.kind, extent)) {
             Ok(latency) => {
                 report.served += 1;
                 report.total_latency += latency;
@@ -67,10 +69,8 @@ mod tests {
             ..UmassSpec::default()
         };
         let events = umass_like(&spec);
-        let mut dev = RamDisk::with_capacity_bytes(
-            spec.sectors * 512,
-            SimDuration::from_micros(10),
-        );
+        let mut dev =
+            RamDisk::with_capacity_bytes(spec.sectors * 512, SimDuration::from_micros(10));
         let report = replay(&mut dev, &events);
         assert_eq!(report.served, 500);
         assert_eq!(report.rejected, 0);
@@ -85,10 +85,8 @@ mod tests {
         };
         let events = umass_like(&spec);
         // Device 100× smaller than the trace's address space.
-        let mut dev = RamDisk::with_capacity_bytes(
-            spec.sectors * 512 / 100,
-            SimDuration::from_micros(1),
-        );
+        let mut dev =
+            RamDisk::with_capacity_bytes(spec.sectors * 512 / 100, SimDuration::from_micros(1));
         let report = replay(&mut dev, &events);
         assert_eq!(report.served, 200, "wrapping must keep everything servable");
     }

@@ -252,7 +252,10 @@ mod tests {
         let sf = sd.success_function(10);
         assert_eq!(sf.len(), 10);
         for w in sf.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 1e-12, "success function must not decrease");
+            assert!(
+                w[1].1 >= w[0].1 - 1e-12,
+                "success function must not decrease"
+            );
         }
         // At full capacity, only cold misses remain.
         let full = sd.hit_ratio_at(sd.distinct());

@@ -80,6 +80,8 @@ pub fn umass_like(spec: &UmassSpec) -> Vec<IoEvent> {
                 kind,
                 extent: Extent::new(lba, spec.request_sectors),
                 latency: SimDuration::ZERO,
+                start: now,
+                finish: now,
             };
             now += tick;
             event
@@ -129,7 +131,10 @@ mod tests {
         let a = umass_like(&UmassSpec::default());
         let b = umass_like(&UmassSpec::default());
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.extent == y.extent && x.kind == y.kind));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.extent == y.extent && x.kind == y.kind));
         let c = umass_like(&UmassSpec {
             seed: 999,
             ..UmassSpec::default()

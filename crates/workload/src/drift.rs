@@ -87,11 +87,7 @@ mod tests {
         // The most popular identities in the first window differ from the
         // ones ten rotations later.
         let early: HashSet<u64> = d.stream_iter(100).map(|q| q.id).collect();
-        let late: HashSet<u64> = d
-            .stream_iter(1_100)
-            .skip(1_000)
-            .map(|q| q.id)
-            .collect();
+        let late: HashSet<u64> = d.stream_iter(1_100).skip(1_000).map(|q| q.id).collect();
         let overlap = early.intersection(&late).count();
         assert!(
             overlap * 4 < early.len().min(late.len()),

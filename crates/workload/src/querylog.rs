@@ -1,7 +1,7 @@
 //! AOL-like query-log generation.
 
-use simclock::{Rng, Zipf};
 use searchidx::TermId;
+use simclock::{Rng, Zipf};
 
 /// A query instance in the stream.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -193,7 +193,10 @@ mod tests {
             assert!((1..=4).contains(&q.terms.len()));
             lens[q.terms.len()] += 1;
         }
-        assert!(lens[1] + lens[2] > lens[3] + lens[4], "short queries dominate");
+        assert!(
+            lens[1] + lens[2] > lens[3] + lens[4],
+            "short queries dominate"
+        );
     }
 
     #[test]
@@ -227,7 +230,10 @@ mod tests {
             }
         }
         let rate = repeats as f64 / n as f64;
-        assert!(rate > 0.3, "repetition rate {rate} too low for result caching");
+        assert!(
+            rate > 0.3,
+            "repetition rate {rate} too low for result caching"
+        );
         assert!(rate < 0.99, "repetition rate {rate} suspiciously high");
     }
 

@@ -40,7 +40,12 @@ unsafe impl<T: Send> Sync for SlotVec<T> {}
 
 impl<T> SlotVec<T> {
     fn filled(items: Vec<T>) -> Self {
-        SlotVec(items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect())
+        SlotVec(
+            items
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect(),
+        )
     }
 
     fn empty(n: usize) -> Self {
@@ -51,7 +56,9 @@ impl<T> SlotVec<T> {
     ///
     /// SAFETY: the caller must hold the unique claim on index `i`.
     unsafe fn take(&self, i: usize) -> T {
-        (*self.0[i].get()).take().expect("each index is claimed once")
+        (*self.0[i].get())
+            .take()
+            .expect("each index is claimed once")
     }
 
     /// Fill slot `i`.

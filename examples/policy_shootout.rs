@@ -56,9 +56,6 @@ fn main() {
     println!();
     for (label, r) in rows.iter().skip(1) {
         let gain = 1.0 - r.mean_response.as_nanos() as f64 / baseline.as_nanos() as f64;
-        println!(
-            "{label}: response time {:+.1}% vs LRU",
-            -gain * 100.0
-        );
+        println!("{label}: response time {:+.1}% vs LRU", -gain * 100.0);
     }
 }

@@ -28,7 +28,10 @@ fn main() {
     println!();
     println!("mean response time : {}", report.mean_response);
     println!("p99 response time  : {}", report.p99_response);
-    println!("throughput         : {:.1} queries/s", report.throughput_qps);
+    println!(
+        "throughput         : {:.1} queries/s",
+        report.throughput_qps
+    );
     println!("postings scored    : {}", report.postings_scanned);
 
     let stats = report.cache.as_ref().expect("cache configured");

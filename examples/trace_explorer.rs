@@ -14,7 +14,10 @@ fn print_profile(name: &str, p: &TraceProfile) {
     println!("== {name} ==");
     println!("  requests        : {}", p.requests);
     println!("  read fraction   : {:.2}%", p.read_fraction * 100.0);
-    println!("  unique touches  : {:.2}%", p.unique_touch_fraction * 100.0);
+    println!(
+        "  unique touches  : {:.2}%",
+        p.unique_touch_fraction * 100.0
+    );
     println!("  near reuse      : {:.2}%", p.near_reuse_fraction * 100.0);
     println!("  sequential      : {:.2}%", p.sequential_fraction * 100.0);
     println!("  skipped reads   : {:.2}%", p.skip_fraction * 100.0);
@@ -46,7 +49,10 @@ fn main() {
 
     // (a) UMass-shaped synthetic web-search trace.
     let umass = umass_like(&UmassSpec::default());
-    print_profile("UMass-shaped WebSearch trace (synthetic)", &TraceProfile::from_events(&umass));
+    print_profile(
+        "UMass-shaped WebSearch trace (synthetic)",
+        &TraceProfile::from_events(&umass),
+    );
     println!("scatter (cf. paper Fig. 1(a)):");
     ascii_scatter(&TraceProfile::scatter_series(&umass, 600), 16, 72);
     println!();
@@ -57,7 +63,10 @@ fn main() {
     let mut engine = SearchEngine::new(cfg);
     engine.run(queries);
     let trace = engine.take_trace();
-    print_profile("engine index-device trace", &TraceProfile::from_events(&trace));
+    print_profile(
+        "engine index-device trace",
+        &TraceProfile::from_events(&trace),
+    );
     println!("scatter (cf. paper Fig. 1(b)):");
     ascii_scatter(&TraceProfile::scatter_series(&trace, 600), 16, 72);
 }

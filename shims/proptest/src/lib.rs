@@ -35,7 +35,9 @@ pub mod prelude {
     pub use crate::error::TestCaseError;
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 pub use config::ProptestConfig;
@@ -97,7 +99,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: both sides are `{:?}` ({} == {})",
-            l, stringify!($left), stringify!($right)
+            l,
+            stringify!($left),
+            stringify!($right)
         );
     }};
 }

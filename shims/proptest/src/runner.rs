@@ -153,17 +153,12 @@ mod tests {
     #[test]
     fn failing_property_panics_with_counterexample() {
         let caught = catch_unwind(|| {
-            run(
-                ProptestConfig::with_cases(16),
-                "demo",
-                &(0u64..100),
-                |v| {
-                    if v >= 50 {
-                        return Err(TestCaseError::fail("too big"));
-                    }
-                    Ok(())
-                },
-            );
+            run(ProptestConfig::with_cases(16), "demo", &(0u64..100), |v| {
+                if v >= 50 {
+                    return Err(TestCaseError::fail("too big"));
+                }
+                Ok(())
+            });
         });
         let msg = *caught
             .expect_err("must fail")

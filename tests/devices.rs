@@ -1,8 +1,8 @@
 //! Cross-device integration: the same recorded workloads replayed against
 //! every device model.
 
-use hddsim::HddDisk;
 use flashsim::{FlashParams, Ftl as _, PageMapFtl, SsdDisk};
+use hddsim::HddDisk;
 use simclock::SimDuration;
 use storagecore::{BlockDevice, RamDisk};
 use tracetools::{replay, umass_like, UmassSpec};
@@ -73,7 +73,8 @@ fn ramdisk_is_fastest_everywhere() {
     let mut ssd = SsdDisk::paper(64 << 20);
     let mut lba = 0;
     while lba + 256 <= 1 << 16 {
-        ssd.write(storagecore::Extent::new(lba, 256)).expect("in range");
+        ssd.write(storagecore::Extent::new(lba, 256))
+            .expect("in range");
         lba += 256;
     }
     let rr = replay(&mut ram, &trace);

@@ -43,7 +43,10 @@ fn report_internal_consistency_for_every_policy() {
         // modulo the block granularity).
         let f = r.flash.expect("cache SSD");
         assert!(f.page_programs >= f.host_writes, "{label}");
-        assert!(f.write_amplification >= 1.0 || f.host_writes == 0, "{label}");
+        assert!(
+            f.write_amplification >= 1.0 || f.host_writes == 0,
+            "{label}"
+        );
         assert!(
             f.block_erases * 64 <= f.page_programs + 64 * 8,
             "{label}: erases bounded by programs"
@@ -69,7 +72,11 @@ fn list_serve_bytes_are_conserved() {
 fn uncached_vs_cached_index_traffic() {
     let mut plain = SearchEngine::new(EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 55));
     let up = plain.run(600);
-    let mut cached = SearchEngine::new(EngineConfig::cached(DOCS, test_cache(PolicyKind::Cblru), 55));
+    let mut cached = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        test_cache(PolicyKind::Cblru),
+        55,
+    ));
     let cp = cached.run(600);
     assert!(
         cp.index_ops < up.index_ops,
@@ -126,5 +133,10 @@ fn policies_rank_as_the_paper_claims() {
     assert!(cblru.1 > lru.1, "CBLRU hit {} vs LRU {}", cblru.1, lru.1);
     assert!(cbslru.1 > lru.1, "CBSLRU hit {} vs LRU {}", cbslru.1, lru.1);
     assert!(cblru.2 < lru.2, "CBLRU erases {} vs LRU {}", cblru.2, lru.2);
-    assert!(cbslru.2 < lru.2, "CBSLRU erases {} vs LRU {}", cbslru.2, lru.2);
+    assert!(
+        cbslru.2 < lru.2,
+        "CBSLRU erases {} vs LRU {}",
+        cbslru.2,
+        lru.2
+    );
 }
