@@ -30,6 +30,25 @@ cargo build --release -p bench --bench postings_decode
 echo "== perf_regress binary builds (BENCH_4 I/O-path arm) =="
 cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
+echo "== xtask lint gate =="
+cargo run -q -p xtask -- lint
+
+echo "== equivalence suites under INVARIANT_AUDIT (debug) =="
+INVARIANT_AUDIT=1 cargo test -q -p hybridcache --test victim_equivalence
+INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_path_equivalence
+INVARIANT_AUDIT=1 cargo test -q -p searchidx --test postings_equivalence
+
+echo "== loom models (bounded schedule exploration) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p workload --lib loom_model
+RUSTFLAGS="--cfg loom" cargo test -q -p engine --lib loom_pool_model
+
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  echo "== miri (workload unsafe core) =="
+  cargo +nightly miri test -p workload
+else
+  echo "== miri: nightly toolchain not available, skipping =="
+fi
+
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 

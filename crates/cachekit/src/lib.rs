@@ -16,6 +16,12 @@
 //! * [`victim`] — incremental priority indexes ([`MaxScoreIndex`],
 //!   [`OrderIndex`], [`SizeClassIndex`]) that answer the paper's victim
 //!   searches in O(log W) instead of scanning the window.
+//!
+//! Every structure implements [`invariant::Validate`], so debug builds can
+//! audit the incremental bookkeeping (window partition, index agreement)
+//! against a from-scratch rescan at each mutation boundary.
+
+#![forbid(unsafe_code)]
 
 pub mod budget;
 pub mod freq;

@@ -7,6 +7,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use invariant::{Report, Validate};
+
 use crate::budget::ByteBudget;
 use crate::lru::LruList;
 
@@ -168,6 +170,72 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn reset_hit_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
+    }
+}
+
+impl<K: Eq + Hash + Clone + std::fmt::Debug, V> Validate for LruCache<K, V> {
+    /// The recency list, the slot map, and the byte budget must describe
+    /// the same population: list order covers exactly the map's keys and
+    /// the budget's `used` equals the sum of the stored entry sizes
+    /// (never above capacity).
+    fn validate(&self, report: &mut Report) {
+        report.check(
+            self.list.len() == self.map.len(),
+            "LruCache",
+            "list-map-agree",
+            || {
+                format!(
+                    "list tracks {} keys, map holds {}",
+                    self.list.len(),
+                    self.map.len()
+                )
+            },
+        );
+        let mut listed = 0u64;
+        for k in self.list.iter_lru() {
+            listed += 1;
+            report.check(
+                self.map.contains_key(k),
+                "LruCache",
+                "list-map-agree",
+                || format!("{k:?} is on the recency list but has no slot"),
+            );
+        }
+        report.check(
+            listed as usize == self.list.len(),
+            "LruCache",
+            "list-link-count",
+            || {
+                format!(
+                    "walking the list visits {listed} nodes but len() says {}",
+                    self.list.len()
+                )
+            },
+        );
+        let stored: u64 = self.map.values().map(|s| s.bytes).sum();
+        report.check(
+            stored == self.budget.used(),
+            "LruCache",
+            "budget-accounting",
+            || {
+                format!(
+                    "entries sum to {stored} bytes but the budget charges {}",
+                    self.budget.used()
+                )
+            },
+        );
+        report.check(
+            self.budget.used() <= self.budget.capacity(),
+            "LruCache",
+            "budget-capacity",
+            || {
+                format!(
+                    "{} bytes charged against a capacity of {}",
+                    self.budget.used(),
+                    self.budget.capacity()
+                )
+            },
+        );
     }
 }
 

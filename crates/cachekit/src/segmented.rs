@@ -29,6 +29,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use invariant::{Report, Validate};
+
 use crate::lru::LruList;
 
 /// A change to the replace-first region's membership, reported when event
@@ -341,6 +343,60 @@ impl<K: Eq + Hash + Clone> SegmentedLru<K> {
         assert!(
             scan.last().copied() == self.window_mru.as_ref(),
             "window boundary entry diverged"
+        );
+    }
+}
+
+impl<K: Eq + Hash + Clone + std::fmt::Debug> Validate for SegmentedLru<K> {
+    /// The paper's replace-first window `W` (Sec. VI-C) is maintained
+    /// incrementally; validation re-derives it by scanning the LRU tail:
+    ///
+    /// * the member map holds exactly the first `min(W, len)` LRU entries,
+    /// * stamps strictly increase towards MRU (scan order == stamp order),
+    /// * the cached boundary entry is the scan's last (most-MRU) member.
+    fn validate(&self, report: &mut Report) {
+        let scan: Vec<&K> = self.iter_replace_first().collect();
+        report.check(
+            scan.len() == self.members.len(),
+            "SegmentedLru",
+            "window-partition",
+            || {
+                format!(
+                    "LRU tail scan finds {} window entries but the \
+                     incremental view tracks {}",
+                    scan.len(),
+                    self.members.len()
+                )
+            },
+        );
+        let mut last_stamp = None;
+        for k in &scan {
+            let Some(&stamp) = self.members.get(*k) else {
+                report.violation(
+                    "SegmentedLru",
+                    "window-partition",
+                    format!("{k:?} is inside the replace-first tail but untracked"),
+                );
+                continue;
+            };
+            if let Some(prev) = last_stamp {
+                report.check(stamp > prev, "SegmentedLru", "stamp-order", || {
+                    format!("{k:?} has stamp {stamp} but its LRU-ward neighbor has {prev}")
+                });
+            }
+            last_stamp = Some(stamp);
+        }
+        report.check(
+            scan.last().copied() == self.window_mru.as_ref(),
+            "SegmentedLru",
+            "window-boundary",
+            || {
+                format!(
+                    "cached boundary entry is {:?} but the scan ends at {:?}",
+                    self.window_mru,
+                    scan.last()
+                )
+            },
         );
     }
 }

@@ -20,7 +20,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
 use std::hash::Hash;
+
+use invariant::{Report, Validate};
 
 /// How a cache locates its victims: the original reference scans over the
 /// replace-first region, or the incremental indexes in this module. Both
@@ -121,10 +124,59 @@ impl<K: Eq + Hash + Clone, S: Ord + Copy> MaxScoreIndex<K, S> {
         self.by_score.values().rev().find(|k| Some(*k) != exclude)
     }
 
+    /// The indexed `(score, stamp)` pair for `key`, if it is a member.
+    /// Validators use this to cross-check the index against the window.
+    pub fn entry(&self, key: &K) -> Option<(S, u64)> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Iterate every member as `(key, score, stamp)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, S, u64)> {
+        self.by_key.iter().map(|(k, &(s, t))| (k, s, t))
+    }
+
     /// Remove everything.
     pub fn clear(&mut self) {
         self.by_score.clear();
         self.by_key.clear();
+    }
+}
+
+impl<K, S> Validate for MaxScoreIndex<K, S>
+where
+    K: Eq + Hash + Clone + Debug,
+    S: Ord + Copy + Debug,
+{
+    /// The two sides of the index must describe the same member set: every
+    /// `by_key` entry must be findable in `by_score` under its exact
+    /// `(score, Reverse(stamp))` key and map back to the same key.
+    fn validate(&self, report: &mut Report) {
+        report.check(
+            self.by_score.len() == self.by_key.len(),
+            "MaxScoreIndex",
+            "sides-same-size",
+            || {
+                format!(
+                    "by_score has {} entries, by_key has {}",
+                    self.by_score.len(),
+                    self.by_key.len()
+                )
+            },
+        );
+        for (key, &(score, stamp)) in &self.by_key {
+            let found = self.by_score.get(&(score, Reverse(stamp)));
+            report.check(
+                found == Some(key),
+                "MaxScoreIndex",
+                "score-key-agree",
+                || {
+                    format!(
+                        "{key:?} indexed at ({score:?}, stamp {stamp}) but \
+                         by_score holds {found:?} there"
+                    )
+                },
+            );
+        }
     }
 }
 
@@ -180,10 +232,44 @@ impl<K: Eq + Hash + Clone> OrderIndex<K> {
         self.by_stamp.values().next()
     }
 
+    /// The indexed stamp for `key`, if it is a member.
+    pub fn stamp_of(&self, key: &K) -> Option<u64> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Iterate every member as `(key, stamp)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.by_key.iter().map(|(k, &t)| (k, t))
+    }
+
     /// Remove everything.
     pub fn clear(&mut self) {
         self.by_stamp.clear();
         self.by_key.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone + Debug> Validate for OrderIndex<K> {
+    /// `by_stamp` and `by_key` must be inverse maps of each other.
+    fn validate(&self, report: &mut Report) {
+        report.check(
+            self.by_stamp.len() == self.by_key.len(),
+            "OrderIndex",
+            "sides-same-size",
+            || {
+                format!(
+                    "by_stamp has {} entries, by_key has {}",
+                    self.by_stamp.len(),
+                    self.by_key.len()
+                )
+            },
+        );
+        for (key, &stamp) in &self.by_key {
+            let found = self.by_stamp.get(&stamp);
+            report.check(found == Some(key), "OrderIndex", "stamp-key-agree", || {
+                format!("{key:?} indexed at stamp {stamp} but by_stamp holds {found:?} there")
+            });
+        }
     }
 }
 
@@ -251,10 +337,61 @@ impl<K: Eq + Hash + Clone> SizeClassIndex<K> {
         self.buckets.get(&size)?.values().next()
     }
 
+    /// The indexed `(size, stamp)` pair for `key`, if it is a member.
+    pub fn entry(&self, key: &K) -> Option<(u64, u64)> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Iterate every member as `(key, size, stamp)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64, u64)> {
+        self.by_key.iter().map(|(k, &(s, t))| (k, s, t))
+    }
+
     /// Remove everything.
     pub fn clear(&mut self) {
         self.buckets.clear();
         self.by_key.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone + Debug> Validate for SizeClassIndex<K> {
+    /// Buckets and the reverse map must agree, and no bucket may be left
+    /// empty (remove() is responsible for pruning them).
+    fn validate(&self, report: &mut Report) {
+        let bucketed: usize = self.buckets.values().map(|b| b.len()).sum();
+        report.check(
+            bucketed == self.by_key.len(),
+            "SizeClassIndex",
+            "sides-same-size",
+            || {
+                format!(
+                    "buckets hold {bucketed} entries, by_key has {}",
+                    self.by_key.len()
+                )
+            },
+        );
+        for (size, bucket) in &self.buckets {
+            report.check(
+                !bucket.is_empty(),
+                "SizeClassIndex",
+                "no-empty-buckets",
+                || format!("size class {size} has an empty bucket"),
+            );
+        }
+        for (key, &(size, stamp)) in &self.by_key {
+            let found = self.buckets.get(&size).and_then(|b| b.get(&stamp));
+            report.check(
+                found == Some(key),
+                "SizeClassIndex",
+                "bucket-key-agree",
+                || {
+                    format!(
+                        "{key:?} indexed at (size {size}, stamp {stamp}) but \
+                         the bucket holds {found:?} there"
+                    )
+                },
+            );
+        }
     }
 }
 

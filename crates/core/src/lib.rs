@@ -32,6 +32,8 @@
 //! charging all SSD traffic to a [`storagecore::BlockDevice`] so the flash
 //! effects (erases, GC, access times) are measured, not assumed.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod manager;
 pub mod mem;

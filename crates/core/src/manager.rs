@@ -686,6 +686,27 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
     }
 }
 
+impl<V, D> invariant::Validate for CacheManager<V, D> {
+    /// Cascades over every cache tier: the L1 result/list caches, the L2
+    /// SSD stores, and (when the three-level intersection family is
+    /// enabled) the intersection caches. Each store checks its own
+    /// mapping-table, state-machine and accounting invariants; the
+    /// equivalence suites call this after every step when
+    /// `INVARIANT_AUDIT` is set.
+    fn validate(&self, report: &mut invariant::Report) {
+        self.mem_rc.validate(report);
+        self.mem_ic.validate(report);
+        self.ssd_rc.validate(report);
+        self.ssd_ic.validate(report);
+        if let Some(xc) = &self.mem_xc {
+            xc.validate(report);
+        }
+        if let Some(xc) = &self.ssd_xc {
+            xc.validate(report);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@ use std::hash::Hash;
 use cachekit::{
     ByteBudget, LruCache, MaxScoreIndex, OrdF64, SegmentedLru, VictimSelection, WindowEvent,
 };
+use invariant::{audit, Report, Validate};
 
 use crate::config::PolicyKind;
 use crate::selection::{efficiency_value, sc_blocks};
@@ -96,6 +97,14 @@ impl<V> MemResultCache<V> {
     /// Hit statistics of the underlying cache.
     pub fn hit_stats(&self) -> (u64, u64) {
         self.cache.hit_stats()
+    }
+}
+
+impl<V> Validate for MemResultCache<V> {
+    /// The L1 result cache is a plain byte-budgeted LRU; its list/map/
+    /// budget agreement is the underlying cache's invariant.
+    fn validate(&self, report: &mut Report) {
+        self.cache.validate(report);
     }
 }
 
@@ -184,6 +193,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
             }
             _ => self.lru.disable_window_events(),
         }
+        audit!(self, "MemListCache::set_victim_selection");
     }
 
     /// The active victim-selection mode.
@@ -276,6 +286,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
                 m.pu = running_pu(m.pu, m.freq, observed_pu);
                 let out = *m;
                 self.rescore(&term);
+                audit!(self, "MemListCache::touch(capped)");
                 return Some(out);
             }
             // Eviction of other entries to make room never selects `term`
@@ -292,6 +303,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         m.pu = running_pu(m.pu, m.freq, observed_pu);
         let out = *m;
         self.rescore(&term);
+        audit!(self, "MemListCache::touch");
         Some(out)
     }
 
@@ -312,6 +324,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         self.map.insert(term, meta);
         self.lru.insert_mru(term);
         self.sync_index();
+        audit!(self, "MemListCache::insert");
         Ok(evicted)
     }
 
@@ -321,6 +334,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         self.lru.remove(&term);
         self.sync_index();
         self.budget.credit(meta.si_bytes);
+        audit!(self, "MemListCache::remove");
         Some(meta)
     }
 
@@ -383,6 +397,88 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
                 .or_else(|| self.lru.find_anywhere(|t| !excluded(t)).copied())
         } else {
             self.lru.find_anywhere(|t| !excluded(t)).copied()
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy + Debug> Validate for MemListCache<K> {
+    /// Re-derives the L1 list cache's bookkeeping (paper Fig. 6(b) and
+    /// Fig. 12) and cross-checks it: the recency list and metadata table
+    /// hold the same terms, the byte budget equals the sum of cached
+    /// prefixes, and the EV victim index mirrors the replace-first window
+    /// with scores recomputed from first principles.
+    fn validate(&self, report: &mut Report) {
+        const S: &str = "MemListCache";
+        self.lru.validate(report);
+        self.ev_index.validate(report);
+
+        report.check(self.lru.len() == self.map.len(), S, "lru-map-agree", || {
+            format!(
+                "recency list tracks {} terms, metadata table {}",
+                self.lru.len(),
+                self.map.len()
+            )
+        });
+        for term in self.lru.iter_lru() {
+            report.check(self.map.contains_key(term), S, "lru-map-agree", || {
+                format!("{term:?} is on the recency list but has no metadata")
+            });
+        }
+        let stored: u64 = self.map.values().map(|m| m.si_bytes).sum();
+        report.check(stored == self.budget.used(), S, "budget-accounting", || {
+            format!(
+                "cached prefixes sum to {stored} bytes but the budget charges {}",
+                self.budget.used()
+            )
+        });
+        report.check(
+            self.budget.used() <= self.budget.capacity(),
+            S,
+            "budget-capacity",
+            || {
+                format!(
+                    "{} bytes charged against a capacity of {}",
+                    self.budget.used(),
+                    self.budget.capacity()
+                )
+            },
+        );
+
+        if self.indexing() {
+            let members: Vec<K> = self.lru.iter_replace_first().copied().collect();
+            report.check(
+                self.ev_index.len() == members.len(),
+                S,
+                "ev-index-window",
+                || {
+                    format!(
+                        "EV index holds {} members, the window {}",
+                        self.ev_index.len(),
+                        members.len()
+                    )
+                },
+            );
+            for term in members {
+                let stamp = self.lru.window_stamp(&term);
+                let expected = self
+                    .map
+                    .get(&term)
+                    .map(|m| OrdF64(-m.ev(self.block_bytes)))
+                    .zip(stamp);
+                let indexed = self.ev_index.entry(&term);
+                report.check(indexed == expected, S, "ev-index-window", || {
+                    format!(
+                        "window entry {term:?} EV-indexed as {indexed:?}, expected {expected:?}"
+                    )
+                });
+            }
+        } else {
+            report.check(self.ev_index.is_empty(), S, "ev-index-window", || {
+                format!(
+                    "EV index holds {} members while disabled",
+                    self.ev_index.len()
+                )
+            });
         }
     }
 }

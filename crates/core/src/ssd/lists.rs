@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use cachekit::{OrderIndex, SegmentedLru, SizeClassIndex, VictimSelection, WindowEvent};
+use invariant::{audit, Report, Validate};
 use simclock::SimDuration;
 use storagecore::BlockDevice;
 
@@ -129,6 +130,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             }
             _ => self.lru.disable_window_events(),
         }
+        audit!(self, "ListStore::set_victim_selection");
     }
 
     /// The active victim-selection mode.
@@ -230,6 +232,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             self.lru.touch(&term);
             self.sync_index();
         }
+        audit!(self, "ListStore::lookup");
         Some((served, latency))
     }
 
@@ -259,6 +262,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
                     self.lru.touch(&term);
                     self.sync_index();
                 }
+                audit!(self, "ListStore::offer(dedup)");
                 return (false, SimDuration::ZERO);
             }
             // The new prefix is bigger: drop the stale copy and rewrite.
@@ -299,6 +303,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
         );
         self.lru.insert_mru(term);
         self.sync_index();
+        audit!(self, "ListStore::offer(write)");
         (true, latency)
     }
 
@@ -400,6 +405,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
         }
         self.lru.remove(&term);
         self.sync_index();
+        audit!(self, "ListStore::invalidate");
         latency
     }
 
@@ -440,7 +446,220 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
                 },
             );
         }
+        audit!(self, "ListStore::seed_static");
         latency
+    }
+
+    /// Test hook: force `term`'s entry state, bypassing the hit-path
+    /// guards — forcing a *static* entry replaceable reproduces the
+    /// out-of-order free → normal → replaceable transition the
+    /// `state-machine` validator exists to catch (pinned entries never
+    /// leave Normal).
+    #[doc(hidden)]
+    pub fn debug_force_state(&mut self, term: K, state: EntryState) {
+        self.entries.get_mut(&term).expect("entry cached").state = state;
+    }
+}
+
+impl<K: Eq + Hash + Copy + Debug> Validate for ListStore<K> {
+    /// Re-derives the list store's redundant bookkeeping (paper Sec.
+    /// VI-B/C, Figs. 7(c) and 13) and cross-checks it:
+    ///
+    /// * the entry table, the recency list and the block allocator agree
+    ///   (every cached block belongs to exactly one entry, every entry's
+    ///   blocks are allocated region slots);
+    /// * entries cover whole 128 KB blocks — `cached_bytes` never exceeds
+    ///   the blocks that were written for it;
+    /// * static (pinned) entries never leave Normal and stay within the
+    ///   static block budget;
+    /// * the replaceable-order and size-class victim indexes mirror the
+    ///   replace-first window exactly.
+    fn validate(&self, report: &mut Report) {
+        const S: &str = "ListStore";
+        self.region.validate(report);
+        self.lru.validate(report);
+        self.repl_idx.validate(report);
+        self.size_idx.validate(report);
+
+        let mut used_blocks = 0usize;
+        let mut block_owners = HashMap::new();
+        let mut static_used = 0u64;
+        for (&term, entry) in &self.entries {
+            report.check(!entry.blocks.is_empty(), S, "block-accounting", || {
+                format!("entry {term:?} is cached with zero blocks")
+            });
+            report.check(
+                entry.cached_bytes <= entry.blocks.len() as u64 * self.block_bytes,
+                S,
+                "block-alignment",
+                || {
+                    format!(
+                        "entry {term:?} claims {} cached bytes over {} whole blocks",
+                        entry.cached_bytes,
+                        entry.blocks.len()
+                    )
+                },
+            );
+            for &block in &entry.blocks {
+                used_blocks += 1;
+                report.check(
+                    block < self.region.capacity() && !self.region.is_free(block),
+                    S,
+                    "block-accounting",
+                    || format!("entry {term:?} holds unallocated block {block}"),
+                );
+                if let Some(other) = block_owners.insert(block, term) {
+                    report.violation(
+                        S,
+                        "block-accounting",
+                        format!("block {block} is owned by both {other:?} and {term:?}"),
+                    );
+                }
+            }
+            if entry.is_static {
+                static_used += entry.blocks.len() as u64;
+                report.check(
+                    entry.state == EntryState::Normal,
+                    S,
+                    "state-machine",
+                    || {
+                        format!(
+                            "static (pinned) entry {term:?} left Normal: {:?}",
+                            entry.state
+                        )
+                    },
+                );
+            }
+            report.check(
+                self.lru.contains(&term) != entry.is_static,
+                S,
+                "lru-membership",
+                || {
+                    format!(
+                        "entry {term:?} (static: {}) has wrong recency-list membership",
+                        entry.is_static
+                    )
+                },
+            );
+        }
+        report.check(
+            self.region.used_count() as usize == used_blocks,
+            S,
+            "block-accounting",
+            || {
+                format!(
+                    "region reports {} used blocks but entries own {used_blocks}",
+                    self.region.used_count()
+                )
+            },
+        );
+        report.check(
+            static_used == self.static_used as u64,
+            S,
+            "static-budget",
+            || {
+                format!(
+                    "static entries own {static_used} blocks but the store accounts {}",
+                    self.static_used
+                )
+            },
+        );
+        report.check(
+            self.static_used <= self.static_blocks,
+            S,
+            "static-budget",
+            || {
+                format!(
+                    "{} static blocks exceed the {}-block budget",
+                    self.static_used, self.static_blocks
+                )
+            },
+        );
+        report.check(
+            self.lru.len() == self.entries.values().filter(|e| !e.is_static).count(),
+            S,
+            "lru-membership",
+            || {
+                format!(
+                    "recency list tracks {} terms but {} dynamic entries exist",
+                    self.lru.len(),
+                    self.entries.values().filter(|e| !e.is_static).count()
+                )
+            },
+        );
+
+        // Victim indexes mirror the replace-first window exactly.
+        if self.selection == VictimSelection::Indexed && self.cost_based {
+            let members: Vec<K> = self.lru.iter_replace_first().copied().collect();
+            report.check(
+                self.size_idx.len() == members.len(),
+                S,
+                "size-index-window",
+                || {
+                    format!(
+                        "size index holds {} members, the window {}",
+                        self.size_idx.len(),
+                        members.len()
+                    )
+                },
+            );
+            let replaceable = members
+                .iter()
+                .filter(|t| {
+                    self.entries
+                        .get(t)
+                        .is_some_and(|e| e.state == EntryState::Replaceable)
+                })
+                .count();
+            report.check(
+                self.repl_idx.len() == replaceable,
+                S,
+                "repl-index-window",
+                || {
+                    format!(
+                        "replaceable index holds {} members but the window has {replaceable}",
+                        self.repl_idx.len()
+                    )
+                },
+            );
+            for term in members {
+                let stamp = self.lru.window_stamp(&term);
+                let entry = self.entries.get(&term);
+                let expected = entry.map(|e| e.blocks.len() as u64).zip(stamp);
+                let indexed = self.size_idx.entry(&term);
+                report.check(indexed == expected, S, "size-index-window", || {
+                    format!(
+                        "window entry {term:?} size-indexed as {indexed:?}, expected {expected:?}"
+                    )
+                });
+                let is_repl = entry.is_some_and(|e| e.state == EntryState::Replaceable);
+                report.check(
+                    self.repl_idx.stamp_of(&term) == stamp.filter(|_| is_repl),
+                    S,
+                    "repl-index-window",
+                    || {
+                        format!(
+                            "window entry {term:?} (replaceable: {is_repl}) \
+                             repl-indexed as {:?}",
+                            self.repl_idx.stamp_of(&term)
+                        )
+                    },
+                );
+            }
+        } else {
+            report.check(
+                self.repl_idx.is_empty() && self.size_idx.is_empty(),
+                S,
+                "size-index-window",
+                || {
+                    format!(
+                        "indexes hold {} + {} members while disabled",
+                        self.repl_idx.len(),
+                        self.size_idx.len()
+                    )
+                },
+            );
+        }
     }
 }
 

@@ -34,3 +34,16 @@ pub enum EntryState {
     /// superseded.
     Replaceable,
 }
+
+impl EntryState {
+    /// Whether the paper's block state machine (Figs. 8–9) permits moving
+    /// from `from` to `to`, where `None` is the Free state (absence from
+    /// the mapping tables). Blocks cycle free → normal → replaceable →
+    /// normal: data enters the cache *normal* (a fresh write) and may only
+    /// turn replaceable after that write, so the single forbidden edge is
+    /// free → replaceable. Any state may return to free (trim / eviction)
+    /// and self-transitions are no-ops.
+    pub fn may_become(from: Option<EntryState>, to: Option<EntryState>) -> bool {
+        !matches!((from, to), (None, Some(EntryState::Replaceable)))
+    }
+}

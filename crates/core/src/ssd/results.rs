@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use cachekit::{MaxScoreIndex, SegmentedLru, VictimSelection, WindowEvent};
+use invariant::{audit, Report, Validate};
 use simclock::SimDuration;
 use storagecore::BlockDevice;
 
@@ -150,6 +151,7 @@ impl<V: Clone> ResultStore<V> {
             }
             _ => self.rb_lru.disable_window_events(),
         }
+        audit!(self, "ResultStore::set_victim_selection");
     }
 
     /// The active victim-selection mode.
@@ -258,6 +260,7 @@ impl<V: Clone> ResultStore<V> {
                 self.entry_lru.touch(&id);
             }
         }
+        audit!(self, "ResultStore::lookup");
         Some(out)
     }
 
@@ -292,6 +295,7 @@ impl<V: Clone> ResultStore<V> {
                     self.entry_lru.touch(&id);
                 }
             }
+            audit!(self, "ResultStore::offer(dedup)");
             return SimDuration::ZERO;
         }
         if self.cost_based {
@@ -304,13 +308,17 @@ impl<V: Clone> ResultStore<V> {
                 return SimDuration::ZERO;
             }
             self.write_buffer.push((id, value, freq));
-            if self.write_buffer.len() >= self.entries_per_rb {
+            let latency = if self.write_buffer.len() >= self.entries_per_rb {
                 self.flush_buffer(device)
             } else {
                 SimDuration::ZERO
-            }
+            };
+            audit!(self, "ResultStore::offer(stage)");
+            latency
         } else {
-            self.write_single(id, value, freq, device)
+            let latency = self.write_single(id, value, freq, device);
+            audit!(self, "ResultStore::offer(write)");
+            latency
         }
     }
 
@@ -469,6 +477,7 @@ impl<V: Clone> ResultStore<V> {
                     .trim(self.region.extent(slot))
                     .expect("RB extent is in-region");
                 self.region.release(slot);
+                audit!(self, "ResultStore::invalidate(trim)");
                 return t;
             }
             // The RB stays but its IREN grew.
@@ -477,6 +486,7 @@ impl<V: Clone> ResultStore<V> {
             self.entry_lru.remove(&id);
             self.free_entries.push((slot, idx));
         }
+        audit!(self, "ResultStore::invalidate");
         SimDuration::ZERO
     }
 
@@ -519,7 +529,361 @@ impl<V: Clone> ResultStore<V> {
                 .write(self.region.extent(slot))
                 .expect("RB extent is in-region");
         }
+        audit!(self, "ResultStore::seed_static");
         latency
+    }
+
+    /// Test hook: skew the incremental IREN counter of `id`'s RB without
+    /// touching the bitmap, simulating the counter drift the
+    /// `iren-bitmap-agree` validator exists to catch.
+    #[doc(hidden)]
+    pub fn debug_corrupt_iren(&mut self, id: QueryId, delta: isize) {
+        let (slot, _) = self.map[&id];
+        let rb = self.rbs.get_mut(&slot).expect("rb exists");
+        rb.invalid = rb.invalid.wrapping_add_signed(delta);
+    }
+
+    /// Test hook: force `id`'s entry state while keeping the IREN counter
+    /// consistent with the bitmap, so only state-machine invariants can
+    /// fire — used to prove the pinned-static check catches an
+    /// out-of-order free → normal → replaceable transition on its own.
+    #[doc(hidden)]
+    pub fn debug_force_state(&mut self, id: QueryId, state: EntryState) {
+        let (slot, _) = self.map[&id];
+        let stored = self.payload.get_mut(&id).expect("map/payload agree");
+        if stored.state == state {
+            return;
+        }
+        let rb = self.rbs.get_mut(&slot).expect("rb exists");
+        match state {
+            EntryState::Replaceable => rb.invalid += 1,
+            EntryState::Normal => rb.invalid -= 1,
+        }
+        stored.state = state;
+        if self.indexing() && self.rb_lru.in_replace_first(&slot) {
+            let score = self.rbs[&slot].invalid;
+            self.iren_index.update_score(&slot, score);
+        }
+    }
+
+    /// Test hook: shrink or grow the per-entry footprint after the fact,
+    /// breaking the "an RB packs into exactly one aligned 128 KB slot"
+    /// geometry the `rb-write-alignment` validator checks.
+    #[doc(hidden)]
+    pub fn debug_corrupt_entry_bytes(&mut self, entry_bytes: u64) {
+        self.entry_bytes = entry_bytes;
+    }
+}
+
+impl<V> Validate for ResultStore<V> {
+    /// Re-derives the result store's redundant bookkeeping from scratch
+    /// (paper Sec. VI-B/C, Figs. 7(a)/(b) and 11) and cross-checks it:
+    ///
+    /// * the query→slot map, the payload table and the RB bitmaps must
+    ///   form one consistent bijection;
+    /// * each RB's incrementally maintained IREN equals a fresh bitmap
+    ///   scan (invalid slots + replaceable entries);
+    /// * slot allocation, recency lists, the IREN victim index and the
+    ///   write buffer agree with the mapping tables;
+    /// * static (pinned) entries never leave the Normal state;
+    /// * RB geometry keeps every write one whole aligned slot.
+    fn validate(&self, report: &mut Report) {
+        const S: &str = "ResultStore";
+        self.region.validate(report);
+        self.rb_lru.validate(report);
+        self.entry_lru.validate(report);
+        self.iren_index.validate(report);
+
+        let slot_bytes = self.region.slot_sectors() * storagecore::SECTOR_SIZE as u64;
+        report.check(
+            self.entries_per_rb as u64 * self.entry_bytes <= slot_bytes,
+            S,
+            "rb-write-alignment",
+            || {
+                format!(
+                    "{} entries of {} bytes do not pack into a {} byte slot",
+                    self.entries_per_rb, self.entry_bytes, slot_bytes
+                )
+            },
+        );
+
+        // Mapping tables: map ↔ payload ↔ RB bitmaps form a bijection.
+        report.check(
+            self.map.len() == self.payload.len(),
+            S,
+            "map-payload-agree",
+            || {
+                format!(
+                    "map holds {} queries, payload table {}",
+                    self.map.len(),
+                    self.payload.len()
+                )
+            },
+        );
+        for (&id, &(slot, idx)) in &self.map {
+            report.check(
+                self.payload.contains_key(&id),
+                S,
+                "map-payload-agree",
+                || format!("query {id} is mapped but has no payload"),
+            );
+            let Some(rb) = self.rbs.get(&slot) else {
+                report.violation(
+                    S,
+                    "map-rb-agree",
+                    format!("query {id} maps to unmapped RB slot {slot}"),
+                );
+                continue;
+            };
+            if !report.check((idx as usize) < rb.entries.len(), S, "map-rb-agree", || {
+                format!(
+                    "query {id} maps to position {idx} of a {}-entry RB",
+                    rb.entries.len()
+                )
+            }) {
+                continue;
+            }
+            report.check(
+                rb.entries[idx as usize] == Some(id),
+                S,
+                "map-rb-agree",
+                || {
+                    format!(
+                        "query {id} maps to RB {slot}[{idx}] but the bitmap holds {:?}",
+                        rb.entries[idx as usize]
+                    )
+                },
+            );
+        }
+        let bitmap_valid: usize = self
+            .rbs
+            .values()
+            .map(|rb| rb.entries.iter().flatten().count())
+            .sum();
+        report.check(bitmap_valid == self.map.len(), S, "map-rb-agree", || {
+            format!(
+                "RB bitmaps carry {bitmap_valid} valid entries but the map holds {}",
+                self.map.len()
+            )
+        });
+
+        // Per-RB checks: slot allocation, IREN agreement, static pinning.
+        let mut static_rbs = 0u32;
+        for (&slot, rb) in &self.rbs {
+            report.check(
+                slot < self.region.capacity() && !self.region.is_free(slot),
+                S,
+                "slot-allocated",
+                || format!("RB slot {slot} is not an allocated region slot"),
+            );
+            report.check(
+                rb.entries.len() == self.entries_per_rb,
+                S,
+                "rb-capacity",
+                || {
+                    format!(
+                        "RB {slot} has {} positions, the store packs {}",
+                        rb.entries.len(),
+                        self.entries_per_rb
+                    )
+                },
+            );
+            let scan = rb
+                .entries
+                .iter()
+                .filter(|e| match e {
+                    None => true,
+                    Some(q) => self
+                        .payload
+                        .get(q)
+                        .is_none_or(|s| s.state == EntryState::Replaceable),
+                })
+                .count();
+            report.check(rb.invalid == scan, S, "iren-bitmap-agree", || {
+                format!(
+                    "RB {slot} carries IREN {} but a bitmap scan counts {scan}",
+                    rb.invalid
+                )
+            });
+            if rb.is_static {
+                static_rbs += 1;
+                for id in rb.entries.iter().flatten() {
+                    let state = self.payload.get(id).map(|s| s.state);
+                    report.check(
+                        EntryState::may_become(None, state)
+                            && state != Some(EntryState::Replaceable),
+                        S,
+                        "state-machine",
+                        || {
+                            format!(
+                                "static (pinned) entry {id} in RB {slot} left Normal: {state:?}"
+                            )
+                        },
+                    );
+                }
+            }
+            if self.cost_based {
+                report.check(
+                    self.rb_lru.contains(&slot) != rb.is_static,
+                    S,
+                    "lru-membership",
+                    || {
+                        format!(
+                            "RB {slot} (static: {}) has wrong recency-list membership",
+                            rb.is_static
+                        )
+                    },
+                );
+            }
+        }
+        report.check(static_rbs <= self.static_slots, S, "static-budget", || {
+            format!(
+                "{static_rbs} static RBs exceed the {}-slot budget",
+                self.static_slots
+            )
+        });
+        report.check(
+            self.region.used_count() as usize == self.rbs.len(),
+            S,
+            "slot-accounting",
+            || {
+                format!(
+                    "region reports {} used slots but {} RBs exist",
+                    self.region.used_count(),
+                    self.rbs.len()
+                )
+            },
+        );
+
+        // Mode-specific structures.
+        if self.cost_based {
+            report.check(self.entry_lru.is_empty(), S, "lru-membership", || {
+                format!(
+                    "cost-based mode keeps no entry recency list, found {} entries",
+                    self.entry_lru.len()
+                )
+            });
+            report.check(
+                self.free_entries.is_empty(),
+                S,
+                "free-entry-accounting",
+                || {
+                    format!(
+                        "cost-based mode tracks no free entry positions, found {}",
+                        self.free_entries.len()
+                    )
+                },
+            );
+        } else {
+            report.check(self.rb_lru.is_empty(), S, "lru-membership", || {
+                format!(
+                    "LRU mode keeps no RB recency list, found {} RBs",
+                    self.rb_lru.len()
+                )
+            });
+            for (&id, &(slot, _)) in &self.map {
+                let is_static = self.rbs.get(&slot).is_some_and(|rb| rb.is_static);
+                report.check(
+                    self.entry_lru.contains(&id) != is_static,
+                    S,
+                    "lru-membership",
+                    || {
+                        format!(
+                            "entry {id} (static: {is_static}) has wrong recency-list membership"
+                        )
+                    },
+                );
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &(slot, idx) in &self.free_entries {
+                report.check(seen.insert((slot, idx)), S, "free-entry-accounting", || {
+                    format!("position RB {slot}[{idx}] is free-listed twice")
+                });
+                let open = self
+                    .rbs
+                    .get(&slot)
+                    .and_then(|rb| rb.entries.get(idx as usize))
+                    .is_some_and(Option::is_none);
+                report.check(open, S, "free-entry-accounting", || {
+                    format!("free-listed position RB {slot}[{idx}] is not an open bitmap slot")
+                });
+            }
+            let open_dynamic: usize = self
+                .rbs
+                .values()
+                .filter(|rb| !rb.is_static)
+                .map(|rb| rb.entries.iter().filter(|e| e.is_none()).count())
+                .sum();
+            report.check(
+                open_dynamic == self.free_entries.len(),
+                S,
+                "free-entry-accounting",
+                || {
+                    format!(
+                        "{open_dynamic} open bitmap positions but {} free-listed",
+                        self.free_entries.len()
+                    )
+                },
+            );
+        }
+
+        // Write buffer: staged entries are not yet mapped, each id once.
+        report.check(
+            self.entries_per_rb == 0 || self.write_buffer.len() < self.entries_per_rb,
+            S,
+            "write-buffer-bounded",
+            || {
+                format!(
+                    "{} staged entries never flushed into a {}-entry RB",
+                    self.write_buffer.len(),
+                    self.entries_per_rb
+                )
+            },
+        );
+        let mut staged = std::collections::HashSet::new();
+        for (id, _, _) in &self.write_buffer {
+            report.check(staged.insert(*id), S, "write-buffer-unique", || {
+                format!("query {id} is staged twice")
+            });
+            report.check(!self.map.contains_key(id), S, "write-buffer-unique", || {
+                format!("query {id} is both staged and mapped")
+            });
+        }
+
+        // Victim index mirrors the replace-first window exactly.
+        if self.selection == VictimSelection::Indexed && self.cost_based {
+            let members: Vec<SlotId> = self.rb_lru.iter_replace_first().copied().collect();
+            report.check(
+                self.iren_index.len() == members.len(),
+                S,
+                "iren-index-window",
+                || {
+                    format!(
+                        "index holds {} members, the window {}",
+                        self.iren_index.len(),
+                        members.len()
+                    )
+                },
+            );
+            for slot in members {
+                let stamp = self.rb_lru.window_stamp(&slot);
+                let iren = self.rbs.get(&slot).map(|rb| rb.invalid);
+                let expected = iren.zip(stamp);
+                let indexed = self.iren_index.entry(&slot);
+                report.check(indexed == expected, S, "iren-index-window", || {
+                    format!(
+                        "window RB {slot} indexed as {indexed:?}, expected IREN {iren:?} at stamp {stamp:?}"
+                    )
+                });
+            }
+        } else {
+            report.check(self.iren_index.is_empty(), S, "iren-index-window", || {
+                format!(
+                    "index holds {} members while disabled",
+                    self.iren_index.len()
+                )
+            });
+        }
     }
 }
 

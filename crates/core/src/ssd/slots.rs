@@ -1,5 +1,6 @@
 //! Block-granular slot allocation over an LBA region of the SSD.
 
+use invariant::{Report, Validate};
 use storagecore::{Extent, Lba};
 
 /// Index of a 128 KB slot within a region.
@@ -90,6 +91,34 @@ impl SlotRegion {
             full.bytes()
         );
         Extent::from_bytes(full.lba * storagecore::SECTOR_SIZE as u64 + offset, bytes)
+    }
+
+    /// Whether `slot` is currently on the free list (O(free) scan; used by
+    /// validators, not the allocation path).
+    pub fn is_free(&self, slot: SlotId) -> bool {
+        self.free.contains(&slot)
+    }
+}
+
+impl Validate for SlotRegion {
+    /// The free list must stay a set of in-range slot ids — a duplicate
+    /// means a double release, an out-of-range id a corrupted pool.
+    fn validate(&self, report: &mut Report) {
+        let mut seen = vec![false; self.nslots as usize];
+        for &slot in &self.free {
+            if !report.check(slot < self.nslots, "SlotRegion", "free-in-range", || {
+                format!(
+                    "free list holds slot {slot} but the region has {}",
+                    self.nslots
+                )
+            }) {
+                continue;
+            }
+            report.check(!seen[slot as usize], "SlotRegion", "free-unique", || {
+                format!("slot {slot} appears twice on the free list (double release)")
+            });
+            seen[slot as usize] = true;
+        }
     }
 }
 

@@ -15,6 +15,7 @@
 use hybridcache::mem::{ListMeta, MemListCache};
 use hybridcache::ssd::{ListStore, ResultStore, SlotRegion};
 use hybridcache::{CacheManager, CachingScheme, HybridConfig, PolicyKind, VictimSelection};
+use invariant::Validate;
 use proptest::prelude::*;
 use simclock::{SimDuration, SimTime};
 use storagecore::RamDisk;
@@ -72,6 +73,9 @@ proptest! {
         window in 0usize..6,
         policy in policies(),
     ) {
+        // Audit every mutation boundary for the whole sequence (debug
+        // builds validate inside insert/touch/remove via `audit!`).
+        invariant::force_enable();
         let capacity = 6 * 1024; // a handful of entries at 256-byte units
         let mut indexed = MemListCache::new(capacity, policy, window, 1024);
         let mut scan = MemListCache::new(capacity, policy, window, 1024);
@@ -111,6 +115,10 @@ proptest! {
                 prop_assert_eq!(indexed.peek(t), scan.peek(t), "meta diverged for term {}", t);
             }
         }
+        for (arm, cache) in [("indexed", &indexed), ("scan", &scan)] {
+            let report = cache.validation_report();
+            prop_assert!(report.is_clean(), "{} arm: {}", arm, report.summary());
+        }
     }
 }
 
@@ -147,6 +155,7 @@ proptest! {
         window in 0usize..4,
         cost_based in any::<bool>(),
     ) {
+        invariant::force_enable();
         let entry_bytes = 40_000u64; // 2–3 entries fit a 128 KB RB
         let mk = || {
             ResultStore::<u64>::new(
@@ -192,6 +201,10 @@ proptest! {
                 prop_assert_eq!(indexed.buffered(id), scan.buffered(id));
             }
         }
+        for (arm, store) in [("indexed", &indexed), ("scan", &scan)] {
+            let report = store.validation_report();
+            prop_assert!(report.is_clean(), "{} arm: {}", arm, report.summary());
+        }
     }
 }
 
@@ -230,6 +243,7 @@ proptest! {
         window in 0usize..4,
         cost_based in any::<bool>(),
     ) {
+        invariant::force_enable();
         let mk = || {
             ListStore::<u32>::new(SlotRegion::new(0, BLOCK, blocks), BLOCK, cost_based, window, 0.0)
         };
@@ -266,6 +280,10 @@ proptest! {
                     "cached bytes diverged for term {}", t
                 );
             }
+        }
+        for (arm, store) in [("indexed", &indexed), ("scan", &scan)] {
+            let report = store.validation_report();
+            prop_assert!(report.is_clean(), "{} arm: {}", arm, report.summary());
         }
     }
 }
@@ -304,6 +322,7 @@ proptest! {
         ttl_us in 50u64..400,
         with_ttl in any::<bool>(),
     ) {
+        invariant::force_enable();
         let cfg = HybridConfig {
             ttl: with_ttl.then(|| SimDuration::from_micros(ttl_us)),
             mem_result_bytes: 40_000,
@@ -357,5 +376,9 @@ proptest! {
         prop_assert_eq!(indexed.store_stats().0, scan.store_stats().0);
         prop_assert_eq!(indexed.store_stats().1, scan.store_stats().1);
         prop_assert_eq!(indexed.ttl_stats(), scan.ttl_stats());
+        for (arm, mgr) in [("indexed", &indexed), ("scan", &scan)] {
+            let report = mgr.validation_report();
+            prop_assert!(report.is_clean(), "{} arm: {}", arm, report.summary());
+        }
     }
 }

@@ -90,6 +90,8 @@ enum Job {
     Batch(Arc<Vec<Query>>),
     /// Snapshot every owned shard's cumulative [`RunReport`].
     Report,
+    /// Run the structural invariant validators on every owned shard.
+    Validate,
 }
 
 /// One worker's answer to a [`Job`].
@@ -102,6 +104,8 @@ enum Reply {
     },
     /// Per owned shard: `(shard id, report snapshot)`.
     Report(Vec<(usize, RunReport)>),
+    /// Per owned shard: `(shard id, invariant audit findings)`.
+    Validate(Vec<(usize, invariant::Report)>),
 }
 
 /// Body of one pool thread: owns its engines exclusively for the life of
@@ -125,6 +129,12 @@ fn worker_main(
                 }
             }
             Job::Report => Reply::Report(engines.iter().map(|(id, e)| (*id, e.report())).collect()),
+            Job::Validate => Reply::Validate(
+                engines
+                    .iter()
+                    .map(|(id, e)| (*id, e.validation_report()))
+                    .collect(),
+            ),
         };
         if replies.send(reply).is_err() {
             break; // coordinator went away mid-job
@@ -235,7 +245,7 @@ impl WorkerPool {
                         per_shard[shard] = lat;
                     }
                 }
-                Reply::Report(_) => unreachable!("batch job answered with a report"),
+                _ => unreachable!("batch job answered with a different reply"),
             }
         }
         per_shard
@@ -254,12 +264,32 @@ impl WorkerPool {
                         out[shard] = Some(report);
                     }
                 }
-                Reply::Batch { .. } => unreachable!("report job answered with a batch"),
+                _ => unreachable!("report job answered with a different reply"),
             }
         }
         out.into_iter()
             .map(|r| r.expect("every shard reported"))
             .collect()
+    }
+
+    /// Audit every shard in place (the engines never leave their worker
+    /// threads) and merge the findings.
+    fn validation_report(&self) -> invariant::Report {
+        for worker in &self.workers {
+            worker.send(Job::Validate);
+        }
+        let mut merged = invariant::Report::new();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Validate(reports) => {
+                    for (_, report) in reports {
+                        merged.absorb(report);
+                    }
+                }
+                _ => unreachable!("validate job answered with a different reply"),
+            }
+        }
+        merged
     }
 
     fn max_busy(&self) -> Duration {
@@ -465,6 +495,23 @@ impl SearchCluster {
         }
     }
 
+    /// Runs the structural invariant validators over every shard — on the
+    /// sequential arm directly, on the parallel arm via a `Validate` job
+    /// so the audit happens on the thread that owns each engine — and
+    /// merges the findings into one report.
+    pub fn validation_report(&self) -> invariant::Report {
+        match &self.backend {
+            Backend::Sequential(shards) => {
+                let mut merged = invariant::Report::new();
+                for shard in shards {
+                    merged.absorb(shard.validation_report());
+                }
+                merged
+            }
+            Backend::Parallel(pool) => pool.validation_report(),
+        }
+    }
+
     /// Run `n` queries from the shared log.
     pub fn run(&mut self, n: usize) -> ClusterReport {
         let queries = self.stream(n);
@@ -489,6 +536,101 @@ fn minmax(lats: impl Iterator<Item = SimDuration>) -> (SimDuration, SimDuration)
         fastest = fastest.min(t);
     }
     (slowest, fastest)
+}
+
+/// Model-checked version of the worker-pool handoff protocol, exercised
+/// by ci.sh's loom stage (`RUSTFLAGS="--cfg loom" cargo test -p engine
+/// --lib loom_pool_model`). The pool's correctness claim is pure
+/// ownership transfer: engines ride a channel *into* the worker thread,
+/// every job/reply pair orders the worker's unsynchronized engine
+/// mutations against the dispatcher, and join hands the engines (and all
+/// their state) back. The models mirror those edges with loom's
+/// race-checked cells — no `unsafe` needed, the checker validates access
+/// *timing*, not memory itself.
+#[cfg(all(test, loom))]
+mod loom_pool_model {
+    use loom::cell::UnsafeCell;
+    use loom::sync::mpsc;
+    use loom::thread;
+
+    /// One worker owning one "engine" (an unsynchronized cell, exactly
+    /// how `SearchEngine` rides the pool): dispatch two jobs, read both
+    /// replies, shut down by dropping the job channel, and reclaim the
+    /// engine through join. Every engine access must be ordered by those
+    /// edges alone, on every schedule.
+    #[test]
+    fn engine_ownership_handoff_is_race_free() {
+        loom::model(|| {
+            let engine = UnsafeCell::new(0u64);
+            // The dispatcher "warms" the engine before the pool exists
+            // (SearchCluster runs sequentially until set_execution).
+            engine.with_mut(|_| ());
+
+            let (eng_tx, eng_rx) = mpsc::channel::<UnsafeCell<u64>>();
+            let (job_tx, job_rx) = mpsc::channel::<u32>();
+            let (reply_tx, reply_rx) = mpsc::channel::<u32>();
+            let worker = thread::spawn(move || {
+                let engine = eng_rx.recv().expect("pool construction sends the engine");
+                let mut processed = 0u32;
+                while let Ok(q) = job_rx.recv() {
+                    // Unsynchronized engine mutation, ordered only by the
+                    // job having arrived.
+                    engine.with_mut(|_| ());
+                    processed += q;
+                    reply_tx.send(processed).unwrap();
+                }
+                // Disconnect = shutdown: ownership flows back via join.
+                engine
+            });
+
+            eng_tx.send(engine).unwrap();
+            job_tx.send(3).unwrap();
+            assert_eq!(reply_rx.recv(), Ok(3));
+            job_tx.send(4).unwrap();
+            assert_eq!(reply_rx.recv(), Ok(7));
+            drop(job_tx);
+            let engine = worker.join().unwrap();
+            // Reclaimed: the dispatcher may touch the engine again.
+            engine.with_mut(|_| ());
+        });
+    }
+
+    /// Scatter-gather across two workers sharing only the reply channel:
+    /// each worker's engine stays private, and gathering both replies is
+    /// enough for the dispatcher to proceed (`run_batch` joins nothing).
+    #[test]
+    fn scatter_gather_replies_are_ordered() {
+        loom::model(|| {
+            let (reply_tx, reply_rx) = mpsc::channel::<usize>();
+            let workers: Vec<_> = (0..2)
+                .map(|id| {
+                    let reply_tx = reply_tx.clone();
+                    let (job_tx, job_rx) = mpsc::channel::<()>();
+                    let h = thread::spawn(move || {
+                        let engine = UnsafeCell::new(0u64);
+                        while job_rx.recv().is_ok() {
+                            engine.with_mut(|_| ());
+                            reply_tx.send(id).unwrap();
+                        }
+                    });
+                    (job_tx, h)
+                })
+                .collect();
+            drop(reply_tx);
+            for (job_tx, _) in &workers {
+                job_tx.send(()).unwrap();
+            }
+            let mut seen = [false; 2];
+            for _ in 0..2 {
+                seen[reply_rx.recv().expect("both workers reply")] = true;
+            }
+            assert!(seen[0] && seen[1], "one reply per dispatched job");
+            for (job_tx, h) in workers {
+                drop(job_tx);
+                h.join().unwrap();
+            }
+        });
+    }
 }
 
 #[cfg(test)]

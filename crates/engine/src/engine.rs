@@ -257,6 +257,23 @@ impl SearchEngine {
         self.cache.as_ref()
     }
 
+    /// Runs the structural invariant validators over every audited piece
+    /// of engine state: the two-level cache (memory caches, SSD stores),
+    /// the cache SSD's pipeline queue and FTL, and the index device's
+    /// pipeline queue. Equivalence suites call this at the end of a run
+    /// to prove a full simulation leaves every structure coherent.
+    pub fn validation_report(&self) -> invariant::Report {
+        use invariant::Validate;
+        let mut report = invariant::Report::new();
+        if let Some(cache) = &self.cache {
+            cache.validate(&mut report);
+            cache.device().validate(&mut report);
+            cache.device().inner().validate(&mut report);
+        }
+        self.index_dev.validate(&mut report);
+        report
+    }
+
     /// Switch the I/O path at runtime (devices are idle between
     /// queries, so the toggle is always legal there). `Direct` and
     /// `Queued { depth: 1 }` + FIFO produce bit-identical figures.

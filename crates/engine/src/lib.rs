@@ -14,6 +14,8 @@
 //! counts and flash average access time, plus the measured Table-I
 //! situation breakdown.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod config;
 pub mod engine;

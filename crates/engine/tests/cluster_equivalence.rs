@@ -35,6 +35,8 @@ fn run_arm(
 
 #[test]
 fn parallel_matches_sequential_at_every_worker_count() {
+    // Audit every cache/queue/FTL mutation during the runs (debug builds).
+    invariant::force_enable();
     let seq = run_arm(cached_cfg(3), 4, ClusterExecution::Sequential, QUERIES);
     // 1 worker (pure dispatch overhead), an uneven split, one per shard
     // explicitly, and one per shard via the 0 default.
@@ -71,6 +73,24 @@ fn repeated_parallel_runs_are_deterministic() {
     let a = run_arm(cached_cfg(5), 2, exec, QUERIES);
     let b = run_arm(cached_cfg(5), 2, exec, QUERIES);
     assert_eq!(a, b, "same configuration, same stream, same report");
+}
+
+#[test]
+fn both_arms_stay_structurally_coherent() {
+    // End-of-run invariant audit on each arm: sequential validates on the
+    // calling thread, parallel ships a Validate job to the worker threads
+    // that own the engines.
+    invariant::force_enable();
+    let mut seq = SearchCluster::new(cached_cfg(21), 3);
+    seq.run(QUERIES);
+    let rs = seq.validation_report();
+    assert!(rs.is_clean(), "sequential arm: {}", rs.summary());
+
+    let mut par = SearchCluster::new(cached_cfg(21), 3);
+    par.set_execution(ClusterExecution::Parallel { workers: 2 });
+    par.run(QUERIES);
+    let rp = par.validation_report();
+    assert!(rp.is_clean(), "parallel arm: {}", rp.summary());
 }
 
 #[test]

@@ -34,6 +34,11 @@ fn engine_with(cfg: EngineConfig, path: IoPath, policy: SchedulerPolicy) -> Sear
 
 /// Everything the two arms must agree on, beyond the `RunReport`.
 fn assert_devices_identical(a: &mut SearchEngine, b: &mut SearchEngine) {
+    // A full run must leave every audited structure coherent on both arms.
+    for (arm, e) in [("direct", &*a), ("queued", &*b)] {
+        let report = e.validation_report();
+        assert!(report.is_clean(), "{arm} arm: {}", report.summary());
+    }
     // Full device stats, submission-queue section included.
     assert_eq!(a.index_queue_stats(), b.index_queue_stats());
     assert_eq!(a.cache_queue_stats(), b.cache_queue_stats());
@@ -54,6 +59,8 @@ fn assert_devices_identical(a: &mut SearchEngine, b: &mut SearchEngine) {
 
 #[test]
 fn depth_one_fifo_matches_direct_bit_for_bit() {
+    // Audit every cache/queue/FTL mutation during the runs (debug builds).
+    invariant::force_enable();
     let mut direct = engine_with(cached_cfg(3), IoPath::Direct, SchedulerPolicy::Fifo);
     let mut queued = engine_with(
         cached_cfg(3),
@@ -136,10 +143,13 @@ fn lockstep_responses_match_per_query() {
 fn deep_queue_measures_real_occupancy() {
     // Sanity for the BENCH_4 arm: at depth 4 the uncached-HDD engine
     // batches its index reads, so the device queue must actually fill.
+    invariant::force_enable();
     let cfg = EngineConfig::no_cache(DOCS, IndexPlacement::Hdd, 23);
     let mut e = engine_with(cfg, IoPath::Queued { depth: 4 }, SchedulerPolicy::Elevator);
     let r: RunReport = e.run(QUERIES);
     assert!(r.queries > 0);
+    let audit = e.validation_report();
+    assert!(audit.is_clean(), "{}", audit.summary());
     let q = e.index_queue_stats();
     assert!(
         q.max_occupancy() > 1,

@@ -150,4 +150,9 @@ impl FreePool {
     pub fn push(&mut self, block: u64) {
         self.blocks.push_back(block);
     }
+
+    /// The pooled blocks in allocation order (for validators).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.blocks.iter().copied()
+    }
 }

@@ -1,10 +1,11 @@
 //! The ideal page-mapped FTL — the paper's baseline (Intel's 1998
 //! page-mapped scheme with the full map held in controller RAM).
 
+use invariant::{audit, Report, Validate};
 use simclock::SimDuration;
 
 use crate::ftl::{FreePool, Ftl, FtlError, FtlStats};
-use crate::nand::{BlockId, Lpn, Nand, Ppn};
+use crate::nand::{BlockId, Lpn, Nand, PageContent, Ppn};
 use crate::params::FlashParams;
 
 /// Page-level mapping with log-structured writes and greedy garbage
@@ -106,6 +107,14 @@ impl PageMapFtl {
     /// Whether `lpn` currently has a flash copy.
     pub fn is_mapped(&self, lpn: Lpn) -> bool {
         self.map.get(lpn as usize).is_some_and(Option::is_some)
+    }
+
+    /// Test hook: overwrite a mapping-table entry without touching the
+    /// medium, desynchronizing the map from the validity state so the
+    /// invariant auditor can prove it notices.
+    #[doc(hidden)]
+    pub fn debug_corrupt_map(&mut self, lpn: Lpn, ppn: Option<Ppn>) {
+        self.map[lpn as usize] = ppn;
     }
 
     /// Number of free blocks in the pool.
@@ -216,6 +225,7 @@ impl Ftl for PageMapFtl {
         if let Some(ppn) = self.map[lpn as usize] {
             t += self.nand.read(ppn);
         }
+        audit!(self, "PageMapFtl::read");
         Ok(t)
     }
 
@@ -239,6 +249,7 @@ impl Ftl for PageMapFtl {
         let (ppn, tw) = self.nand.program(host_block, lpn);
         t += tw;
         self.map[lpn as usize] = Some(ppn);
+        audit!(self, "PageMapFtl::write");
         Ok(t)
     }
 
@@ -248,6 +259,7 @@ impl Ftl for PageMapFtl {
         if let Some(ppn) = self.map[lpn as usize].take() {
             self.nand.invalidate(ppn);
         }
+        audit!(self, "PageMapFtl::trim");
         Ok(self.params().controller_overhead)
     }
 
@@ -258,6 +270,74 @@ impl Ftl for PageMapFtl {
     fn reset_stats(&mut self) {
         self.stats = FtlStats::default();
         self.nand.reset_stats();
+    }
+}
+
+impl Validate for PageMapFtl {
+    fn validate(&self, report: &mut Report) {
+        let subject = "PageMapFtl";
+        self.nand.validate(report);
+        // Forward map: every mapped LPN points at a page the medium
+        // considers live for exactly that LPN, and no physical page is
+        // claimed twice. Together with the count check below this makes
+        // map and validity bitmap mutually consistent: mapped == valid.
+        let mut mapped = 0u64;
+        let mut claimed = std::collections::HashSet::new();
+        for (lpn, slot) in self.map.iter().enumerate() {
+            let Some(ppn) = slot else { continue };
+            mapped += 1;
+            report.check(
+                self.nand.page(*ppn) == PageContent::Valid(lpn as Lpn),
+                subject,
+                "map-valid-agree",
+                || {
+                    format!(
+                        "lpn {lpn} maps to ppn {ppn} holding {:?}",
+                        self.nand.page(*ppn)
+                    )
+                },
+            );
+            report.check(claimed.insert(*ppn), subject, "map-injective", || {
+                format!("ppn {ppn} mapped by more than one logical page")
+            });
+        }
+        report.check(
+            self.nand.valid_pages() == mapped,
+            subject,
+            "valid-count-agree",
+            || {
+                format!(
+                    "{} valid pages on the medium but {} mapped logical pages",
+                    self.nand.valid_pages(),
+                    mapped
+                )
+            },
+        );
+        // The free pool holds fully-erased, unique, non-frontier blocks.
+        let mut pooled = std::collections::HashSet::new();
+        for b in self.free.iter() {
+            report.check(pooled.insert(b), subject, "free-pool-unique", || {
+                format!("block {b} pooled twice")
+            });
+            report.check(
+                self.nand.block_frontier(b) == 0 && self.nand.block_valid(b) == 0,
+                subject,
+                "free-pool-erased",
+                || {
+                    format!(
+                        "pooled block {b} has frontier {} / {} valid pages",
+                        self.nand.block_frontier(b),
+                        self.nand.block_valid(b)
+                    )
+                },
+            );
+            report.check(
+                Some(b) != self.active_host && Some(b) != self.active_gc,
+                subject,
+                "free-pool-active",
+                || format!("block {b} pooled while serving as a write frontier"),
+            );
+        }
     }
 }
 
@@ -497,6 +577,43 @@ mod tests {
             f.nand().valid_pages(),
             (0..logical).filter(|&l| f.is_mapped(l)).count() as u64
         );
+    }
+
+    #[test]
+    fn validation_clean_through_gc_and_wear_leveling() {
+        let mut f = PageMapFtl::with_wear_leveling(FlashParams::tiny(12), 4);
+        let logical = f.logical_pages();
+        let mut rng = simclock::Rng::new(11);
+        for i in 0..logical * 25 {
+            let lpn = rng.next_below(logical);
+            if i % 7 == 0 {
+                f.trim(lpn).unwrap();
+            } else {
+                f.write(lpn).unwrap();
+            }
+            if f.is_mapped(lpn) {
+                f.read(lpn).unwrap();
+            }
+        }
+        let report = f.validation_report();
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn corrupted_map_entry_trips_the_validator() {
+        let mut f = ftl();
+        f.write(0).unwrap();
+        f.write(1).unwrap();
+        // Point lpn 1 at lpn 0's physical page: the page is valid but for
+        // the wrong LPN, and two logical pages now claim one PPN.
+        let ppn0 = (0..f.nand().params().physical_pages())
+            .find(|&p| f.nand().page(p) == PageContent::Valid(0))
+            .unwrap();
+        f.debug_corrupt_map(1, Some(ppn0));
+        let report = f.validation_report();
+        let hit: Vec<_> = report.violations().iter().map(|v| v.invariant).collect();
+        assert!(hit.contains(&"map-valid-agree"), "{}", report.summary());
+        assert!(hit.contains(&"map-injective"), "{}", report.summary());
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! that triggered it (foreground GC), which is what produces the paper's
 //! Fig. 19(b) effect of background operations hurting read latency.
 
+#![forbid(unsafe_code)]
+
 pub mod ftl;
 pub mod nand;
 pub mod params;

@@ -13,6 +13,7 @@
 //! Violations are driver bugs, so they panic rather than return errors —
 //! an FTL that breaks the medium's rules must fail tests loudly.
 
+use invariant::{Report, Validate};
 use simclock::SimDuration;
 
 use crate::params::FlashParams;
@@ -274,6 +275,85 @@ impl Nand {
             sum += b.erase_count;
         }
         (min, max, sum as f64 / self.blocks.len() as f64)
+    }
+}
+
+impl Validate for Nand {
+    fn validate(&self, report: &mut Report) {
+        let subject = "Nand";
+        let mut free_scan = 0u64;
+        let mut valid_scan = 0u64;
+        let mut erase_scan = 0u64;
+        for (id, b) in self.blocks.iter().enumerate() {
+            // The per-block valid counter is maintained incrementally by
+            // program/invalidate/erase; the page array is ground truth.
+            let valid = b
+                .pages
+                .iter()
+                .filter(|p| matches!(p, PageContent::Valid(_)))
+                .count() as u32;
+            report.check(b.valid == valid, subject, "block-valid-agree", || {
+                format!(
+                    "block {id}: valid counter {} but {} Valid pages on the medium",
+                    b.valid, valid
+                )
+            });
+            // Pages at or past the program frontier are untouched since the
+            // last erase — in-order programming never leaves data there.
+            let frontier_clean = b.pages[b.next_page as usize..]
+                .iter()
+                .all(|p| matches!(p, PageContent::Free));
+            report.check(frontier_clean, subject, "frontier-free", || {
+                format!(
+                    "block {id}: programmed page at or past frontier {}",
+                    b.next_page
+                )
+            });
+            report.check(
+                b.next_page as usize <= b.pages.len(),
+                subject,
+                "frontier-range",
+                || format!("block {id}: frontier {} beyond block", b.next_page),
+            );
+            free_scan += (b.pages.len() - b.next_page as usize) as u64;
+            valid_scan += b.valid as u64;
+            erase_scan += b.erase_count;
+        }
+        report.check(
+            self.free_pages == free_scan,
+            subject,
+            "free-accounting",
+            || {
+                format!(
+                    "free-page counter {} but {} programmable pages behind frontiers",
+                    self.free_pages, free_scan
+                )
+            },
+        );
+        report.check(
+            self.valid_pages == valid_scan,
+            subject,
+            "valid-accounting",
+            || {
+                format!(
+                    "valid-page counter {} but {} per-block valid pages",
+                    self.valid_pages, valid_scan
+                )
+            },
+        );
+        // Medium counters can be reset, per-block wear never is, so the
+        // erase counter can only lag the cumulative wear.
+        report.check(
+            self.stats.block_erases <= erase_scan,
+            subject,
+            "erase-wear-agree",
+            || {
+                format!(
+                    "{} erases counted since reset exceed lifetime wear {}",
+                    self.stats.block_erases, erase_scan
+                )
+            },
+        );
     }
 }
 

@@ -167,6 +167,12 @@ impl<F: Ftl> BlockDevice for SsdDisk<F> {
     }
 }
 
+impl<F: invariant::Validate> invariant::Validate for SsdDisk<F> {
+    fn validate(&self, report: &mut invariant::Report) {
+        self.ftl.validate(report);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,8 @@
 //! read is served at buffer speed with no mechanical cost. Sequential
 //! *appends* at the head position likewise skip the seek.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod params;
 

@@ -30,6 +30,8 @@
 
 use std::collections::HashMap;
 
+use invariant::{audit, Report, Validate};
+
 use crate::skips::{PostingsCursor, SkipStats, SKIP_INTERVAL};
 use crate::types::{DocId, IndexReader, Posting, PostingList, TermId};
 
@@ -264,6 +266,7 @@ impl BlockPostings {
             }
         }
         self.built = target;
+        audit!(self, "BlockPostings::ensure");
     }
 
     /// The block-max `tf` of block `b` (must be built).
@@ -307,6 +310,63 @@ impl BlockPostings {
             });
         }
         blk.len as usize
+    }
+}
+
+impl Validate for BlockPostings {
+    fn validate(&self, report: &mut Report) {
+        let subject = "BlockPostings";
+        report.check(self.built <= self.df, subject, "built-bounded", || {
+            format!("built {} postings of a df-{} list", self.built, self.df)
+        });
+        report.check(
+            self.built == self.df || self.built % BLOCK_SIZE as u64 == 0,
+            subject,
+            "built-block-aligned",
+            || {
+                format!(
+                    "built prefix {} is not a whole number of blocks",
+                    self.built
+                )
+            },
+        );
+        let total: u64 = self.blocks.iter().map(|b| b.len as u64).sum();
+        report.check(total == self.built, subject, "block-accounting", || {
+            format!(
+                "{total} postings across blocks but built counter {}",
+                self.built
+            )
+        });
+        report.check(
+            self.hot.len() as u64 == self.built.min(HOT_PREFIX),
+            subject,
+            "hot-prefix",
+            || {
+                format!(
+                    "{} postings pinned; expected min(built {}, {HOT_PREFIX})",
+                    self.hot.len(),
+                    self.built
+                )
+            },
+        );
+        // Block-max soundness: the stored bound must dominate every tf in
+        // its block, or block-max skipping would silently drop results.
+        let mut buf = Vec::new();
+        for b in 0..self.blocks.len() {
+            self.decode_block(b, &mut buf);
+            let actual_max = buf.iter().map(|p| p.tf).max().unwrap_or(0);
+            report.check(
+                self.blocks[b].max_tf == actual_max,
+                subject,
+                "block-max-agree",
+                || {
+                    format!(
+                        "block {b}: stored max_tf {} but decoded max {}",
+                        self.blocks[b].max_tf, actual_max
+                    )
+                },
+            );
+        }
     }
 }
 
@@ -357,6 +417,14 @@ impl BlockStore {
             s.hot_postings += l.hot.len() as u64;
         }
         s
+    }
+}
+
+impl Validate for BlockStore {
+    fn validate(&self, report: &mut Report) {
+        for list in self.lists.values() {
+            list.validate(report);
+        }
     }
 }
 
@@ -451,6 +519,54 @@ impl BlockSortedList {
                 doc: doc as DocId,
                 tf,
             });
+        }
+    }
+}
+
+impl Validate for BlockSortedList {
+    fn validate(&self, report: &mut Report) {
+        let subject = "BlockSortedList";
+        let total: usize = self.blocks.iter().map(|b| b.len as usize).sum();
+        report.check(total == self.len, subject, "block-accounting", || {
+            format!(
+                "{total} postings across blocks but list length {}",
+                self.len
+            )
+        });
+        // Skip-key soundness: galloping trusts each block's `max_doc` to
+        // be its true last doc id, and doc ids to ascend across blocks.
+        let mut buf = Vec::new();
+        let mut prev_max: Option<DocId> = None;
+        for b in 0..self.blocks.len() {
+            self.decode_block(b, &mut buf);
+            let ascending = buf.windows(2).all(|w| w[0].doc < w[1].doc);
+            report.check(ascending, subject, "doc-order", || {
+                format!("block {b}: decoded doc ids not strictly ascending")
+            });
+            let last = buf.last().map(|p| p.doc);
+            report.check(
+                last == Some(self.blocks[b].max_doc),
+                subject,
+                "max-doc-agree",
+                || {
+                    format!(
+                        "block {b}: skip key {} but decoded last doc {:?}",
+                        self.blocks[b].max_doc, last
+                    )
+                },
+            );
+            let first = buf.first().map(|p| p.doc);
+            report.check(
+                prev_max.is_none() || first > prev_max,
+                subject,
+                "cross-block-order",
+                || {
+                    format!(
+                        "block {b}: first doc {first:?} not past previous block's max {prev_max:?}"
+                    )
+                },
+            );
+            prev_max = last;
         }
     }
 }

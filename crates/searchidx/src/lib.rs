@@ -22,6 +22,8 @@
 //!   coded fixed-size blocks with block-max metadata, behind the runtime
 //!   [`PostingsBackend`] toggle, so skipped reads skip decode work too.
 
+#![forbid(unsafe_code)]
+
 pub mod blocks;
 pub mod conjunctive;
 pub mod corpus;

@@ -342,6 +342,15 @@ impl TopKProcessor {
         self.store.borrow().stats()
     }
 
+    /// Audit every block-compressed list the processor has encoded so
+    /// far (block accounting, alignment, skip-key agreement).
+    pub fn validation_report(&self) -> invariant::Report {
+        use invariant::Validate;
+        let mut report = invariant::Report::new();
+        self.store.borrow().validate(&mut report);
+        report
+    }
+
     /// Dedup the query's terms and order them rarest (highest-idf) first:
     /// their contributions set a high bar early, letting long lists
     /// terminate sooner.

@@ -40,6 +40,8 @@ proptest! {
         eps_pct in 0u32..60,
         acc_limit in 8usize..64,
     ) {
+        // Audit every block-store mutation during the runs (debug builds).
+        invariant::force_enable();
         let idx = MemIndex::from_docs(docs);
         let config = TopKConfig {
             k,
@@ -60,6 +62,10 @@ proptest! {
                 a.postings_scanned(), b.postings_scanned(),
                 "scan totals for {:?}", q
             );
+        }
+        for (arm, p) in [("reference", &reference), ("blocked", &blocked)] {
+            let report = p.validation_report();
+            prop_assert!(report.is_clean(), "{} arm: {}", arm, report.summary());
         }
     }
 
@@ -98,6 +104,7 @@ proptest! {
         term in 0u32..30,
         steps in prop::collection::vec(1u64..80, 1..6),
     ) {
+        invariant::force_enable();
         let idx = MemIndex::from_docs(docs);
         let df = idx.doc_freq(term);
         let mut bp = BlockPostings::new(df);
@@ -116,6 +123,9 @@ proptest! {
             decoded.extend_from_slice(&buf);
         }
         prop_assert_eq!(decoded, idx.postings_range(term, 0, bp.built()));
+        let mut report = invariant::Report::new();
+        invariant::Validate::validate(&bp, &mut report);
+        prop_assert!(report.is_clean(), "{}", report.summary());
     }
 
     /// Cursor-level equivalence on random doc-sorted lists: an identical
@@ -136,6 +146,9 @@ proptest! {
             .collect();
         let reference = DocSortedList::from_postings(&PostingList::new(0, postings.clone()));
         let blocked = BlockSortedList::from_postings(&PostingList::new(0, postings));
+        let mut report = invariant::Report::new();
+        invariant::Validate::validate(&blocked, &mut report);
+        prop_assert!(report.is_clean(), "{}", report.summary());
         let mut arena = DecodeArena::new();
         let mut sc = SkipCursor::new(&reference);
         let mut bc = searchidx::BlockCursor::new(&blocked, &mut arena);

@@ -12,6 +12,8 @@
 //! scale. Where byte-level integrity matters in tests, wrap a device in
 //! [`shadow::ShadowStore`].
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod queue;
 pub mod ramdisk;

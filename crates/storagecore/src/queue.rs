@@ -40,6 +40,7 @@
 //! (what the device charged), matching the synchronous contract that
 //! background accounting was built on.
 
+use invariant::{audit, Report, Validate};
 use simclock::{SimDuration, SimTime};
 
 use crate::device::{BlockDevice, IoError};
@@ -289,6 +290,7 @@ impl<D: BlockDevice, S: TraceSink> PipelinedDevice<D, S> {
         if immediate {
             let completion = self.run_request(id, request, submit_at, 1)?;
             self.done.push(completion);
+            audit!(self, "PipelinedDevice::submit(immediate)");
             return Ok(id);
         }
         self.pending.push(Pending {
@@ -299,6 +301,7 @@ impl<D: BlockDevice, S: TraceSink> PipelinedDevice<D, S> {
         while self.pending.len() > self.path.depth() {
             self.dispatch_one()?;
         }
+        audit!(self, "PipelinedDevice::submit");
         Ok(id)
     }
 
@@ -311,7 +314,9 @@ impl<D: BlockDevice, S: TraceSink> PipelinedDevice<D, S> {
     pub fn wait(&mut self, id: u64) -> Result<IoCompletion, IoError> {
         loop {
             if let Some(pos) = self.done.iter().position(|c| c.id == id) {
-                return Ok(self.done.swap_remove(pos));
+                let completion = self.done.swap_remove(pos);
+                audit!(self, "PipelinedDevice::wait");
+                return Ok(completion);
             }
             assert!(
                 self.pending.iter().any(|p| p.id == id),
@@ -329,6 +334,7 @@ impl<D: BlockDevice, S: TraceSink> PipelinedDevice<D, S> {
         }
         let mut done = std::mem::take(&mut self.done);
         done.sort_unstable_by_key(|c| c.id);
+        audit!(self, "PipelinedDevice::wait_all");
         Ok(done)
     }
 
@@ -468,6 +474,7 @@ impl<D: BlockDevice, S: TraceSink> PipelinedDevice<D, S> {
             self.next_id += 1;
             let submit_at = self.now;
             let completion = self.run_request(id, request, submit_at, 1)?;
+            audit!(self, "PipelinedDevice::sync_request(immediate)");
             return Ok(completion.service);
         }
         let id = self.submit(request)?;
@@ -530,6 +537,164 @@ impl<D: BlockDevice, S: TraceSink> BlockDevice for PipelinedDevice<D, S> {
 
     fn set_now(&mut self, now: SimTime) {
         self.now = self.now.max(now);
+    }
+}
+
+impl<D: BlockDevice, S: TraceSink> Validate for PipelinedDevice<D, S> {
+    fn validate(&self, report: &mut Report) {
+        let subject = "PipelinedDevice";
+        report.check(
+            self.lane_busy.len() == self.inner.lanes().max(1) as usize,
+            subject,
+            "lane-count",
+            || {
+                format!(
+                    "{} busy horizons for a {}-lane device",
+                    self.lane_busy.len(),
+                    self.inner.lanes()
+                )
+            },
+        );
+        report.check(
+            self.pending.len() <= self.path.depth(),
+            subject,
+            "queue-depth",
+            || {
+                format!(
+                    "{} pending requests exceed depth {}",
+                    self.pending.len(),
+                    self.path.depth()
+                )
+            },
+        );
+        if matches!(self.path, IoPath::Direct) {
+            report.check(self.pending.is_empty(), subject, "direct-idle", || {
+                format!("{} requests queued on the Direct path", self.pending.len())
+            });
+        }
+        // The queue holds requests in submission order: ids strictly
+        // increasing, all drawn from the id counter, stamped no later
+        // than the host clock.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev_id: Option<u64> = None;
+        for p in &self.pending {
+            report.check(p.id < self.next_id, subject, "id-allocated", || {
+                format!(
+                    "pending id {} not yet allocated (next {})",
+                    p.id, self.next_id
+                )
+            });
+            report.check(seen.insert(p.id), subject, "id-unique", || {
+                format!("duplicate in-flight id {}", p.id)
+            });
+            report.check(
+                prev_id.is_none_or(|prev| prev < p.id),
+                subject,
+                "pending-order",
+                || format!("pending ids out of submission order at id {}", p.id),
+            );
+            prev_id = Some(p.id);
+            report.check(p.submit_at <= self.now, subject, "submit-clock", || {
+                format!("pending id {} submitted in the future", p.id)
+            });
+        }
+        // Retained completions: coherent timelines, booked lane horizons.
+        for c in &self.done {
+            report.check(c.id < self.next_id, subject, "id-allocated", || {
+                format!(
+                    "completion id {} not yet allocated (next {})",
+                    c.id, self.next_id
+                )
+            });
+            report.check(seen.insert(c.id), subject, "id-unique", || {
+                format!("completion id {} duplicates an in-flight or done id", c.id)
+            });
+            report.check(
+                c.submit_at <= c.start_at && c.start_at <= c.finish_at,
+                subject,
+                "completion-timeline",
+                || {
+                    format!(
+                        "id {}: submit {:?} / start {:?} / finish {:?} out of order",
+                        c.id, c.submit_at, c.start_at, c.finish_at
+                    )
+                },
+            );
+            report.check(
+                c.service == c.finish_at.since(c.start_at),
+                subject,
+                "service-agree",
+                || format!("id {}: service {:?} != finish - start", c.id, c.service),
+            );
+            // Lane horizons only advance, and every dispatch raises its
+            // lane (or all lanes, for barriers) to at least its finish
+            // time — so each retained completion is covered by the
+            // current horizon of its lane.
+            let covered = match self.inner.lane_of(c.request.extent) {
+                Some(l) => self.lane_busy[l as usize % self.lane_busy.len()] >= c.finish_at,
+                None => self.busy_horizon() >= c.finish_at,
+            };
+            report.check(covered, subject, "lane-horizon", || {
+                format!(
+                    "id {} finished at {:?} beyond its lane's busy horizon",
+                    c.id, c.finish_at
+                )
+            });
+        }
+        // Occupancy accounting: the queue section books exactly one
+        // dispatch (at occupancy >= 1) with the service time also charged
+        // to the per-kind counters, so the two sections stay in lockstep.
+        let q = self.stats.queue();
+        report.check(
+            q.dispatches() == self.stats.total_ops(),
+            subject,
+            "dispatch-ops-agree",
+            || {
+                format!(
+                    "{} queue dispatches vs {} ops recorded",
+                    q.dispatches(),
+                    self.stats.total_ops()
+                )
+            },
+        );
+        report.check(
+            q.busy() == self.stats.total_busy(),
+            subject,
+            "busy-agree",
+            || {
+                format!(
+                    "queue busy {:?} vs per-kind busy {:?}",
+                    q.busy(),
+                    self.stats.total_busy()
+                )
+            },
+        );
+        if q.dispatches() > 0 {
+            report.check(
+                q.max_occupancy() >= 1 && q.mean_occupancy() >= 1.0,
+                subject,
+                "occupancy-floor",
+                || {
+                    format!(
+                        "max occupancy {} / mean {:.3} below the dispatching request itself",
+                        q.max_occupancy(),
+                        q.mean_occupancy()
+                    )
+                },
+            );
+        }
+        report.check(
+            q.max_wait() <= q.total_wait(),
+            subject,
+            "wait-bounds",
+            || {
+                format!(
+                    "max wait {:?} exceeds total wait {:?}",
+                    q.max_wait(),
+                    q.total_wait()
+                )
+            },
+        );
     }
 }
 
@@ -670,6 +835,41 @@ mod tests {
             let _ = d.wait(99);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn validation_clean_across_paths_and_policies() {
+        for path in [
+            IoPath::Direct,
+            IoPath::Queued { depth: 1 },
+            IoPath::Queued { depth: 4 },
+        ] {
+            for policy in [
+                SchedulerPolicy::Fifo,
+                SchedulerPolicy::Elevator,
+                SchedulerPolicy::Deadline,
+            ] {
+                let mut d = dev(path);
+                d.set_policy(policy);
+                for i in 0..6u64 {
+                    d.submit(IoRequest::read(Extent::new((i * 37) % 512, 8)))
+                        .unwrap();
+                }
+                let mid = d.validation_report();
+                assert!(mid.is_clean(), "mid-flight: {}", mid.summary());
+                d.request(&IoRequest::write(Extent::new(0, 8)).background())
+                    .unwrap();
+                d.wait_all().unwrap();
+                let report = d.validation_report();
+                assert!(
+                    report.is_clean(),
+                    "{:?}/{:?}: {}",
+                    path,
+                    policy,
+                    report.summary()
+                );
+            }
+        }
     }
 
     #[test]

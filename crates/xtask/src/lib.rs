@@ -1,0 +1,448 @@
+//! Repo-level static checks behind `cargo run -p xtask -- lint`.
+//!
+//! The workspace's correctness story leans on a handful of *global*
+//! conventions no single crate can enforce about the others:
+//!
+//! 1. **`unsafe` stays quarantined.** Only the audited, loom-checked
+//!    sweep handoff (`crates/workload/src/sweep.rs`) and the loom shim
+//!    itself may contain `unsafe`; every other crate pins
+//!    `#![forbid(unsafe_code)]` in its `lib.rs`, and this lint verifies
+//!    both directions.
+//! 2. **No wall-clock time in simulation crates.** Every simulated
+//!    figure must be a pure function of the virtual clock
+//!    (`simclock::SimDuration`); a stray `std::time::Instant` or
+//!    `SystemTime` would leak host timing into "measured" numbers. Only
+//!    the measurement harnesses (bench, the criterion shim, the cluster
+//!    worker pool's wall-time accounting) may touch real time.
+//! 3. **All device I/O goes through `BlockDevice::request`.** Consumer
+//!    crates must never reach past the queued I/O path into raw device
+//!    mutators (`Nand::program`/`erase`, `SsdDisk::ftl_mut`, ...): doing
+//!    so would skip the submission queue, the trace sink, and the
+//!    invariant audit hooks at the request boundary.
+//! 4. **Every `pub enum` carries a doc comment.** The runtime toggles
+//!    (VictimSelection, ClusterExecution, PostingsBackend, IoPath, ...)
+//!    are enums; an undocumented one is an equivalence arm nobody can
+//!    review.
+//!
+//! The scanner is deliberately std-only (the build environment has no
+//! registry access, so `syn` is unavailable): sources are stripped of
+//! comments and string/char literals by a small state machine, then the
+//! rules match tokens on the stripped text — no false positives from
+//! prose or test fixtures, no parse step to keep in sync with rustc.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (workspace-relative, `/`-separated).
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/workload/src/sweep.rs", "shims/loom/src/lib.rs"];
+
+/// Path prefixes allowed to use wall-clock time (measurement harnesses).
+pub const WALL_CLOCK_ALLOW_PREFIXES: &[&str] =
+    &["crates/bench/", "crates/xtask/", "shims/criterion/"];
+
+/// Individual files allowed to use wall-clock time: the cluster worker
+/// pool reports real elapsed busy-time next to (never inside) the
+/// virtual-clock figures.
+pub const WALL_CLOCK_ALLOW_FILES: &[&str] = &["crates/engine/src/cluster.rs"];
+
+/// Crates that *are* the device layer: raw device mutators are their
+/// implementation, not a bypass.
+pub const DEVICE_LAYER_PREFIXES: &[&str] =
+    &["crates/storagecore/", "crates/flashsim/", "crates/hddsim/"];
+
+/// `lib.rs` files that must pin `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE_LIBS: &[&str] = &[
+    "crates/cachekit/src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/engine/src/lib.rs",
+    "crates/flashsim/src/lib.rs",
+    "crates/hddsim/src/lib.rs",
+    "crates/invariant/src/lib.rs",
+    "crates/searchidx/src/lib.rs",
+    "crates/simclock/src/lib.rs",
+    "crates/storagecore/src/lib.rs",
+    "crates/tracetools/src/lib.rs",
+];
+
+/// One broken convention: which rule, where, and what matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the offending token (0 for whole-file rules).
+    pub line: usize,
+    /// Stable machine-matchable rule name.
+    pub rule: &'static str,
+    /// Human-readable description of what matched.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// Strip comments and string/char literals from Rust source, preserving
+/// newlines (so line numbers survive) and replacing stripped characters
+/// with spaces. Handles nested block comments, raw strings with any
+/// number of `#`s, byte strings, char literals, and lifetimes (which are
+/// *not* char literals and pass through).
+pub fn strip_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let n = b.len();
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br#"..."#, ...
+        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            let mut j = start;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // Confirmed raw string from b[i]..; blank it out through
+                // the closing quote + hashes.
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                while i < n {
+                    if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a raw string ("r" / "br" identifier prefix): fall
+            // through as a normal character.
+        }
+        // String literal (and byte string b"...").
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\..' is a literal; 'ident
+        // (no closing quote right after) is a lifetime and stays.
+        if c == '\'' && i + 1 < n {
+            let is_char = b[i + 1] == '\\' || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'');
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// True if `needle` occurs in `hay` as a whole identifier (not embedded
+/// in a longer one); returns the byte offset of the first such match.
+fn find_ident(hay: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let hb = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(hb[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= hb.len() || !is_ident(hb[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// Collect every `.rs` file under `root`'s `crates/` and `shims/` trees,
+/// as (workspace-relative path, contents).
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    for top in ["crates", "shims"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                walk(&path, root, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = rel_path(&path, root);
+            out.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .collect();
+    rel.to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/")
+}
+
+fn line_of(stripped: &str, offset: usize) -> usize {
+    stripped[..offset].matches('\n').count() + 1
+}
+
+/// Run every lint rule over the workspace at `root`. Empty result =
+/// clean tree.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let sources = collect_sources(root)?;
+    let mut violations = Vec::new();
+    for (file, raw) in &sources {
+        let stripped = strip_source(raw);
+        check_unsafe(file, &stripped, &mut violations);
+        check_wall_clock(file, &stripped, &mut violations);
+        check_device_bypass(file, &stripped, &mut violations);
+        check_pub_enum_docs(file, raw, &stripped, &mut violations);
+    }
+    check_forbid_unsafe(root, &mut violations);
+    Ok(violations)
+}
+
+fn check_unsafe(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if UNSAFE_ALLOWLIST.contains(&file) {
+        return;
+    }
+    if let Some(at) = find_ident(stripped, "unsafe") {
+        out.push(Violation {
+            file: file.to_string(),
+            line: line_of(stripped, at),
+            rule: "no-unsafe",
+            detail: "`unsafe` outside the audited allowlist (crates/workload/src/sweep.rs, \
+                     shims/loom) — extend the allowlist only with a loom model or Miri \
+                     coverage"
+                .to_string(),
+        });
+    }
+}
+
+fn check_wall_clock(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if WALL_CLOCK_ALLOW_FILES.contains(&file)
+        || WALL_CLOCK_ALLOW_PREFIXES
+            .iter()
+            .any(|p| file.starts_with(p))
+    {
+        return;
+    }
+    for token in ["Instant", "SystemTime"] {
+        if let Some(at) = find_ident(stripped, token) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, at),
+                rule: "no-wall-clock",
+                detail: format!(
+                    "`{token}` in a simulation crate — simulated figures must be pure \
+                     functions of the virtual clock (use simclock)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_device_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if DEVICE_LAYER_PREFIXES.iter().any(|p| file.starts_with(p)) {
+        return;
+    }
+    for token in [".ftl_mut(", ".program(", ".program_at(", ".erase("] {
+        if let Some(pos) = stripped.find(token) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, pos),
+                rule: "no-device-bypass",
+                detail: format!(
+                    "raw device mutator `{token})` outside the device layer — all I/O must \
+                     flow through BlockDevice::request (or the queued submit path) so the \
+                     queue, trace sink, and invariant audits see it"
+                ),
+            });
+        }
+    }
+}
+
+fn check_pub_enum_docs(file: &str, raw: &str, stripped: &str, out: &mut Vec<Violation>) {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for (idx, line) in stripped.lines().enumerate() {
+        let t = line.trim_start();
+        if !(t.starts_with("pub enum ") || t == "pub enum") {
+            continue;
+        }
+        // Walk upward over attributes to the nearest non-attribute line;
+        // it must be a doc comment.
+        let mut j = idx;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let prev = raw_lines.get(j).map_or("", |l| l.trim());
+            if prev.starts_with("#[") || prev.starts_with("#![") {
+                continue;
+            }
+            documented = prev.starts_with("///") || prev.ends_with("*/");
+            break;
+        }
+        if !documented {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "pub-enum-doc",
+                detail: "undocumented `pub enum` — runtime toggles are enums; every arm \
+                         switch needs a reviewable doc comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_forbid_unsafe(root: &Path, out: &mut Vec<Violation>) {
+    for lib in FORBID_UNSAFE_LIBS {
+        let path = root.join(lib);
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            // Synthetic test trees only contain the files under test;
+            // the real tree's completeness is pinned by xtask's tests.
+            continue;
+        };
+        let attr = "#![forbid(unsafe_code)]";
+        if !raw.contains(attr) {
+            out.push(Violation {
+                file: (*lib).to_string(),
+                line: 0,
+                rule: "forbid-unsafe-missing",
+                detail: format!("crate root must pin `{attr}`"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_preserves_code_and_lines() {
+        let src = "let a = 1; // unsafe in a comment\nlet s = \"unsafe in a string\";\nlet c = 'u'; let r = r#\"unsafe raw\"#;\n/* unsafe /* nested */ still comment */ let done = true;\n";
+        let stripped = strip_source(src);
+        assert_eq!(stripped.matches('\n').count(), src.matches('\n').count());
+        assert!(find_ident(&stripped, "unsafe").is_none());
+        assert!(stripped.contains("let a = 1;"));
+        assert!(stripped.contains("let done = true;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let stripped = strip_source("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(stripped.contains("fn f<'a>(x: &'a str) -> &'a str { x }"));
+    }
+
+    #[test]
+    fn ident_matching_requires_word_boundaries() {
+        assert!(find_ident("let InstantX = 1;", "Instant").is_none());
+        assert!(find_ident("let x: Instant = now();", "Instant").is_some());
+        assert!(find_ident("my_unsafe_fn()", "unsafe").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! `cargo run -p xtask -- lint`: run the repo-level lint gate (see the
+//! library docs for the rule catalogue) and exit non-zero on violations.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").expect("run via cargo (cargo run -p xtask -- lint)");
+    PathBuf::from(manifest)
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            match xtask::lint_tree(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("xtask lint: OK");
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: failed to scan workspace: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The lint gate gating itself: the real workspace must scan clean, and
+//! each rule must fire on a deliberately planted violation (so a silent
+//! scanner regression cannot pass CI).
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// A scratch workspace tree that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, contents).unwrap();
+    }
+
+    fn lint(&self) -> Vec<xtask::Violation> {
+        xtask::lint_tree(&self.0).unwrap()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = repo_root();
+    let violations = xtask::lint_tree(&root).unwrap();
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The forbid-list check silently skips missing files (so synthetic
+    // trees work); pin here that every listed crate root really exists.
+    for lib in xtask::FORBID_UNSAFE_LIBS {
+        assert!(root.join(lib).is_file(), "{lib} missing from the workspace");
+    }
+    for file in xtask::UNSAFE_ALLOWLIST {
+        assert!(
+            root.join(file).is_file(),
+            "{file} missing from the workspace"
+        );
+    }
+}
+
+#[test]
+fn planted_unsafe_is_caught() {
+    let s = Scratch::new("unsafe");
+    s.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-unsafe");
+    assert_eq!(v[0].file, "crates/demo/src/lib.rs");
+    assert_eq!(v[0].line, 1);
+}
+
+#[test]
+fn unsafe_in_comments_and_strings_is_ignored() {
+    let s = Scratch::new("unsafe-negative");
+    s.write(
+        "crates/demo/src/lib.rs",
+        "// unsafe in a comment\npub const MSG: &str = \"unsafe in a string\";\n",
+    );
+    assert!(s.lint().is_empty());
+}
+
+#[test]
+fn allowlisted_unsafe_passes() {
+    let s = Scratch::new("unsafe-allow");
+    s.write(
+        "crates/workload/src/sweep.rs",
+        "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+    );
+    assert!(s.lint().is_empty());
+}
+
+#[test]
+fn planted_wall_clock_is_caught() {
+    let s = Scratch::new("clock");
+    s.write(
+        "crates/flashsim/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::time::Instant;\npub fn t() { let _ = Instant::now(); }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-wall-clock");
+    assert_eq!(v[0].line, 2);
+    // The same token in a measurement harness is allowed.
+    let s2 = Scratch::new("clock-allow");
+    s2.write(
+        "crates/bench/src/lib.rs",
+        "use std::time::Instant;\npub fn t() { let _ = Instant::now(); }\n",
+    );
+    assert!(s2.lint().is_empty());
+}
+
+#[test]
+fn planted_device_bypass_is_caught() {
+    let s = Scratch::new("bypass");
+    s.write(
+        "crates/engine/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn sneak(d: &mut flashsim::Nand) { d.erase(0); }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-device-bypass");
+    // Inside the device layer the same call is implementation, not bypass.
+    let s2 = Scratch::new("bypass-allow");
+    s2.write(
+        "crates/flashsim/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn gc(d: &mut Nand) { d.erase(0); }\n",
+    );
+    assert!(s2.lint().is_empty());
+}
+
+#[test]
+fn undocumented_pub_enum_is_caught() {
+    let s = Scratch::new("enumdoc");
+    s.write(
+        "crates/demo/src/lib.rs",
+        "#[derive(Debug)]\npub enum Toggle {\n    On,\n    Off,\n}\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "pub-enum-doc");
+    assert_eq!(v[0].line, 2);
+    // A doc comment above the attributes satisfies the rule.
+    let s2 = Scratch::new("enumdoc-ok");
+    s2.write(
+        "crates/demo/src/lib.rs",
+        "/// The toggle.\n#[derive(Debug)]\npub enum Toggle {\n    On,\n    Off,\n}\n",
+    );
+    assert!(s2.lint().is_empty());
+}
+
+#[test]
+fn missing_forbid_attribute_is_caught() {
+    let s = Scratch::new("forbid");
+    s.write("crates/simclock/src/lib.rs", "pub fn tick() {}\n");
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "forbid-unsafe-missing");
+    assert_eq!(v[0].file, "crates/simclock/src/lib.rs");
+}

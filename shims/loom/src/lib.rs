@@ -1,0 +1,950 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The build environment has no registry access (see the workspace README,
+//! "Offline builds"), so `loom` resolves to this shim, which implements the
+//! checking strategy of the real crate for exactly the API subset the
+//! workspace uses:
+//!
+//! - **Cooperative scheduling.** Inside [`model`], exactly one logical
+//!   thread runs at a time. Every instrumented operation — an atomic
+//!   access, an [`cell::UnsafeCell`] access, a channel send/recv, spawn,
+//!   join — is a *scheduling point* where the checker may switch to any
+//!   other runnable thread.
+//! - **Exhaustive schedule exploration.** Each execution records the
+//!   choice made at every scheduling point; untaken alternatives become
+//!   schedule prefixes that later executions replay and extend
+//!   (depth-first, bounded by `LOOM_MAX_ITERATIONS`, default 4096). Small
+//!   models are explored exhaustively; larger ones get bounded coverage.
+//! - **Vector-clock race detection.** Every thread carries a vector
+//!   clock. Spawn, join, release/acquire atomics, and channel messages
+//!   establish happens-before edges; each [`cell::UnsafeCell`] remembers
+//!   the epochs of its last write and of all reads since. An access that
+//!   is not ordered after a conflicting access is a data race and fails
+//!   the model *on every schedule*, not just the unlucky ones — this is
+//!   what lets a single bounded exploration catch protocol violations.
+//! - **Deadlock detection.** A scheduling point with no runnable thread
+//!   (everyone blocked on a join or an empty channel) fails the model.
+//!
+//! Differences from real loom: no `SeqCst` total-order modelling beyond
+//! release/acquire (sufficient for the protocols here, which claim only
+//! RMW-uniqueness plus spawn/join edges), no partial-order reduction
+//! (bounded DFS instead), and no leak checking.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A vector clock: `clock[t]` is the latest epoch of thread `t` known to
+/// happen-before the clock's owner. Missing entries mean epoch 0.
+type VClock = Vec<u64>;
+
+fn vc_join(into: &mut VClock, other: &VClock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(other.iter()) {
+        *a = (*a).max(*b);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockedOn {
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Waiting for a message on the channel with this id.
+    Channel(usize),
+}
+
+struct ThreadInfo {
+    finished: bool,
+    blocked: Option<BlockedOn>,
+    clock: VClock,
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    /// The one thread currently allowed to run.
+    active: usize,
+    /// Schedule prefix being replayed, and how far we have consumed it.
+    replay: Vec<usize>,
+    replay_pos: usize,
+    /// Choices made so far in this execution (branch points included).
+    schedule: Vec<usize>,
+    /// Alternative schedule prefixes discovered at this run's branch points.
+    discovered: Vec<Vec<usize>>,
+    /// First model failure (data race, deadlock, leak); fails every thread.
+    failed: Option<String>,
+}
+
+/// One execution of the model closure: the scheduler shared by every
+/// logical thread participating in it.
+struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadInfo {
+                    finished: false,
+                    blocked: None,
+                    clock: vec![1],
+                }],
+                active: 0,
+                replay,
+                replay_pos: 0,
+                schedule: Vec::new(),
+                discovered: Vec::new(),
+                failed: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // A panicking thread (deliberate: that is how failures propagate)
+        // may poison the mutex; the state stays consistent because every
+        // mutation completes before any panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Panic (propagating the model failure) if any thread failed.
+    fn check_failed(st: &ExecState) {
+        if let Some(msg) = &st.failed {
+            panic!("loom model failure: {msg}");
+        }
+    }
+
+    fn fail(&self, st: &mut MutexGuard<'_, ExecState>, msg: String) -> ! {
+        if st.failed.is_none() {
+            st.failed = Some(msg.clone());
+        }
+        self.cond.notify_all();
+        panic!("loom model failure: {msg}");
+    }
+
+    /// Choose the next thread to run (a branch point when several are
+    /// runnable), set it active and wake it. Caller must currently be the
+    /// active thread (or be finishing).
+    fn pick_next(&self, st: &mut MutexGuard<'_, ExecState>) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.blocked.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.finished)
+                .map(|(i, _)| i)
+                .collect();
+            self.fail(
+                st,
+                format!("deadlock: threads {blocked:?} are blocked and none can run"),
+            );
+        }
+        let choice = if st.replay_pos < st.replay.len() {
+            let c = st.replay[st.replay_pos];
+            st.replay_pos += 1;
+            debug_assert!(runnable.contains(&c), "replayed a non-runnable thread");
+            c
+        } else {
+            // New territory: every untaken alternative becomes a prefix
+            // for a later execution.
+            for &alt in &runnable[1..] {
+                let mut prefix = st.schedule.clone();
+                prefix.push(alt);
+                st.discovered.push(prefix);
+            }
+            runnable[0]
+        };
+        st.schedule.push(choice);
+        st.active = choice;
+        self.cond.notify_all();
+    }
+
+    /// A scheduling point: hand the token to the chosen next thread and
+    /// wait until it comes back to `me`.
+    fn switch(&self, me: usize) {
+        let mut st = self.lock();
+        Self::check_failed(&st);
+        self.pick_next(&mut st);
+        while st.active != me {
+            Self::check_failed(&st);
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        Self::check_failed(&st);
+    }
+
+    /// Block the current thread on `on`, schedule someone else, and
+    /// return once this thread is unblocked *and* scheduled again.
+    fn block(&self, me: usize, on: BlockedOn) {
+        let mut st = self.lock();
+        Self::check_failed(&st);
+        st.threads[me].blocked = Some(on);
+        self.pick_next(&mut st);
+        while st.active != me {
+            Self::check_failed(&st);
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        Self::check_failed(&st);
+    }
+
+    /// Advance `me`'s own clock component and return the new epoch.
+    fn tick(st: &mut ExecState, me: usize) -> u64 {
+        let clock = &mut st.threads[me].clock;
+        if clock.len() <= me {
+            clock.resize(me + 1, 0);
+        }
+        clock[me] += 1;
+        clock[me]
+    }
+}
+
+thread_local! {
+    /// The execution this OS thread participates in, and its logical id.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (exec, tid) = borrow
+            .as_ref()
+            .expect("loom primitives may only be used inside loom::model");
+        f(exec, *tid)
+    })
+}
+
+/// Upper bound on explored executions (`LOOM_MAX_ITERATIONS` overrides).
+fn max_iterations() -> usize {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096)
+}
+
+/// Run `f` under every schedule the bounded DFS reaches. Panics (with the
+/// failure description) if any schedule exhibits a data race, a deadlock,
+/// a leaked thread, or a panic in the model body.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let cap = max_iterations();
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut runs = 0usize;
+    while let Some(prefix) = pending.pop() {
+        runs += 1;
+        let discovered = run_once(&f, prefix);
+        if runs < cap {
+            pending.extend(discovered);
+        } else {
+            // Bounded exploration: drop the remaining frontier.
+            break;
+        }
+    }
+}
+
+/// One execution under the given schedule prefix; returns the alternative
+/// prefixes discovered at its branch points.
+fn run_once<F: Fn()>(f: &F, prefix: Vec<usize>) -> Vec<Vec<usize>> {
+    let exec = Arc::new(Execution::new(prefix));
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+
+    let mut st = exec.lock();
+    if result.is_err() && st.failed.is_none() {
+        // Organic panic in the model body (e.g. a failed assertion):
+        // record it so still-parked helper threads unwind too.
+        st.failed = Some("the model's main thread panicked".into());
+        exec.cond.notify_all();
+    }
+    if st.failed.is_none() && st.threads.iter().skip(1).any(|t| !t.finished) {
+        st.failed = Some("model closure returned with unjoined threads".into());
+        exec.cond.notify_all();
+    }
+    let failed = st.failed.clone();
+    let discovered = std::mem::take(&mut st.discovered);
+    drop(st);
+
+    if let Err(p) = result {
+        resume_unwind(p);
+    }
+    if let Some(msg) = failed {
+        panic!("loom model failure: {msg}");
+    }
+    discovered
+}
+
+pub mod thread {
+    //! Model-checked threads: [`spawn`] registers a logical thread with
+    //! the scheduler; the OS thread behind it only runs while it holds
+    //! the scheduler token.
+
+    use super::*;
+
+    /// Handle to a model thread; [`JoinHandle::join`] is a blocking
+    /// scheduling point with a happens-before edge from the child's last
+    /// event, exactly like `std::thread::JoinHandle::join`.
+    pub struct JoinHandle<T> {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+    }
+
+    /// Spawn a logical thread. Inherits the parent's vector clock
+    /// (everything the parent did so far happens-before the child).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, me) = with_current(|e, t| (e.clone(), t));
+        let tid = {
+            let mut st = exec.lock();
+            Execution::check_failed(&st);
+            let parent_clock = {
+                Execution::tick(&mut st, me);
+                st.threads[me].clock.clone()
+            };
+            let mut clock = parent_clock;
+            if clock.len() <= st.threads.len() {
+                clock.resize(st.threads.len() + 1, 0);
+            }
+            let tid = st.threads.len();
+            clock[tid] = 1;
+            st.threads.push(ThreadInfo {
+                finished: false,
+                blocked: None,
+                clock,
+            });
+            tid
+        };
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let result_in = result.clone();
+        let exec_in = exec.clone();
+        let os = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((exec_in.clone(), tid)));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                // Park until first scheduled.
+                {
+                    let mut st = exec_in.lock();
+                    while st.active != tid {
+                        Execution::check_failed(&st);
+                        st = exec_in.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Execution::check_failed(&st);
+                }
+                f()
+            }));
+            *result_in.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            // Finish: wake joiners, hand the token on (unless the whole
+            // model already failed, in which case just wake everyone).
+            let mut st = exec_in.lock();
+            Execution::tick(&mut st, tid);
+            st.threads[tid].finished = true;
+            for t in st.threads.iter_mut() {
+                if t.blocked == Some(BlockedOn::Join(tid)) {
+                    t.blocked = None;
+                }
+            }
+            if st.failed.is_some() {
+                exec_in.cond.notify_all();
+            } else if st.threads.iter().any(|t| !t.finished) {
+                exec_in.pick_next(&mut st);
+            } else {
+                exec_in.cond.notify_all();
+            }
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        });
+        JoinHandle {
+            exec,
+            tid,
+            result,
+            os,
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and take its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            let me = with_current(|_, t| t);
+            loop {
+                {
+                    let mut st = self.exec.lock();
+                    Execution::check_failed(&st);
+                    if st.threads[self.tid].finished {
+                        let child = st.threads[self.tid].clock.clone();
+                        vc_join(&mut st.threads[me].clock, &child);
+                        Execution::tick(&mut st, me);
+                        break;
+                    }
+                }
+                self.exec.block(me, BlockedOn::Join(self.tid));
+            }
+            // Reap the OS thread; it has already released the token.
+            let _ = self.os.join();
+            self.result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("joined thread left no result")
+        }
+    }
+
+    /// A pure scheduling point.
+    pub fn yield_now() {
+        with_current(|exec, me| exec.switch(me));
+    }
+}
+
+pub mod cell {
+    //! Race-checked interior mutability: the model analogue of
+    //! `std::cell::UnsafeCell`, where every access is validated against
+    //! the happens-before relation.
+
+    use super::*;
+
+    struct CellState {
+        /// Epoch of the last write: (writer thread, writer clock).
+        write: Option<(usize, u64)>,
+        /// Epochs of reads since the last write.
+        reads: Vec<(usize, u64)>,
+    }
+
+    /// An `UnsafeCell` whose accesses are checked for data races. The
+    /// closures receive raw pointers just like real loom; dereferencing
+    /// them is the caller's `unsafe` obligation, but the *timing* of the
+    /// access is validated here.
+    pub struct UnsafeCell<T> {
+        value: std::cell::UnsafeCell<T>,
+        state: Mutex<CellState>,
+    }
+
+    // SAFETY: every access to the inner value goes through `with`/
+    // `with_mut`, which validate the access against the happens-before
+    // relation and fail the model on any conflict; the model scheduler
+    // additionally serializes execution (exactly one logical thread runs
+    // at a time), so no two closures ever touch the value concurrently.
+    // `T: Send` because values conceptually move between model threads.
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    // SAFETY: as above — shared references only reach the value through
+    // the race-checked, serialized `with`/`with_mut` accessors.
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(value: T) -> Self {
+            UnsafeCell {
+                value: std::cell::UnsafeCell::new(value),
+                state: Mutex::new(CellState {
+                    write: None,
+                    reads: Vec::new(),
+                }),
+            }
+        }
+
+        fn check(&self, me: usize, is_write: bool) {
+            with_current(|exec, tid| {
+                debug_assert_eq!(tid, me);
+                let mut st = exec.lock();
+                Execution::check_failed(&st);
+                let epoch = Execution::tick(&mut st, me);
+                let clock = st.threads[me].clock.clone();
+                let at = |t: usize| clock.get(t).copied().unwrap_or(0);
+                let mut cell = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some((wt, wc)) = cell.write {
+                    if wt != me && at(wt) < wc {
+                        drop(cell);
+                        exec.fail(
+                            &mut st,
+                            format!(
+                                "data race: thread {me} {} an UnsafeCell concurrently \
+                                 with thread {wt}'s write",
+                                if is_write { "writes" } else { "reads" }
+                            ),
+                        );
+                    }
+                }
+                if is_write {
+                    for &(rt, rc) in &cell.reads {
+                        if rt != me && at(rt) < rc {
+                            drop(cell);
+                            exec.fail(
+                                &mut st,
+                                format!(
+                                    "data race: thread {me} writes an UnsafeCell \
+                                     concurrently with thread {rt}'s read"
+                                ),
+                            );
+                        }
+                    }
+                    cell.write = Some((me, epoch));
+                    cell.reads.clear();
+                } else {
+                    cell.reads.retain(|&(rt, _)| rt != me);
+                    cell.reads.push((me, epoch));
+                }
+            });
+        }
+
+        /// Shared access. A scheduling point; races with writes fail the
+        /// model.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            let me = with_current(|exec, tid| {
+                exec.switch(tid);
+                tid
+            });
+            self.check(me, false);
+            f(self.value.get())
+        }
+
+        /// Exclusive access. A scheduling point; races with reads or
+        /// writes fail the model.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            let me = with_current(|exec, tid| {
+                exec.switch(tid);
+                tid
+            });
+            self.check(me, true);
+            f(self.value.get())
+        }
+
+        /// Consume the cell (single-threaded, no checking needed: `self`
+        /// by value proves exclusive ownership).
+        pub fn into_inner(self) -> T {
+            self.value.into_inner()
+        }
+    }
+
+    impl<T: Default> Default for UnsafeCell<T> {
+        fn default() -> Self {
+            UnsafeCell::new(T::default())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for UnsafeCell<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("UnsafeCell { .. }")
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-checked synchronization primitives.
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Atomics whose release/acquire edges feed the vector clocks.
+        //! `Relaxed` operations are still atomic (a total modification
+        //! order exists — RMWs hand out unique values) but establish no
+        //! happens-before edge, exactly the distinction the race
+        //! detector needs.
+
+        use super::super::*;
+        pub use std::sync::atomic::Ordering;
+
+        fn acquires(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        fn releases(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        macro_rules! atomic_shim {
+            ($name:ident, $ty:ty) => {
+                /// Model-checked atomic (see the module docs).
+                pub struct $name {
+                    /// Current value plus the clock released into it.
+                    inner: Mutex<($ty, VClock)>,
+                }
+
+                impl $name {
+                    pub fn new(v: $ty) -> Self {
+                        $name {
+                            inner: Mutex::new((v, Vec::new())),
+                        }
+                    }
+
+                    fn op<R>(
+                        &self,
+                        ord_acq: bool,
+                        ord_rel: bool,
+                        f: impl FnOnce(&mut $ty) -> R,
+                    ) -> R {
+                        with_current(|exec, me| {
+                            exec.switch(me);
+                            let mut st = exec.lock();
+                            Execution::check_failed(&st);
+                            Execution::tick(&mut st, me);
+                            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            if ord_acq {
+                                let vc = inner.1.clone();
+                                vc_join(&mut st.threads[me].clock, &vc);
+                            }
+                            if ord_rel {
+                                let clock = st.threads[me].clock.clone();
+                                vc_join(&mut inner.1, &clock);
+                            }
+                            f(&mut inner.0)
+                        })
+                    }
+
+                    pub fn load(&self, ord: Ordering) -> $ty {
+                        self.op(acquires(ord), false, |v| *v)
+                    }
+
+                    pub fn store(&self, val: $ty, ord: Ordering) {
+                        self.op(false, releases(ord), |v| *v = val)
+                    }
+
+                    pub fn fetch_add(&self, n: $ty, ord: Ordering) -> $ty {
+                        self.op(acquires(ord), releases(ord), |v| {
+                            let old = *v;
+                            *v = v.wrapping_add(n);
+                            old
+                        })
+                    }
+
+                    pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                        self.op(acquires(ord), releases(ord), |v| std::mem::replace(v, val))
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicUsize, usize);
+        atomic_shim!(AtomicU64, u64);
+        atomic_shim!(AtomicU32, u32);
+
+        /// Model-checked atomic boolean (see the module docs).
+        pub struct AtomicBool {
+            inner: AtomicUsize,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                AtomicBool {
+                    inner: AtomicUsize::new(v as usize),
+                }
+            }
+
+            pub fn load(&self, ord: Ordering) -> bool {
+                self.inner.load(ord) != 0
+            }
+
+            pub fn store(&self, val: bool, ord: Ordering) {
+                self.inner.store(val as usize, ord)
+            }
+
+            pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+                self.inner.swap(val as usize, ord) != 0
+            }
+        }
+    }
+
+    pub mod mpsc {
+        //! A blocking multi-producer single-consumer channel: each message
+        //! carries the sender's clock, so `recv` acquires everything that
+        //! happened-before the matching `send` — the same edge real
+        //! channels provide.
+
+        use super::super::*;
+
+        static NEXT_CHANNEL_ID: std::sync::atomic::AtomicUsize =
+            std::sync::atomic::AtomicUsize::new(0);
+
+        struct Chan<T> {
+            queue: VecDeque<(T, VClock)>,
+            senders: usize,
+            waiting: Option<usize>,
+            id: usize,
+        }
+
+        /// Receiving on a channel whose senders are all gone.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct RecvError;
+
+        /// Sending on a channel: infallible in this shim (the models own
+        /// both ends for the channel's whole lifetime).
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        pub struct Sender<T> {
+            chan: Arc<Mutex<Chan<T>>>,
+        }
+
+        pub struct Receiver<T> {
+            chan: Arc<Mutex<Chan<T>>>,
+        }
+
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let id = NEXT_CHANNEL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let chan = Arc::new(Mutex::new(Chan {
+                queue: VecDeque::new(),
+                senders: 1,
+                waiting: None,
+                id,
+            }));
+            (Sender { chan: chan.clone() }, Receiver { chan })
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+                Sender {
+                    chan: self.chan.clone(),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let waiter = {
+                    let mut ch = self.chan.lock().unwrap_or_else(|e| e.into_inner());
+                    ch.senders -= 1;
+                    if ch.senders == 0 {
+                        ch.waiting.take()
+                    } else {
+                        None
+                    }
+                };
+                // The last sender disappearing must wake a blocked
+                // receiver so it can observe the disconnect. This can run
+                // outside the model (channel dropped after the run): only
+                // touch the scheduler if one is current.
+                if let Some(w) = waiter {
+                    CURRENT.with(|c| {
+                        if let Some((exec, _)) = c.borrow().as_ref() {
+                            let mut st = exec.lock();
+                            if let Some(t) = st.threads.get_mut(w) {
+                                if t.blocked.is_some() {
+                                    t.blocked = None;
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Queue a message (a scheduling point) and wake a blocked
+            /// receiver.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                with_current(|exec, me| {
+                    exec.switch(me);
+                    let mut st = exec.lock();
+                    Execution::check_failed(&st);
+                    Execution::tick(&mut st, me);
+                    let clock = st.threads[me].clock.clone();
+                    let waiter = {
+                        let mut ch = self.chan.lock().unwrap_or_else(|e| e.into_inner());
+                        ch.queue.push_back((value, clock));
+                        ch.waiting.take()
+                    };
+                    if let Some(w) = waiter {
+                        st.threads[w].blocked = None;
+                    }
+                });
+                Ok(())
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Take the next message, blocking (scheduling other threads)
+            /// until one arrives or every sender is gone.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                let me = with_current(|_, t| t);
+                loop {
+                    let (popped, id, disconnected) = {
+                        let exec = with_current(|e, _| e.clone());
+                        exec.switch(me);
+                        let mut st = exec.lock();
+                        Execution::check_failed(&st);
+                        let mut ch = self.chan.lock().unwrap_or_else(|e| e.into_inner());
+                        match ch.queue.pop_front() {
+                            Some((value, vc)) => {
+                                vc_join(&mut st.threads[me].clock, &vc);
+                                Execution::tick(&mut st, me);
+                                (Some(value), ch.id, false)
+                            }
+                            None if ch.senders == 0 => (None, ch.id, true),
+                            None => {
+                                ch.waiting = Some(me);
+                                (None, ch.id, false)
+                            }
+                        }
+                    };
+                    if let Some(v) = popped {
+                        return Ok(v);
+                    }
+                    if disconnected {
+                        return Err(RecvError);
+                    }
+                    with_current(|exec, _| exec.block(me, BlockedOn::Channel(id)));
+                }
+            }
+        }
+    }
+}
+
+pub mod hint {
+    //! Spin-loop hint: in the model, just a scheduling point.
+
+    /// Equivalent to [`crate::thread::yield_now`].
+    pub fn spin_loop() {
+        super::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The checker checking itself: correct protocols must pass, planted
+    //! races and deadlocks must fail. No pointer is ever dereferenced —
+    //! the race detector triggers on access *timing* alone, so these
+    //! tests need no `unsafe` at all.
+
+    use super::cell::UnsafeCell;
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{mpsc, Arc};
+    use super::{model, thread};
+
+    #[test]
+    fn rmw_hands_out_unique_values() {
+        model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = c.clone();
+                    thread::spawn(move || c.fetch_add(1, Ordering::Relaxed))
+                })
+                .collect();
+            let mut got: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1], "fetch_add must never hand out duplicates");
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn unsynchronized_writes_are_a_race() {
+        model(|| {
+            let c = Arc::new(UnsafeCell::new(0u64));
+            let c2 = c.clone();
+            let h = thread::spawn(move || c2.with_mut(|_| ()));
+            c.with_mut(|_| ());
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn relaxed_flag_does_not_publish() {
+        // The classic broken message-passing idiom: a Relaxed flag store
+        // establishes no happens-before edge, so the reader's access to
+        // the cell races with the writer's even though the flag "worked".
+        model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (cell2, flag2) = (cell.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                cell2.with_mut(|_| ());
+                flag2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) == 1 {
+                cell.with(|_| ());
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn release_acquire_flag_publishes() {
+        // The fixed idiom: Release store / Acquire load joins the clocks,
+        // so the guarded read is ordered and no schedule reports a race.
+        model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (cell2, flag2) = (cell.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                cell2.with_mut(|_| ());
+                flag2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                cell.with(|_| ());
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_publishes_the_childs_writes() {
+        model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let c2 = cell.clone();
+            let h = thread::spawn(move || c2.with_mut(|_| ()));
+            h.join().unwrap();
+            cell.with_mut(|_| ());
+        });
+    }
+
+    #[test]
+    fn channel_messages_synchronize() {
+        model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let (tx, rx) = mpsc::channel::<()>();
+            let c2 = cell.clone();
+            let h = thread::spawn(move || {
+                c2.with_mut(|_| ());
+                tx.send(()).unwrap();
+            });
+            rx.recv().unwrap();
+            // Ordered after the worker's write via the message's clock.
+            cell.with_mut(|_| ());
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn blocked_receiver_with_live_sender_deadlocks() {
+        model(|| {
+            let (tx, rx) = mpsc::channel::<()>();
+            // The only sender is on this thread, which is about to block.
+            let _ = rx.recv();
+            drop(tx);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unjoined")]
+    fn leaked_threads_fail_the_model() {
+        model(|| {
+            let _ = thread::spawn(|| ());
+        });
+    }
+
+    #[test]
+    fn disconnected_channel_reports_instead_of_blocking() {
+        model(|| {
+            let (tx, rx) = mpsc::channel::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(mpsc::RecvError));
+        });
+    }
+}
