@@ -24,10 +24,13 @@ cargo test --release -q -p searchidx --test postings_equivalence
 echo "== I/O-path equivalence (explicit) =="
 cargo test --release -q -p engine --test io_path_equivalence
 
+echo "== admission equivalence (explicit) =="
+cargo test --release -q -p engine --test admission_equivalence --test admission_audit
+
 echo "== postings_decode bench builds =="
 cargo build --release -p bench --bench postings_decode
 
-echo "== perf_regress binary builds (BENCH_4 I/O-path arm) =="
+echo "== perf_regress binary builds (BENCH_5 admission arm included) =="
 cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
 echo "== xtask lint gate =="
@@ -36,6 +39,7 @@ cargo run -q -p xtask -- lint
 echo "== equivalence suites under INVARIANT_AUDIT (debug) =="
 INVARIANT_AUDIT=1 cargo test -q -p hybridcache --test victim_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_path_equivalence
+INVARIANT_AUDIT=1 cargo test -q -p engine --test admission_audit
 INVARIANT_AUDIT=1 cargo test -q -p searchidx --test postings_equivalence
 
 echo "== loom models (bounded schedule exploration) =="

@@ -18,12 +18,18 @@
 //! event-driven restatement) run in lockstep, comparing every response,
 //! the cache counters, and both devices' submission-queue accounting.
 //!
+//! With `--admission` it bisects the *admission-tier arms*: a plain
+//! engine and one carrying a fully-populated sketch-admission config
+//! pinned to `AdmissionPolicy::Static` (which must leave the tier
+//! completely inert) run in lockstep, comparing every response, the
+//! cache counters, and the store counters.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
-//!         [--cluster] [--workers N] [--postings] [--iopath]
+//!         [--cluster] [--workers N] [--postings] [--iopath] [--admission]
 
 use engine::{ClusterExecution, EngineConfig, PostingsBackend, SearchCluster, SearchEngine};
-use hybridcache::PolicyKind;
+use hybridcache::{AdmissionConfig, AdmissionPolicy, PolicyKind};
 use storagecore::{IoPath, SchedulerPolicy};
 use workload::Query;
 
@@ -208,12 +214,75 @@ fn probe_iopath(policy: PolicyKind, seed_flag: bool) {
     );
 }
 
+/// Lockstep bisection of the admission-tier arms: arm A carries the
+/// default (empty) static admission config, arm B a fully-populated
+/// sketch config forced back to `Static` policy. The sketch machinery
+/// being present but disabled must change nothing.
+fn probe_admission(policy: PolicyKind, seed_flag: bool) {
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+    let cfg = |admission: AdmissionConfig| {
+        let mut cache = hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy);
+        cache.admission = admission;
+        EngineConfig::cached(docs, cache, seed)
+    };
+    let mut a = SearchEngine::new(cfg(AdmissionConfig::static_default()));
+    let mut inert = AdmissionConfig::sketch_default();
+    inert.policy = AdmissionPolicy::Static;
+    let mut b = SearchEngine::new(cfg(inert));
+    println!(
+        "admission probe: {docs} docs, arm A = bare static, \
+         arm B = sketch params pinned to {:?}",
+        b.admission_policy()
+    );
+    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
+        a.seed_static_from_log(queries);
+        b.seed_static_from_log(queries);
+        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
+        if ra != rb {
+            println!("diverged during seeding: {ra:?} vs {rb:?}");
+            return;
+        }
+        println!("seeding identical");
+    }
+    let stream: Vec<Query> = a.log().stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ta = a.execute(q);
+        let tb = b.execute(q);
+        let sa = a.cache().unwrap().stats();
+        let sb = b.cache().unwrap().stats();
+        let (ssa, ssb) = (
+            a.cache().unwrap().store_stats(),
+            b.cache().unwrap().store_stats(),
+        );
+        if ta != tb || sa != sb || ssa != ssb {
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
+            println!("  response: {ta} vs {tb}");
+            println!("  stats bare:  {sa:?}");
+            println!("  stats inert: {sb:?}");
+            println!("  store bare:  {ssa:?}");
+            println!("  store inert: {ssb:?}");
+            return;
+        }
+    }
+    println!(
+        "no divergence over {queries} queries between admission arms \
+         (policy {policy:?}, seeded {seed_flag})"
+    );
+}
+
 fn main() {
     let mut policy_arg = String::from("cbslru");
     let mut seed_flag = true;
     let mut cluster = false;
     let mut postings = false;
     let mut iopath = false;
+    let mut admission = false;
     let mut workers = 0usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -223,6 +292,7 @@ fn main() {
             "--cluster" => cluster = true,
             "--postings" => postings = true,
             "--iopath" => iopath = true,
+            "--admission" => admission = true,
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             _ => {}
         }
@@ -244,6 +314,10 @@ fn main() {
     }
     if iopath {
         probe_iopath(policy, seed_flag);
+        return;
+    }
+    if admission {
+        probe_admission(policy, seed_flag);
         return;
     }
     let cfg = || hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy);

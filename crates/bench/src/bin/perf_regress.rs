@@ -40,6 +40,19 @@
 //! dips slightly below 1 and is recorded alongside. Both deep arms
 //! report measured mean/max device-queue occupancy.
 //!
+//! **Admission arm** (PR 6, `BENCH_5.json`): runs a scenario × policy
+//! matrix — the stationary log plus the three adversarial streams
+//! (drifting-Zipf, topic-churn, scan-heavy) against the static paper
+//! gate (CBLRU and seeded CBSLRU) and the sketch-based admission tier
+//! (CBLRU + TinyLFU filter, ghost cache, online TEV/window controller).
+//! Here the figures are *supposed* to move: the committed claim is that
+//! the sketch arm writes fewer SSD bytes and erases fewer flash blocks
+//! on the churn and scan scenarios at an equal-or-better hit ratio. A
+//! separate `static_bit_identical` check re-verifies the inertness
+//! contract (sketch params present but policy `Static` changes nothing),
+//! and a hasher micro-bench records the FxHash-vs-SipHash map speedup
+//! behind the hot-path swap.
+//!
 //! In the first three arms every **simulated figure must be bit-identical** (hit
 //! ratio, response times, cache/flash counters, the full `RunReport` /
 //! `ClusterReport`): the optimizations are behavior-preserving by
@@ -48,9 +61,10 @@
 //!
 //!     cargo run --release -p bench --bin perf_regress \
 //!         [-- --out PATH] [--cluster-out PATH] [--postings-out PATH] \
-//!         [--iopath-out PATH] [--iopath-depth N]
+//!         [--iopath-out PATH] [--iopath-depth N] [--admission-out PATH]
 //!
-//! Exit status is non-zero if any arm's simulated figures diverge.
+//! Exit status is non-zero if any arm's simulated figures diverge, or if
+//! the admission arm's efficiency claim fails to hold.
 
 use std::time::Instant;
 
@@ -59,8 +73,9 @@ use engine::{
     ClusterExecution, ClusterReport, EngineConfig, IndexPlacement, PostingsBackend, RunReport,
     SearchCluster, SearchEngine,
 };
-use hybridcache::PolicyKind;
+use hybridcache::{AdmissionConfig, AdmissionPolicy, AdmissionStats, PolicyKind};
 use storagecore::{BlockDevice, IoPath, IoStats, QueueDepthStats, SchedulerPolicy};
+use workload::{DriftingZipfLog, Query, QueryLog, ScanHeavyLog, TopicChurnLog};
 
 // The pinned workload: large enough that victim selection and top-K
 // accumulation dominate, small enough for a CI-friendly run.
@@ -428,8 +443,8 @@ fn cluster_regress(out: &str) -> bool {
          critical-path, {cores} core(s) available), sim figures identical: {identical}"
     );
     if cores < CLUSTER_SHARDS {
-        println!(
-            "note: only {cores} core(s) for {CLUSTER_SHARDS} workers — the pool \
+        eprintln!(
+            "WARNING: only {cores} core(s) for {CLUSTER_SHARDS} workers — the pool \
              timeshares, so wall-clock can at best tie, and the busiest worker's \
              span absorbs preemption, dragging the critical-path ratio to ~1x \
              too; rerun on a host with >= {CLUSTER_SHARDS} cores to see both \
@@ -746,11 +761,338 @@ fn iopath_regress(out: &str, depth: usize) -> bool {
     identical
 }
 
+// The pinned admission workload: same corpus and budgets as the engine
+// arm, driven by each scenario's 30 k-query stream.
+const ADM_QUERIES: usize = 30_000;
+
+/// The admission scenario × policy matrix.
+const ADM_SCENARIOS: [&str; 4] = ["stationary", "drifting_zipf", "topic_churn", "scan_heavy"];
+
+/// Generate one scenario's query stream off the engine's own log.
+fn admission_stream(log: &QueryLog, scenario: &str, n: usize) -> Vec<Query> {
+    match scenario {
+        "stationary" => log.stream(n),
+        // Six phases: the Zipf head flattens to α=0.4 on odd phases while
+        // the rank→identity mapping rotates by a prime each phase.
+        "drifting_zipf" => DriftingZipfLog::new(log.clone(), n as u64 / 6, 0.4, 7_919)
+            .stream_iter(n)
+            .collect(),
+        // Ten abrupt topic changeovers, zero cross-phase reuse.
+        "topic_churn" => TopicChurnLog::new(log.clone(), n as u64 / 10)
+            .stream_iter(n)
+            .collect(),
+        // A third of the stream is never-repeating scan queries.
+        "scan_heavy" => ScanHeavyLog::new(log.clone(), 4, 2)
+            .stream_iter(n)
+            .collect(),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// One measured admission arm.
+struct AdmissionArm {
+    label: &'static str,
+    report: RunReport,
+    wall_secs: f64,
+    admission: AdmissionStats,
+    /// The controller's final TEV (the configured base under `Static`).
+    final_tev: f64,
+}
+
+fn run_admission_arm(
+    label: &'static str,
+    policy: PolicyKind,
+    admission: AdmissionConfig,
+    seed_static: bool,
+    queries: &[Query],
+) -> AdmissionArm {
+    let mut cache = cache_config(MEM_BYTES, SSD_BYTES, policy);
+    cache.admission = admission;
+    let t0 = Instant::now();
+    let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cache, SEED));
+    if seed_static {
+        e.seed_static_from_log(queries.len());
+    }
+    let report = e.run_queries(queries);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let m = e.cache().expect("cached config");
+    AdmissionArm {
+        label,
+        report,
+        wall_secs,
+        admission: m.admission_stats(),
+        final_tev: m.admission().tev(),
+    }
+}
+
+fn admission_arm_json(a: &AdmissionArm) -> String {
+    let r = &a.report;
+    let cache = cache_of(r);
+    let s = &a.admission;
+    format!(
+        concat!(
+            "        {{\n",
+            "          \"label\": \"{}\",\n",
+            "          \"wall_clock_secs\": {:.6},\n",
+            "          \"sim_hit_ratio\": {:.17},\n",
+            "          \"sim_mean_response_ns\": {},\n",
+            "          \"ssd_bytes_written\": {},\n",
+            "          \"block_erases\": {},\n",
+            "          \"ssd_admissions\": {},\n",
+            "          \"ssd_rejections\": {},\n",
+            "          \"sketch_list_filtered\": {},\n",
+            "          \"sketch_result_filtered\": {},\n",
+            "          \"ghost_fast_tracks\": {},\n",
+            "          \"controller_epochs\": {},\n",
+            "          \"controller_tev_raises\": {},\n",
+            "          \"controller_tev_cuts\": {},\n",
+            "          \"controller_window_shrinks\": {},\n",
+            "          \"controller_window_grows\": {},\n",
+            "          \"final_tev\": {:.6}\n",
+            "        }}"
+        ),
+        a.label,
+        a.wall_secs,
+        r.hit_ratio(),
+        r.mean_response.as_nanos(),
+        cache.ssd_bytes_written,
+        r.flash.map_or(0, |f| f.block_erases),
+        cache.results.ssd_admissions + cache.lists.ssd_admissions,
+        cache.results.ssd_rejections + cache.lists.ssd_rejections,
+        s.list_filtered,
+        s.result_filtered,
+        s.list_fast_tracks + s.result_fast_tracks,
+        s.epochs,
+        s.tev_raises,
+        s.tev_cuts,
+        s.window_shrinks,
+        s.window_grows,
+        a.final_tev,
+    )
+}
+
+/// Re-verify the inertness contract end-to-end: an engine whose config
+/// carries the full sketch parameter block pinned to `Static` must
+/// produce the same `RunReport` (and store counters) as one with the
+/// bare static default, on the most stateful config (seeded CBSLRU).
+fn admission_static_identity(queries: &[Query]) -> bool {
+    let policy = PolicyKind::Cbslru {
+        static_fraction: 0.3,
+    };
+    let run = |admission: AdmissionConfig| {
+        let mut cache = cache_config(MEM_BYTES, SSD_BYTES, policy);
+        cache.admission = admission;
+        let mut e = SearchEngine::new(EngineConfig::cached(DOCS, cache, SEED));
+        e.seed_static_from_log(queries.len());
+        let report = e.run_queries(queries);
+        let stores = e.cache().expect("cached config").store_stats();
+        (report, stores)
+    };
+    let bare = run(AdmissionConfig::static_default());
+    let mut pinned = AdmissionConfig::sketch_default();
+    pinned.policy = AdmissionPolicy::Static;
+    let inert = run(pinned);
+    bare == inert
+}
+
+/// Time `ops` insert+probe rounds on both map flavors: the std SipHash
+/// default that the hot paths used before the swap, and the `fxmap`
+/// maps they use now. Returns (siphash_secs, fxhash_secs).
+fn hasher_microbench() -> (f64, f64) {
+    const KEYS: u64 = 400_000;
+    const ROUNDS: usize = 4;
+    fn drive<M>(
+        mut insert: impl FnMut(&mut M, u64),
+        mut probe: impl FnMut(&M, u64) -> u64,
+        mut fresh: impl FnMut() -> M,
+    ) -> (f64, u64) {
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..ROUNDS {
+            let mut m = fresh();
+            for k in 0..KEYS {
+                insert(&mut m, k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            for k in 0..KEYS {
+                sink ^= probe(&m, k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        (t0.elapsed().as_secs_f64(), sink)
+    }
+    let (sip, sink_a) = drive(
+        |m: &mut std::collections::HashMap<u64, u64>, k| {
+            m.insert(k, k >> 7);
+        },
+        |m, k| m.get(&k).copied().unwrap_or(0),
+        std::collections::HashMap::new,
+    );
+    let (fx, sink_b) = drive(
+        |m: &mut fxmap::FxHashMap<u64, u64>, k| {
+            m.insert(k, k >> 7);
+        },
+        |m, k| m.get(&k).copied().unwrap_or(0),
+        fxmap::FxHashMap::default,
+    );
+    assert_eq!(sink_a, sink_b, "map flavors disagreed on contents");
+    (sip, fx)
+}
+
+/// Run the admission scenario × policy matrix, emit `BENCH_5.json`, and
+/// return whether (a) the static arm stayed bit-identical with sketch
+/// params present, and (b) the sketch arm's efficiency claim held on the
+/// churn and scan scenarios.
+fn admission_regress(out: &str) -> bool {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if cores < 4 {
+        eprintln!(
+            "WARNING: only {cores} core(s) available (< 4) — wall-clock \
+             figures in this report are unreliable; simulated figures \
+             (hit ratio, bytes written, erasures) are unaffected"
+        );
+    }
+
+    // One throwaway engine donates the log all scenario streams share.
+    let log = SearchEngine::new(EngineConfig::cached(
+        DOCS,
+        cache_config(MEM_BYTES, SSD_BYTES, PolicyKind::Cblru),
+        SEED,
+    ))
+    .log()
+    .clone();
+
+    let policies: [(&str, PolicyKind, AdmissionConfig, bool); 3] = [
+        (
+            "static_cblru",
+            PolicyKind::Cblru,
+            AdmissionConfig::static_default(),
+            false,
+        ),
+        (
+            "static_cbslru",
+            PolicyKind::Cbslru {
+                static_fraction: 0.3,
+            },
+            AdmissionConfig::static_default(),
+            true,
+        ),
+        (
+            "sketch_cblru",
+            PolicyKind::Cblru,
+            AdmissionConfig::sketch_default(),
+            false,
+        ),
+    ];
+
+    let mut scenario_blocks = Vec::new();
+    let mut claim_lines = Vec::new();
+    let mut claims_hold = true;
+    for scenario in ADM_SCENARIOS {
+        let stream = admission_stream(&log, scenario, ADM_QUERIES);
+        let arms: Vec<AdmissionArm> = policies
+            .iter()
+            .map(|&(label, policy, admission, seeded)| {
+                let a = run_admission_arm(label, policy, admission, seeded, &stream);
+                eprintln!(
+                    "admission {scenario:>13} {label:>14}: hit {:.2}% | {} B written | {} erases \
+                     ({:.2}s wall)",
+                    a.report.hit_ratio() * 100.0,
+                    cache_of(&a.report).ssd_bytes_written,
+                    a.report.flash.map_or(0, |f| f.block_erases),
+                    a.wall_secs
+                );
+                a
+            })
+            .collect();
+
+        // The headline claim, checked on the adversarial scenarios: the
+        // sketch gate spends strictly fewer SSD bytes (and no more
+        // erasures) than the static gate on the same base policy, without
+        // giving up hit ratio.
+        if matches!(scenario, "topic_churn" | "scan_heavy") {
+            let stat = &arms[0];
+            let sketch = &arms[2];
+            let bytes_reduced = cache_of(&sketch.report).ssd_bytes_written
+                < cache_of(&stat.report).ssd_bytes_written;
+            let erases_not_worse = sketch.report.flash.map_or(0, |f| f.block_erases)
+                <= stat.report.flash.map_or(0, |f| f.block_erases);
+            let hit_not_worse = sketch.report.hit_ratio() >= stat.report.hit_ratio();
+            claims_hold &= bytes_reduced && erases_not_worse && hit_not_worse;
+            claim_lines.push(format!(
+                concat!(
+                    "    {{ \"scenario\": \"{}\", \"bytes_reduced\": {}, ",
+                    "\"erases_not_worse\": {}, \"hit_ratio_not_worse\": {} }}"
+                ),
+                scenario, bytes_reduced, erases_not_worse, hit_not_worse
+            ));
+        }
+
+        let arm_json: Vec<String> = arms.iter().map(admission_arm_json).collect();
+        scenario_blocks.push(format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"arms\": [\n{}\n      ]\n    }}",
+            scenario,
+            arm_json.join(",\n")
+        ));
+    }
+
+    let static_identical =
+        admission_static_identity(&admission_stream(&log, "stationary", ADM_QUERIES));
+    eprintln!("admission static bit-identity (sketch params pinned to Static): {static_identical}");
+
+    let (sip_secs, fx_secs) = hasher_microbench();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress_admission\",\n",
+            "  \"workload\": {{\n",
+            "    \"docs\": {},\n",
+            "    \"queries_per_scenario\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"mem_bytes\": {},\n",
+            "    \"ssd_bytes\": {}\n",
+            "  }},\n",
+            "  \"cores\": {},\n",
+            "  \"hasher_swap\": {{\n",
+            "    \"note\": \"hot-path maps moved from std SipHash to fxmap; 400k u64 insert+probe rounds\",\n",
+            "    \"siphash_map_secs\": {:.6},\n",
+            "    \"fxhash_map_secs\": {:.6},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"static_bit_identical\": {},\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"claims\": [\n{}\n  ],\n",
+            "  \"admission_claims_hold\": {}\n",
+            "}}\n"
+        ),
+        DOCS,
+        ADM_QUERIES,
+        SEED,
+        MEM_BYTES,
+        SSD_BYTES,
+        cores,
+        sip_secs,
+        fx_secs,
+        sip_secs / fx_secs,
+        static_identical,
+        scenario_blocks.join(",\n"),
+        claim_lines.join(",\n"),
+        claims_hold,
+    );
+    std::fs::write(out, &json)
+        .unwrap_or_else(|e| panic!("cannot write admission report to {out}: {e}"));
+    println!("{json}");
+    println!(
+        "wrote {out}; admission claims hold: {claims_hold}, static identical: {static_identical}"
+    );
+    static_identical && claims_hold
+}
+
 fn main() {
     let mut out = String::from("BENCH_1.json");
     let mut cluster_out = String::from("BENCH_2.json");
     let mut postings_out = String::from("BENCH_3.json");
     let mut iopath_out = String::from("BENCH_4.json");
+    let mut admission_out = String::from("BENCH_5.json");
     let mut iopath_depth = 4usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -773,6 +1115,10 @@ fn main() {
         } else if a == "--iopath-depth" {
             if let Some(v) = args.next() {
                 iopath_depth = v.parse().expect("--iopath-depth takes an integer");
+            }
+        } else if a == "--admission-out" {
+            if let Some(v) = args.next() {
+                admission_out = v;
             }
         }
     }
@@ -844,6 +1190,7 @@ fn main() {
     let postings_identical = postings_regress(&postings_out);
     let cluster_identical = cluster_regress(&cluster_out);
     let iopath_identical = iopath_regress(&iopath_out, iopath_depth);
+    let admission_ok = admission_regress(&admission_out);
 
     if !identical {
         eprintln!("FAIL: simulated figures diverged between the engine arms");
@@ -867,7 +1214,17 @@ fn main() {
              `cargo run --release -p bench --bin divergence_probe -- --iopath`"
         );
     }
-    if !identical || !postings_identical || !cluster_identical || !iopath_identical {
+    if !admission_ok {
+        eprintln!(
+            "FAIL: admission arm — either the Static arm stopped being \
+             bit-identical with sketch params present (bisect with \
+             `cargo run --release -p bench --bin divergence_probe -- --admission`) \
+             or the sketch gate failed its efficiency claim on the \
+             churn/scan scenarios"
+        );
+    }
+    if !identical || !postings_identical || !cluster_identical || !iopath_identical || !admission_ok
+    {
         std::process::exit(1);
     }
 }

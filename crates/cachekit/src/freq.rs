@@ -7,13 +7,13 @@
 //! dynamic scenario it defers to future work needs decay, and the ablation
 //! benches exercise it.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 /// Exact per-key access counter with optional aging.
 #[derive(Debug, Clone)]
 pub struct FreqCounter<K> {
-    counts: HashMap<K, u64>,
+    counts: FxHashMap<K, u64>,
     accesses: u64,
     /// Halve all counts every `aging_period` accesses (0 = never).
     aging_period: u64,
@@ -29,7 +29,7 @@ impl<K: Eq + Hash + Clone> FreqCounter<K> {
     /// Counter without aging.
     pub fn new() -> Self {
         FreqCounter {
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             accesses: 0,
             aging_period: 0,
         }
@@ -38,7 +38,7 @@ impl<K: Eq + Hash + Clone> FreqCounter<K> {
     /// Counter that halves all counts every `period` recorded accesses.
     pub fn with_aging(period: u64) -> Self {
         FreqCounter {
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             accesses: 0,
             aging_period: period,
         }

@@ -13,6 +13,10 @@
 //!   value `EV = Freq / SC`;
 //! * [`LruCache`] — the classic byte-budgeted LRU cache, the baseline
 //!   every experiment compares against;
+//! * [`FreqSketch`] / [`GhostCache`] — the sketch-based admission tier's
+//!   building blocks: a 4-bit counting frequency sketch (TinyLFU-style
+//!   count-min with periodic halving) and a payload-free list of
+//!   recently dismissed keys;
 //! * [`victim`] — incremental priority indexes ([`MaxScoreIndex`],
 //!   [`OrderIndex`], [`SizeClassIndex`]) that answer the paper's victim
 //!   searches in O(log W) instead of scanning the window.
@@ -25,14 +29,18 @@
 
 pub mod budget;
 pub mod freq;
+pub mod ghost;
 pub mod lru;
 pub mod lru_cache;
 pub mod segmented;
+pub mod sketch;
 pub mod victim;
 
 pub use budget::ByteBudget;
 pub use freq::FreqCounter;
+pub use ghost::GhostCache;
 pub use lru::LruList;
 pub use lru_cache::LruCache;
 pub use segmented::{SegmentedLru, WindowEvent};
+pub use sketch::{FreqSketch, COUNTER_MAX};
 pub use victim::{MaxScoreIndex, OrdF64, OrderIndex, SizeClassIndex, VictimSelection};

@@ -5,7 +5,7 @@
 //! with a `HashMap` from key to slot for O(1) lookup. This is the chassis
 //! under every cache in the workspace.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 const NIL: u32 = u32::MAX;
@@ -21,7 +21,7 @@ struct Node<K> {
 #[derive(Debug, Clone)]
 pub struct LruList<K> {
     nodes: Vec<Node<K>>,
-    index: HashMap<K, u32>,
+    index: FxHashMap<K, u32>,
     head: u32,
     tail: u32,
     free: Vec<u32>,
@@ -38,7 +38,7 @@ impl<K: Eq + Hash + Clone> LruList<K> {
     pub fn new() -> Self {
         LruList {
             nodes: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             head: NIL,
             tail: NIL,
             free: Vec::new(),

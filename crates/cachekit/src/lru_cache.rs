@@ -4,7 +4,7 @@
 //! compares against, used both as the memory-level cache under all
 //! policies and as the L2 policy in the LRU baseline runs.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 use invariant::{Report, Validate};
@@ -23,7 +23,7 @@ struct Slot<V> {
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
     list: LruList<K>,
-    map: HashMap<K, Slot<V>>,
+    map: FxHashMap<K, Slot<V>>,
     budget: ByteBudget,
     hits: u64,
     misses: u64,
@@ -34,7 +34,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn new(capacity: u64) -> Self {
         LruCache {
             list: LruList::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             budget: ByteBudget::new(capacity),
             hits: 0,
             misses: 0,

@@ -26,7 +26,7 @@
 //! `find_in_replace_first`, `find_anywhere`) are kept verbatim as the
 //! reference implementations the property tests compare against.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 use invariant::{Report, Validate};
@@ -57,7 +57,7 @@ pub struct SegmentedLru<K> {
     list: LruList<K>,
     window: usize,
     /// Current replace-first members and their order stamps.
-    members: HashMap<K, u64>,
+    members: FxHashMap<K, u64>,
     /// The most-MRU member (the window's boundary entry).
     window_mru: Option<K>,
     next_stamp: u64,
@@ -73,7 +73,7 @@ impl<K: Eq + Hash + Clone> SegmentedLru<K> {
         SegmentedLru {
             list: LruList::new(),
             window,
-            members: HashMap::new(),
+            members: FxHashMap::default(),
             window_mru: None,
             next_stamp: 0,
             events: Vec::new(),

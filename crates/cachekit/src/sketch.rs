@@ -1,0 +1,350 @@
+//! A 4-bit counting frequency sketch (TinyLFU-style count-min).
+//!
+//! The paper's admission gate spends an SSD write whenever `EV = Freq/SC`
+//! clears a static threshold, where `Freq` only counts accesses *while
+//! cached* — a one-hit-wonder list arrives with `Freq = 1` and is written
+//! anyway. [`FreqSketch`] estimates a key's recent popularity across the
+//! whole stream, before any write is spent: four hashed rows of 4-bit
+//! saturating counters (the count-min estimate is the row minimum, so
+//! collisions only ever *over*-estimate), periodically halved so the
+//! estimate tracks a sliding window of roughly `reset_window` accesses
+//! rather than all of history. Halving is what lets the sketch forget:
+//! after a workload phase change the old hot set decays geometrically
+//! instead of pinning the admission filter to stale frequencies.
+//!
+//! Counters are packed two per byte — the 4-bit width is the point of
+//! the design (a few hundred KB covers millions of keys); 15 is plenty
+//! of resolution for an admission decision whose interesting boundary
+//! sits at "seen once" vs "seen a few times".
+
+use invariant::{audit, Report, Validate};
+
+/// Counters saturate at the 4-bit ceiling.
+pub const COUNTER_MAX: u8 = 15;
+
+/// Row count: the classic count-min depth (error probability decays
+/// exponentially per row; 4 rows is the TinyLFU reference geometry).
+const ROWS: usize = 4;
+
+/// Per-row index-derivation seeds (distinct odd constants; splitmix64
+/// increments) so one key lands on independent columns per row.
+const ROW_SEEDS: [u64; ROWS] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xBF58_476D_1CE4_E5B9,
+    0x94D0_49BB_1331_11EB,
+    0xD6E8_FEB8_6659_FD93,
+];
+
+/// Finalizing mixer (splitmix64) over `key_hash ^ seed`: full-avalanche,
+/// deterministic, and cheap.
+fn mix(key_hash: u64, seed: u64) -> u64 {
+    let mut z = key_hash ^ seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The frequency sketch: `ROWS` rows of `width` 4-bit counters plus the
+/// aging clock.
+#[derive(Debug, Clone)]
+pub struct FreqSketch {
+    /// Packed counters, two per byte (`ROWS * width / 2` bytes). Low
+    /// nibble is the even column.
+    table: Vec<u8>,
+    /// Columns per row; a power of two so indexing is a mask.
+    width: usize,
+    /// Incremented counterpart of the table: the sum of every counter,
+    /// maintained incrementally so [`Validate`] can cross-check it.
+    total: u64,
+    /// Increments since the last halving.
+    ops_since_reset: u64,
+    /// Halve every this many increments (the reset window `W`).
+    reset_window: u64,
+    /// Halvings performed (observability for the controller/tests).
+    resets: u64,
+}
+
+impl FreqSketch {
+    /// A sketch with at least `min_width` counters per row (rounded up to
+    /// a power of two, floor 64) halving every `reset_window` increments.
+    pub fn new(min_width: usize, reset_window: u64) -> Self {
+        assert!(reset_window > 0, "reset window must be positive");
+        let width = min_width.max(64).next_power_of_two();
+        FreqSketch {
+            table: vec![0; ROWS * width / 2],
+            width,
+            total: 0,
+            ops_since_reset: 0,
+            reset_window,
+            resets: 0,
+        }
+    }
+
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The current reset window `W`.
+    pub fn reset_window(&self) -> u64 {
+        self.reset_window
+    }
+
+    /// Retune the reset window (the online controller's knob). Shrinking
+    /// below the increments already accumulated triggers the halving at
+    /// the *next* increment, not retroactively.
+    pub fn set_reset_window(&mut self, window: u64) {
+        assert!(window > 0, "reset window must be positive");
+        self.reset_window = window;
+    }
+
+    /// Halvings performed so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Sum of all counters (incrementally maintained).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Counter index of `(row, column)` in the packed table.
+    fn slot(&self, row: usize, col: usize) -> usize {
+        row * self.width + col
+    }
+
+    fn get(&self, i: usize) -> u8 {
+        let b = self.table[i / 2];
+        if i % 2 == 0 {
+            b & 0x0F
+        } else {
+            b >> 4
+        }
+    }
+
+    fn set(&mut self, i: usize, v: u8) {
+        debug_assert!(v <= COUNTER_MAX);
+        let b = &mut self.table[i / 2];
+        if i % 2 == 0 {
+            *b = (*b & 0xF0) | v;
+        } else {
+            *b = (*b & 0x0F) | (v << 4);
+        }
+    }
+
+    /// Record one access of the key hashed to `key_hash`. Each row's
+    /// counter saturates at [`COUNTER_MAX`]; every `reset_window`
+    /// increments the whole table is halved.
+    pub fn increment(&mut self, key_hash: u64) {
+        for (row, seed) in ROW_SEEDS.iter().enumerate() {
+            let col = (mix(key_hash, *seed) as usize) & (self.width - 1);
+            let i = self.slot(row, col);
+            let c = self.get(i);
+            if c < COUNTER_MAX {
+                self.set(i, c + 1);
+                self.total += 1;
+            }
+        }
+        self.ops_since_reset += 1;
+        if self.ops_since_reset >= self.reset_window {
+            self.halve();
+        }
+        audit!(self, "FreqSketch::increment");
+    }
+
+    /// The count-min estimate for `key_hash`: the minimum over rows, an
+    /// upper bound on the key's true count within the current window.
+    pub fn estimate(&self, key_hash: u64) -> u8 {
+        ROW_SEEDS
+            .iter()
+            .enumerate()
+            .map(|(row, seed)| {
+                let col = (mix(key_hash, *seed) as usize) & (self.width - 1);
+                self.get(self.slot(row, col))
+            })
+            .min()
+            .expect("ROWS > 0")
+    }
+
+    /// Halve every counter (the aging step). Public so the controller can
+    /// force fast forgetting on a detected phase change.
+    pub fn halve(&mut self) {
+        let mut total = 0u64;
+        for b in &mut self.table {
+            // Halving both nibbles at once: shift, then mask out the bit
+            // that crossed the nibble boundary.
+            *b = (*b >> 1) & 0x77;
+            total += u64::from(*b & 0x0F) + u64::from(*b >> 4);
+        }
+        self.total = total;
+        self.ops_since_reset = 0;
+        self.resets += 1;
+        audit!(self, "FreqSketch::halve");
+    }
+
+    /// Corruption hook for the seeded-corruption audit tests: skew the
+    /// incrementally maintained total without touching the table.
+    #[doc(hidden)]
+    pub fn debug_corrupt_total(&mut self, delta: u64) {
+        self.total = self.total.wrapping_add(delta);
+    }
+
+    /// Corruption hook: make the aging clock claim more increments than
+    /// the reset window allows.
+    #[doc(hidden)]
+    pub fn debug_corrupt_ops(&mut self) {
+        self.ops_since_reset = self.reset_window + 1;
+    }
+}
+
+impl Validate for FreqSketch {
+    /// Re-derives the sketch's bookkeeping: the counter sum must match
+    /// the incrementally maintained total (nibble packing makes a
+    /// counter > 15 unrepresentable, so the sum is the corruptible
+    /// aggregate), and the aging clock must sit inside the reset window
+    /// (an increment at the window boundary halves immediately).
+    fn validate(&self, report: &mut Report) {
+        const S: &str = "FreqSketch";
+        let sum: u64 = self
+            .table
+            .iter()
+            .map(|b| u64::from(b & 0x0F) + u64::from(b >> 4))
+            .sum();
+        report.check(sum == self.total, S, "sketch-total-agree", || {
+            format!(
+                "counters sum to {sum} but the running total says {}",
+                self.total
+            )
+        });
+        report.check(
+            self.ops_since_reset < self.reset_window,
+            S,
+            "sketch-reset-window",
+            || {
+                format!(
+                    "{} increments since reset, window is {}",
+                    self.ops_since_reset, self.reset_window
+                )
+            },
+        );
+        report.check(self.width.is_power_of_two(), S, "sketch-geometry", || {
+            format!("width {} is not a power of two", self.width)
+        });
+        report.check(
+            self.table.len() == ROWS * self.width / 2,
+            S,
+            "sketch-geometry",
+            || {
+                format!(
+                    "table holds {} bytes, geometry needs {}",
+                    self.table.len(),
+                    ROWS * self.width / 2
+                )
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_tracks_counts_and_saturates() {
+        let mut s = FreqSketch::new(256, 1_000_000);
+        assert_eq!(s.estimate(42), 0);
+        for i in 1..=20u8 {
+            s.increment(42);
+            assert_eq!(s.estimate(42), i.min(COUNTER_MAX), "after {i} increments");
+        }
+        assert_eq!(s.estimate(42), COUNTER_MAX, "saturated at the 4-bit max");
+    }
+
+    #[test]
+    fn collisions_only_overestimate() {
+        let mut s = FreqSketch::new(64, 1_000_000);
+        for key in 0..500u64 {
+            s.increment(key);
+        }
+        // Every key was seen once; the row minimum may exceed 1 under
+        // collisions but can never undercount.
+        for key in 0..500u64 {
+            assert!(s.estimate(key) >= 1, "undercount for {key}");
+        }
+    }
+
+    #[test]
+    fn halving_preserves_relative_order() {
+        let mut s = FreqSketch::new(1024, 1_000_000);
+        for _ in 0..12 {
+            s.increment(7);
+        }
+        for _ in 0..4 {
+            s.increment(8);
+        }
+        let (hot, cold) = (s.estimate(7), s.estimate(8));
+        assert!(hot > cold);
+        s.halve();
+        assert_eq!(s.estimate(7), hot / 2);
+        assert_eq!(s.estimate(8), cold / 2);
+        assert!(s.estimate(7) > s.estimate(8), "order survives aging");
+        assert_eq!(s.resets(), 1);
+    }
+
+    #[test]
+    fn reset_window_triggers_halving() {
+        let mut s = FreqSketch::new(64, 10);
+        for _ in 0..9 {
+            s.increment(3);
+        }
+        assert_eq!(s.estimate(3), 9);
+        s.increment(3); // the 10th increment halves
+        assert_eq!(s.estimate(3), 5);
+        assert_eq!(s.resets(), 1);
+    }
+
+    #[test]
+    fn retuning_the_window_takes_effect() {
+        let mut s = FreqSketch::new(64, 1_000);
+        for _ in 0..5 {
+            s.increment(1);
+        }
+        s.set_reset_window(3);
+        assert_eq!(s.resets(), 0, "shrinking is not retroactive");
+        s.increment(1); // 6 >= 3: halves now
+        assert_eq!(s.resets(), 1);
+    }
+
+    #[test]
+    fn validator_is_clean_on_healthy_sketches() {
+        let mut s = FreqSketch::new(128, 50);
+        for k in 0..300u64 {
+            s.increment(k % 40);
+        }
+        assert!(s.validation_report().is_clean());
+    }
+
+    #[test]
+    fn corruption_hooks_fire_the_validators() {
+        let mut s = FreqSketch::new(64, 100);
+        s.increment(9);
+        s.debug_corrupt_total(3);
+        let fired: Vec<&str> = s
+            .validation_report()
+            .violations()
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(fired.contains(&"sketch-total-agree"), "got {fired:?}");
+
+        let mut s = FreqSketch::new(64, 100);
+        s.debug_corrupt_ops();
+        let fired: Vec<&str> = s
+            .validation_report()
+            .violations()
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(fired.contains(&"sketch-reset-window"), "got {fired:?}");
+    }
+}

@@ -44,6 +44,83 @@ impl PolicyKind {
     }
 }
 
+/// How SSD admission is decided (the gate in front of every SSD cache
+/// write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// The paper's behavior, verbatim: lists pass `EV = Freq/SC >= TEV`
+    /// with the static threshold, results pass the static frequency
+    /// floor. This is the reference arm — bit-identical to the seed on
+    /// every simulated figure.
+    Static,
+    /// The sketch-based admission tier: a TinyLFU-style 4-bit frequency
+    /// sketch estimates reuse across the whole stream before a write is
+    /// spent, a ghost cache fast-tracks keys that were just dismissed,
+    /// and an online controller retunes TEV and the sketch's reset
+    /// window to the observed workload phase.
+    Sketch,
+}
+
+/// Parameters of the sketch-based admission tier. Carried even when the
+/// policy is [`AdmissionPolicy::Static`] so the tier can be toggled on at
+/// runtime without reconstructing the manager.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Which gate is active.
+    pub policy: AdmissionPolicy,
+    /// Counters per sketch row (rounded up to a power of two, floor 64).
+    pub sketch_width: usize,
+    /// Initial reset window `W`: sketch increments between halvings.
+    pub reset_window: u64,
+    /// Doorkeeper: minimum sketch estimate for a key to be considered at
+    /// all (filters one-hit wonders before the EV math).
+    pub min_freq: u8,
+    /// Ghost-list capacity in keys, per entry family.
+    pub ghost_capacity: usize,
+    /// Controller epoch in recorded accesses; 0 disables online tuning.
+    pub epoch: u64,
+    /// Per-epoch SSD write budget in blocks: the controller raises TEV
+    /// while admissions exceed it and relaxes TEV when writes run cold.
+    pub write_budget_blocks: u64,
+}
+
+impl AdmissionConfig {
+    /// The reference arm: static gate active, sketch parameters at their
+    /// defaults so a runtime toggle to `Sketch` behaves sensibly.
+    pub fn static_default() -> Self {
+        AdmissionConfig {
+            policy: AdmissionPolicy::Static,
+            ..Self::sketch_default()
+        }
+    }
+
+    /// The sketch arm with default geometry: 16 Ki counters/row (32 KB
+    /// table), a 64 Ki-access reset window, a doorkeeper of 2 and a
+    /// 4 Ki-key ghost list.
+    pub fn sketch_default() -> Self {
+        AdmissionConfig {
+            policy: AdmissionPolicy::Sketch,
+            sketch_width: 16 * 1024,
+            reset_window: 64 * 1024,
+            min_freq: 2,
+            ghost_capacity: 4 * 1024,
+            epoch: 2_048,
+            write_budget_blocks: 1_024,
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sketch_width == 0 {
+            return Err("admission sketch width must be positive".into());
+        }
+        if self.reset_window == 0 {
+            return Err("admission reset window must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// How the two levels share data (the paper's Sec. IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachingScheme {
@@ -106,6 +183,9 @@ pub struct HybridConfig {
     /// Three-level mode: cache term-pair intersections as a third entry
     /// family. `None` is the paper's evaluated two-level configuration.
     pub intersections: Option<IntersectionConfig>,
+    /// The SSD admission gate. [`AdmissionConfig::static_default`] is the
+    /// paper's behavior; the sketch tier is the opt-in modernization.
+    pub admission: AdmissionConfig,
 }
 
 impl HybridConfig {
@@ -128,6 +208,7 @@ impl HybridConfig {
             scheme: CachingScheme::Hybrid,
             ssd_base_lba: 0,
             intersections: None,
+            admission: AdmissionConfig::static_default(),
         }
     }
 
@@ -185,6 +266,7 @@ impl HybridConfig {
         if self.tev < 0.0 {
             return Err("TEV must be non-negative".into());
         }
+        self.admission.validate()?;
         Ok(())
     }
 }
@@ -241,6 +323,22 @@ mod tests {
 
         let mut c = HybridConfig::paper(1 << 20, 1 << 24, PolicyKind::Cblru);
         c.ssd_result_bytes = 1; // smaller than a block but non-zero
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn admission_defaults_and_validation() {
+        let c = HybridConfig::paper(1 << 20, 1 << 24, PolicyKind::Cblru);
+        assert_eq!(c.admission.policy, AdmissionPolicy::Static);
+        c.admission.validate().unwrap();
+        let s = AdmissionConfig::sketch_default();
+        assert_eq!(s.policy, AdmissionPolicy::Sketch);
+
+        let mut c = HybridConfig::paper(1 << 20, 1 << 24, PolicyKind::Cblru);
+        c.admission.reset_window = 0;
+        assert!(c.validate().is_err());
+        let mut c = HybridConfig::paper(1 << 20, 1 << 24, PolicyKind::Cblru);
+        c.admission.sketch_width = 0;
         assert!(c.validate().is_err());
     }
 

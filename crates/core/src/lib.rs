@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod config;
 pub mod manager;
 pub mod mem;
@@ -42,8 +43,11 @@ pub mod ssd;
 pub mod stats;
 pub mod ttl;
 
+pub use admission::{AdmissionStats, AdmissionTier};
 pub use cachekit::VictimSelection;
-pub use config::{CachingScheme, HybridConfig, IntersectionConfig, PolicyKind};
+pub use config::{
+    AdmissionConfig, AdmissionPolicy, CachingScheme, HybridConfig, IntersectionConfig, PolicyKind,
+};
 pub use manager::{CacheManager, ListServe, Tier};
 pub use selection::{efficiency_value, sc_blocks, sc_bytes};
 pub use stats::CacheStats;

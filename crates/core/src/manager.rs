@@ -6,7 +6,8 @@ use storagecore::BlockDevice;
 
 use simclock::SimTime;
 
-use crate::config::{CachingScheme, HybridConfig};
+use crate::admission::{AdmissionStats, AdmissionTier};
+use crate::config::{AdmissionPolicy, CachingScheme, HybridConfig};
 use crate::mem::{ListMeta, MemListCache, MemResultCache};
 use crate::selection::{admit_list, sc_blocks};
 use crate::ssd::{ListStore, ResultStore, SlotRegion};
@@ -73,6 +74,11 @@ pub struct CacheManager<V, D> {
     /// Three-level mode: the intersection family (memory + SSD).
     mem_xc: Option<MemListCache<PairKey>>,
     ssd_xc: Option<ListStore<PairKey>>,
+    /// The SSD admission gate. Inert under [`AdmissionPolicy::Static`]
+    /// (the paper's EV/TEV check runs verbatim); under
+    /// [`AdmissionPolicy::Sketch`] it replaces the static threshold with
+    /// the frequency-sketch + ghost + controller tier.
+    admission: AdmissionTier,
 }
 
 impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
@@ -149,6 +155,7 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
                     0.0,
                 )
             }),
+            admission: AdmissionTier::new(config.admission, config.tev),
             config,
             stats: CacheStats::new(),
             now: SimTime::ZERO,
@@ -173,6 +180,31 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         if let Some(xc) = self.ssd_xc.as_mut() {
             xc.set_victim_selection(selection);
         }
+    }
+
+    /// Switch the SSD admission gate at runtime. `Static` is the paper's
+    /// EV/TEV check verbatim; `Sketch` consults the frequency-sketch
+    /// admission tier instead. Sketch state persists across a round trip
+    /// but only learns while the sketch gate is active.
+    pub fn set_admission_policy(&mut self, policy: AdmissionPolicy) {
+        self.admission.set_policy(policy);
+    }
+
+    /// The active admission gate.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.admission.policy()
+    }
+
+    /// Counters of the sketch admission tier (all zero in the `Static`
+    /// arm; deliberately outside [`CacheStats`] so the bit-identity
+    /// contract over the seed's figures is untouched).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// The admission tier (controller TEV / reset window observability).
+    pub fn admission(&self) -> &AdmissionTier {
+        &self.admission
     }
 
     // ------------------------------------------------------------------
@@ -384,10 +416,12 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         }
         if let Some(v) = self.mem_rc.get(id) {
             self.stats.results.mem_hits += 1;
+            self.admission.record_result_access(id, true);
             return (Some(v.clone()), Tier::Mem, SimDuration::ZERO);
         }
         let mark = self.config.scheme == CachingScheme::Hybrid;
         if let Some((value, _freq, read_latency)) = self.ssd_rc.lookup(id, &mut self.device, mark) {
+            self.admission.record_result_access(id, true);
             self.stats.results.ssd_hits += 1;
             self.stats.ssd_time += read_latency;
             self.stats.ssd_bytes_read += self.config.result_entry_bytes;
@@ -401,6 +435,7 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             self.stats.ssd_time += background;
             return (Some(value), Tier::Ssd, read_latency);
         }
+        self.admission.record_result_access(id, false);
         self.stats.results.misses += 1;
         (None, Tier::Hdd, SimDuration::ZERO)
     }
@@ -434,7 +469,16 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
 
     /// SM decision for one evicted result entry.
     fn flush_result(&mut self, id: QueryId, value: V, freq: u64) -> SimDuration {
-        if freq < self.config.result_freq_threshold {
+        if self.admission.is_sketch() {
+            // The sketch gate replaces the static frequency floor.
+            if !self
+                .admission
+                .admit_result(id, freq, self.config.result_freq_threshold)
+            {
+                self.stats.results.ssd_rejections += 1;
+                return SimDuration::ZERO;
+            }
+        } else if freq < self.config.result_freq_threshold {
             self.stats.results.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
@@ -485,6 +529,7 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
                 self.mem_ic.touch(term, needed_bytes, observed_pu);
                 self.flush_touch_evictions();
                 self.stats.lists.mem_hits += 1;
+                self.admission.record_list_access(term, true);
                 serve.from_mem = needed_bytes;
                 return serve;
             }
@@ -521,6 +566,7 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
                 self.mem_ic.touch(term, target, observed_pu);
                 self.flush_touch_evictions();
                 self.classify_list_hit(&serve);
+                self.admission.record_list_access(term, serve.from_hdd == 0);
                 return serve;
             }
             None => {}
@@ -546,6 +592,7 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         }
         serve.from_hdd = needed_bytes - serve.from_ssd;
         self.classify_list_hit(&serve);
+        self.admission.record_list_access(term, serve.from_hdd == 0);
 
         // Admit to memory (QM: "cache the used data in memory" — the
         // whole list under the traditional baseline). Flushes of the
@@ -630,7 +677,15 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
             self.stats.lists.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
-        if self.config.policy.is_cost_based() && !admit_list(meta.freq, blocks, self.config.tev) {
+        if self.admission.is_sketch() {
+            // The sketch gate replaces the static EV/TEV threshold.
+            if !self.admission.admit_list(term, meta.freq, blocks) {
+                self.stats.lists.ssd_rejections += 1;
+                return SimDuration::ZERO;
+            }
+        } else if self.config.policy.is_cost_based()
+            && !admit_list(meta.freq, blocks, self.config.tev)
+        {
             self.stats.lists.ssd_rejections += 1;
             return SimDuration::ZERO;
         }
@@ -704,6 +759,7 @@ impl<V, D> invariant::Validate for CacheManager<V, D> {
         if let Some(xc) = &self.ssd_xc {
             xc.validate(report);
         }
+        self.admission.validate(report);
     }
 }
 
@@ -734,6 +790,7 @@ mod tests {
             scheme: CachingScheme::Hybrid,
             ssd_base_lba: 0,
             intersections: None,
+            admission: crate::config::AdmissionConfig::static_default(),
         }
     }
 

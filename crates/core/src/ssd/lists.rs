@@ -9,7 +9,7 @@
 //! The LRU baseline replaces the strict LRU entry and caches *full*
 //! lists rather than the utilized prefix.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 
 use cachekit::{OrderIndex, SegmentedLru, SizeClassIndex, VictimSelection, WindowEvent};
 use invariant::{audit, Report, Validate};
@@ -60,7 +60,7 @@ pub struct ListStore<K: Eq + Hash + Copy + Debug = TermKey> {
     region: SlotRegion,
     block_bytes: u64,
     cost_based: bool,
-    entries: HashMap<K, ListEntry>,
+    entries: FxHashMap<K, ListEntry>,
     lru: SegmentedLru<K>,
     /// Blocks reserved for the static partition (consumed as seeded).
     static_blocks: u32,
@@ -94,7 +94,7 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
             region,
             block_bytes,
             cost_based,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             lru,
             static_blocks,
             static_used: 0,
@@ -482,7 +482,7 @@ impl<K: Eq + Hash + Copy + Debug> Validate for ListStore<K> {
         self.size_idx.validate(report);
 
         let mut used_blocks = 0usize;
-        let mut block_owners = HashMap::new();
+        let mut block_owners = FxHashMap::default();
         let mut static_used = 0u64;
         for (&term, entry) in &self.entries {
             report.check(!entry.blocks.is_empty(), S, "block-accounting", || {

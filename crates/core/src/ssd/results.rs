@@ -9,7 +9,7 @@
 //! at its slot position — the small-random-write behaviour the paper
 //! charges against LRU — and the victim is the strict LRU entry.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 
 use cachekit::{MaxScoreIndex, SegmentedLru, VictimSelection, WindowEvent};
 use invariant::{audit, Report, Validate};
@@ -75,10 +75,10 @@ pub struct ResultStore<V> {
     rb_lru: SegmentedLru<SlotId>,
     /// Entry recency list (LRU-baseline victim domain).
     entry_lru: SegmentedLru<QueryId>,
-    rbs: HashMap<SlotId, Rb>,
+    rbs: FxHashMap<SlotId, Rb>,
     /// Fig. 7(a): query → (RB, index).
-    map: HashMap<QueryId, (SlotId, u8)>,
-    payload: HashMap<QueryId, Stored<V>>,
+    map: FxHashMap<QueryId, (SlotId, u8)>,
+    payload: FxHashMap<QueryId, Stored<V>>,
     /// LRU mode: open entry positions available for small writes.
     free_entries: Vec<(SlotId, u8)>,
     /// CB mode: staged evictions awaiting assembly.
@@ -119,9 +119,9 @@ impl<V: Clone> ResultStore<V> {
             cost_based,
             rb_lru,
             entry_lru: SegmentedLru::new(window),
-            rbs: HashMap::new(),
-            map: HashMap::new(),
-            payload: HashMap::new(),
+            rbs: FxHashMap::default(),
+            map: FxHashMap::default(),
+            payload: FxHashMap::default(),
             free_entries: Vec::new(),
             write_buffer: Vec::new(),
             static_slots,

@@ -8,7 +8,7 @@
 //! is still fresh at a given instant, and hands the manager the expired
 //! keys so both cache levels can drop them.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 use simclock::{SimDuration, SimTime};
@@ -17,7 +17,7 @@ use simclock::{SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct TtlTracker<K> {
     ttl: SimDuration,
-    born: HashMap<K, SimTime>,
+    born: FxHashMap<K, SimTime>,
     /// Lookups answered from data that was still fresh.
     fresh_hits: u64,
     /// Lookups that found expired data (treated as misses).
@@ -29,7 +29,7 @@ impl<K: Eq + Hash + Clone> TtlTracker<K> {
     pub fn new(ttl: SimDuration) -> Self {
         TtlTracker {
             ttl,
-            born: HashMap::new(),
+            born: FxHashMap::default(),
             fresh_hits: 0,
             expirations: 0,
         }

@@ -338,6 +338,7 @@ proptest! {
             scheme: CachingScheme::Hybrid,
             ssd_base_lba: 0,
             intersections: None,
+            admission: hybridcache::AdmissionConfig::static_default(),
         };
         let mut indexed: CacheManager<u64, RamDisk> = CacheManager::new(cfg.clone(), device());
         let mut scan: CacheManager<u64, RamDisk> = CacheManager::new(cfg, device());

@@ -338,6 +338,26 @@ impl SearchEngine {
         }
     }
 
+    /// Switch the cache's SSD admission gate at runtime (a no-op when
+    /// uncached). `Static` is the paper's EV/TEV threshold verbatim — the
+    /// reference arm, bit-identical to the seed on every simulated
+    /// figure; `Sketch` consults the frequency-sketch admission tier
+    /// (`divergence_probe --admission` bisects the two).
+    pub fn set_admission_policy(&mut self, policy: hybridcache::AdmissionPolicy) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.set_admission_policy(policy);
+        }
+    }
+
+    /// The active admission gate (`Static` when uncached).
+    pub fn admission_policy(&self) -> hybridcache::AdmissionPolicy {
+        self.cache
+            .as_ref()
+            .map_or(hybridcache::AdmissionPolicy::Static, |c| {
+                c.admission_policy()
+            })
+    }
+
     /// Select which posting-list representation the processor scans.
     /// Both produce bit-identical simulated figures; the `perf_regress`
     /// postings arm measures the wall-clock gap.

@@ -28,7 +28,7 @@
 //! Decoding goes through a [`DecodeArena`] of pooled buffers so the
 //! steady state allocates nothing.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 
 use invariant::{audit, Report, Validate};
 
@@ -388,7 +388,7 @@ pub struct BlockStoreStats {
 /// which is what lets decoded-block caching skip re-decodes safely.
 #[derive(Debug, Clone, Default)]
 pub struct BlockStore {
-    lists: HashMap<TermId, BlockPostings>,
+    lists: FxHashMap<TermId, BlockPostings>,
 }
 
 impl BlockStore {

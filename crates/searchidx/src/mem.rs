@@ -4,14 +4,14 @@
 //! by the examples to index small real collections. Implements the same
 //! [`IndexReader`] as the synthetic index.
 
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 
 use crate::types::{DocId, IndexReader, Posting, PostingList, TermId};
 
 /// Exact inverted index over explicit documents.
 #[derive(Debug, Clone, Default)]
 pub struct MemIndex {
-    lists: HashMap<TermId, Vec<Posting>>,
+    lists: FxHashMap<TermId, Vec<Posting>>,
     num_docs: u64,
     num_terms: u64,
 }
@@ -23,12 +23,12 @@ impl MemIndex {
         D: IntoIterator<Item = T>,
         T: AsRef<[TermId]>,
     {
-        let mut lists: HashMap<TermId, Vec<Posting>> = HashMap::new();
+        let mut lists: FxHashMap<TermId, Vec<Posting>> = FxHashMap::default();
         let mut num_docs = 0u64;
         let mut num_terms = 0u64;
         for (doc_id, doc) in docs.into_iter().enumerate() {
             num_docs += 1;
-            let mut tf: HashMap<TermId, u32> = HashMap::new();
+            let mut tf: FxHashMap<TermId, u32> = FxHashMap::default();
             for &t in doc.as_ref() {
                 *tf.entry(t).or_insert(0) += 1;
                 num_terms = num_terms.max(t as u64 + 1);

@@ -22,8 +22,10 @@
 
 pub mod drift;
 pub mod querylog;
+pub mod scenario;
 pub mod sweep;
 
 pub use drift::DriftingLog;
 pub use querylog::{Query, QueryLog, QueryLogSpec};
+pub use scenario::{DriftingZipfLog, ScanHeavyLog, TopicChurnLog};
 pub use sweep::parallel_map;

@@ -23,6 +23,11 @@
 //!    (VictimSelection, ClusterExecution, PostingsBackend, IoPath, ...)
 //!    are enums; an undocumented one is an equivalence arm nobody can
 //!    review.
+//! 5. **SSD writes go through the admission gate.** The SSD stores'
+//!    raw entry points (`.offer(`, `.seed_static(`) admit data without
+//!    consulting the `AdmissionPolicy` tier; only the cache manager
+//!    that owns the gate (crates/core) and the store-level
+//!    microbenchmarks that deliberately measure below it may call them.
 //!
 //! The scanner is deliberately std-only (the build environment has no
 //! registry access, so `syn` is unavailable): sources are stripped of
@@ -50,12 +55,19 @@ pub const WALL_CLOCK_ALLOW_FILES: &[&str] = &["crates/engine/src/cluster.rs"];
 pub const DEVICE_LAYER_PREFIXES: &[&str] =
     &["crates/storagecore/", "crates/flashsim/", "crates/hddsim/"];
 
+/// Path prefixes allowed to call the SSD stores' raw admission entry
+/// points directly: the cache manager that owns the `AdmissionPolicy`
+/// gate, and the store-level microbenchmarks that measure below it on
+/// purpose.
+pub const ADMISSION_GATE_ALLOW_PREFIXES: &[&str] = &["crates/core/", "crates/bench/benches/"];
+
 /// `lib.rs` files that must pin `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_LIBS: &[&str] = &[
     "crates/cachekit/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/engine/src/lib.rs",
     "crates/flashsim/src/lib.rs",
+    "crates/fxmap/src/lib.rs",
     "crates/hddsim/src/lib.rs",
     "crates/invariant/src/lib.rs",
     "crates/searchidx/src/lib.rs",
@@ -300,6 +312,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
         check_unsafe(file, &stripped, &mut violations);
         check_wall_clock(file, &stripped, &mut violations);
         check_device_bypass(file, &stripped, &mut violations);
+        check_admission_bypass(file, &stripped, &mut violations);
         check_pub_enum_docs(file, raw, &stripped, &mut violations);
     }
     check_forbid_unsafe(root, &mut violations);
@@ -360,6 +373,29 @@ fn check_device_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
                     "raw device mutator `{token})` outside the device layer — all I/O must \
                      flow through BlockDevice::request (or the queued submit path) so the \
                      queue, trace sink, and invariant audits see it"
+                ),
+            });
+        }
+    }
+}
+
+fn check_admission_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if ADMISSION_GATE_ALLOW_PREFIXES
+        .iter()
+        .any(|p| file.starts_with(p))
+    {
+        return;
+    }
+    for token in [".offer(", ".seed_static("] {
+        if let Some(pos) = stripped.find(token) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, pos),
+                rule: "no-admission-bypass",
+                detail: format!(
+                    "raw SSD-store entry point `{token})` outside the cache manager — \
+                     SSD writes must flow through CacheManager's flush paths so the \
+                     AdmissionPolicy gate (static EV or sketch tier) decides them"
                 ),
             });
         }

@@ -140,6 +140,48 @@ fn planted_device_bypass_is_caught() {
 }
 
 #[test]
+fn planted_admission_bypass_is_caught() {
+    let s = Scratch::new("admission");
+    s.write(
+        "crates/engine/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn sneak(s: &mut Store, d: &mut Dev) { s.offer(1, 2, 3, 4, d); }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-admission-bypass");
+    assert_eq!(v[0].line, 2);
+    // Seeding below the gate is the same bypass.
+    let s2 = Scratch::new("admission-seed");
+    s2.write(
+        "crates/workload/src/gen.rs",
+        "pub fn warm(s: &mut Store, d: &mut Dev) { s.seed_static(7, 1, 128, d); }\n",
+    );
+    let v2 = s2.lint();
+    assert_eq!(v2.len(), 1, "{v2:?}");
+    assert_eq!(v2[0].rule, "no-admission-bypass");
+    // Inside the cache manager the same call *is* the gate's output, and
+    // the store-level microbenchmarks deliberately measure below it.
+    let s3 = Scratch::new("admission-allow");
+    s3.write(
+        "crates/core/src/manager.rs",
+        "pub fn flush(s: &mut Store, d: &mut Dev) { s.offer(1, 2, 3, 4, d); }\n",
+    );
+    s3.write(
+        "crates/bench/benches/cache_ops.rs",
+        "fn bench(s: &mut Store, d: &mut Dev) { s.offer(1, 2, 3, 4, d); s.seed_static(7, 1, 128, d); }\n",
+    );
+    assert!(s3.lint().is_empty());
+    // `seed_static_from_log` is the engine's *gated* warm-up path, not a
+    // match for the raw token.
+    let s4 = Scratch::new("admission-fromlog");
+    s4.write(
+        "crates/engine/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn warm(e: &mut Engine) { e.seed_static_from_log(100); }\n",
+    );
+    assert!(s4.lint().is_empty());
+}
+
+#[test]
 fn undocumented_pub_enum_is_caught() {
     let s = Scratch::new("enumdoc");
     s.write(

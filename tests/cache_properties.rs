@@ -25,6 +25,7 @@ fn manager(policy: PolicyKind, scheme: CachingScheme) -> CacheManager<u64, RamDi
         scheme,
         ssd_base_lba: 0,
         intersections: None,
+        admission: hybridcache::AdmissionConfig::static_default(),
     };
     if !policy.is_cost_based() {
         cfg.tev = 0.0;
