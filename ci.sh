@@ -27,10 +27,13 @@ cargo test --release -q -p engine --test io_path_equivalence
 echo "== admission equivalence (explicit) =="
 cargo test --release -q -p engine --test admission_equivalence --test admission_audit
 
+echo "== serving equivalence (explicit) =="
+cargo test --release -q -p engine --test serving_equivalence
+
 echo "== postings_decode bench builds =="
 cargo build --release -p bench --bench postings_decode
 
-echo "== perf_regress binary builds (BENCH_5 admission arm included) =="
+echo "== perf_regress binary builds (BENCH_5 admission + BENCH_6 serving arms included) =="
 cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
 echo "== xtask lint gate =="
@@ -40,6 +43,7 @@ echo "== equivalence suites under INVARIANT_AUDIT (debug) =="
 INVARIANT_AUDIT=1 cargo test -q -p hybridcache --test victim_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_path_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test admission_audit
+INVARIANT_AUDIT=1 cargo test -q -p engine --test serving_equivalence --test serving_audit
 INVARIANT_AUDIT=1 cargo test -q -p searchidx --test postings_equivalence
 
 echo "== loom models (bounded schedule exploration) =="

@@ -24,14 +24,24 @@
 //! completely inert) run in lockstep, comparing every response, the
 //! cache counters, and the store counters.
 //!
+//! With `--serving` it bisects the *serving arms*: an open-loop
+//! `ServingSim` at the reference configuration (infinite deadline,
+//! batch 1, no shed/hedge, zero overhead) and a bare closed-loop
+//! `SearchCluster` march through one arrival stream, comparing every
+//! per-query service time, then the cumulative cluster reports.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
-//!         [--cluster] [--workers N] [--postings] [--iopath] [--admission]
+//!         [--cluster] [--workers N] [--postings] [--iopath] [--admission] \
+//!         [--serving]
 
-use engine::{ClusterExecution, EngineConfig, PostingsBackend, SearchCluster, SearchEngine};
+use engine::{
+    ClusterExecution, EngineConfig, OpenLoopConfig, Outcome, PostingsBackend, SearchCluster,
+    SearchEngine, ServingMode, ServingOutcome, ServingSim,
+};
 use hybridcache::{AdmissionConfig, AdmissionPolicy, PolicyKind};
 use storagecore::{IoPath, SchedulerPolicy};
-use workload::Query;
+use workload::{Arrival, ArrivalKind, ArrivalProcess, Query};
 
 /// Lockstep bisection of the cluster execution arms.
 fn probe_cluster(policy: PolicyKind, workers: usize) {
@@ -82,6 +92,82 @@ fn probe_cluster(policy: PolicyKind, workers: usize) {
         return;
     }
     println!("no divergence over {queries} cluster queries ({workers} workers)");
+}
+
+/// Lockstep bisection of the serving arms: open-loop at the reference
+/// configuration vs the closed loop. The service time the front-end
+/// records for arrival `i` must be the closed loop's response for query
+/// `i`, bit for bit, and the cumulative shard reports must agree at the
+/// end.
+fn probe_serving(policy: PolicyKind, workers: usize) {
+    let shards = 4;
+    let docs = 200_000;
+    let queries = 4_000usize;
+    let seed = 42;
+    let cfg = || {
+        EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(4 << 20, 40 << 20, policy),
+            seed,
+        )
+    };
+
+    let mut closed = SearchCluster::new(cfg(), shards);
+    let mut open = ServingSim::new(
+        cfg(),
+        shards,
+        1,
+        ServingMode::OpenLoop(OpenLoopConfig::reference()),
+    );
+    if workers > 0 {
+        open.set_execution(ClusterExecution::Parallel { workers });
+    }
+    println!("serving probe: {shards} shards, {docs} docs, open-loop reference vs closed loop");
+
+    let arrivals: Vec<Arrival> = ArrivalProcess::new(
+        closed.log().clone(),
+        ArrivalKind::Poisson { rate_qps: 100.0 },
+    )
+    .generate(queries);
+    match open.run(&arrivals) {
+        ServingOutcome::Open(_) => {}
+        ServingOutcome::Closed(_) => unreachable!("mode is OpenLoop"),
+    }
+    for (i, (rec, a)) in open.records().iter().zip(&arrivals).enumerate() {
+        let closed_response = closed.execute(&a.query);
+        let open_service = match rec.outcome {
+            Outcome::Answered { service, .. } => service,
+            Outcome::Shed => {
+                println!("first divergence at arrival {i}: reference config shed a query");
+                return;
+            }
+        };
+        if open_service != closed_response {
+            println!(
+                "first divergence at arrival {i} (id {}, {} terms)",
+                a.query.id,
+                a.query.terms.len()
+            );
+            println!("  closed-loop response:  {closed_response}");
+            println!("  open-loop   service:   {open_service}");
+            return;
+        }
+    }
+    // Services agreed; the shard-level counters still might not.
+    let (ro, rc) = (
+        open.replica_mut(0).run_queries(&[]),
+        closed.run_queries(&[]),
+    );
+    if ro != rc {
+        println!("services identical but reports diverged:");
+        for (i, (a, b)) in ro.shards.iter().zip(&rc.shards).enumerate() {
+            if a != b {
+                println!("  shard {i}:\n    open   {a:?}\n    closed {b:?}");
+            }
+        }
+        return;
+    }
+    println!("no divergence over {queries} served arrivals");
 }
 
 /// Lockstep bisection of the postings backends. Reference mode stays off
@@ -283,6 +369,7 @@ fn main() {
     let mut postings = false;
     let mut iopath = false;
     let mut admission = false;
+    let mut serving = false;
     let mut workers = 0usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -293,6 +380,7 @@ fn main() {
             "--postings" => postings = true,
             "--iopath" => iopath = true,
             "--admission" => admission = true,
+            "--serving" => serving = true,
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             _ => {}
         }
@@ -306,6 +394,10 @@ fn main() {
     };
     if cluster {
         probe_cluster(policy, workers);
+        return;
+    }
+    if serving {
+        probe_serving(policy, workers);
         return;
     }
     if postings {

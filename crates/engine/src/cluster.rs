@@ -296,6 +296,10 @@ impl WorkerPool {
         self.busy.iter().copied().max().unwrap_or_default()
     }
 
+    fn busy(&self) -> &[Duration] {
+        &self.busy
+    }
+
     /// End the pool and recover the engines, in shard order.
     fn shutdown(self) -> Vec<SearchEngine> {
         let mut out: Vec<Option<SearchEngine>> = (0..self.num_shards).map(|_| None).collect();
@@ -418,11 +422,29 @@ impl SearchCluster {
         }
     }
 
+    /// Cumulative busy time of *every* pool worker, in worker order —
+    /// the per-core utilization picture a serving report records so a
+    /// timeshared single-core host is self-describing. `None` on the
+    /// sequential arm.
+    pub fn worker_busy(&self) -> Option<Vec<Duration>> {
+        match &self.backend {
+            Backend::Sequential(_) => None,
+            Backend::Parallel(pool) => Some(pool.busy().to_vec()),
+        }
+    }
+
     /// Draw the next `n` queries from the shared log (the stream the
     /// front-end would broadcast). Public so harnesses can drive two
     /// clusters through one identical stream.
     pub fn stream(&mut self, n: usize) -> Vec<Query> {
         self.log.stream(n)
+    }
+
+    /// The shared query log. Arrival-process generators clone this so
+    /// the open-loop front-end draws from the exact universe the shards
+    /// were built for (every term resolves on every shard).
+    pub fn log(&self) -> &QueryLog {
+        &self.log
     }
 
     /// Fold one query's per-shard latencies into the cluster statistics
@@ -459,6 +481,35 @@ impl SearchCluster {
         self.finish_query(slowest, fastest)
     }
 
+    /// Broadcast a batch and return every query's scatter-gather
+    /// response, in query order. This is [`SearchCluster::execute`] for
+    /// a whole batch: the sequential arm replays the seed's query-major
+    /// loop, the parallel arm pins the batch to the pool (shard-major)
+    /// and merges in query order, so the responses — and every
+    /// cumulative statistic they fold into — are bit-identical across
+    /// arms. The serving front-end's batching layer dispatches through
+    /// this, which is what makes its `OpenLoop` reference configuration
+    /// (batch size 1, arrival order) collapse exactly onto the
+    /// closed-loop path.
+    pub fn execute_batch(&mut self, queries: &[Query]) -> Vec<SimDuration> {
+        if matches!(self.backend, Backend::Sequential(_)) {
+            return queries.iter().map(|q| self.execute(q)).collect();
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let per_shard = match &mut self.backend {
+            Backend::Parallel(pool) => pool.run_batch(Arc::new(queries.to_vec())),
+            Backend::Sequential(_) => unreachable!("checked above"),
+        };
+        (0..queries.len())
+            .map(|qi| {
+                let (slowest, fastest) = minmax(per_shard.iter().map(|lat| lat[qi]));
+                self.finish_query(slowest, fastest)
+            })
+            .collect()
+    }
+
     /// Execute an explicit query stream and report. The sequential arm
     /// replays the seed's query-major loop; the parallel arm pins the
     /// whole batch to the pool (shard-major) and merges in query order —
@@ -466,20 +517,7 @@ impl SearchCluster {
     pub fn run_queries(&mut self, queries: &[Query]) -> ClusterReport {
         let before = self.queries_run;
         let t0 = self.clock;
-        if matches!(self.backend, Backend::Sequential(_)) {
-            for q in queries {
-                self.execute(q);
-            }
-        } else if !queries.is_empty() {
-            let per_shard = match &mut self.backend {
-                Backend::Parallel(pool) => pool.run_batch(Arc::new(queries.to_vec())),
-                Backend::Sequential(_) => unreachable!("checked above"),
-            };
-            for qi in 0..queries.len() {
-                let (slowest, fastest) = minmax(per_shard.iter().map(|lat| lat[qi]));
-                self.finish_query(slowest, fastest);
-            }
-        }
+        self.execute_batch(queries);
         let elapsed = self.clock - t0;
         let ran = self.queries_run - before;
         ClusterReport {

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod model;
 pub mod payload;
 pub mod report;
+pub mod serving;
 pub mod situations;
 
 pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
@@ -31,4 +32,8 @@ pub use model::{predict, FixedCosts, ModelCheck};
 pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};
 pub use searchidx::PostingsBackend;
+pub use serving::{
+    detect_knee, FrontQueue, LoadPoint, OpenLoopConfig, Outcome, OutcomeLedger, QueryRecord,
+    ServingMode, ServingOutcome, ServingReport, ServingSim, ShedPolicy,
+};
 pub use situations::{Situation, SituationTable};

@@ -1,0 +1,278 @@
+//! Contracts of the open-loop serving front-end.
+//!
+//! Three things must hold or the latency-vs-load curves are fiction:
+//! the whole serving schedule is a deterministic function of the seed
+//! (bit-reproducible across runs *and* across worker-pool sizes, which
+//! may only move wall-clock); the closed-loop path behind
+//! [`engine::ServingMode::ClosedLoop`] is the seed's harness verbatim;
+//! and the open loop at its reference configuration (infinite deadline,
+//! batch 1, no shed, no hedge, zero overhead) produces per-query
+//! service times bit-identical to the closed loop. On top of those,
+//! conservation properties: offered load bounds goodput, every arrival
+//! gets exactly one outcome, and below the saturation knee a generous
+//! deadline sheds nothing.
+
+use engine::{
+    ClusterExecution, EngineConfig, OpenLoopConfig, Outcome, SearchCluster, ServingMode,
+    ServingOutcome, ServingReport, ServingSim, ShedPolicy,
+};
+use hybridcache::{HybridConfig, PolicyKind};
+use proptest::prelude::*;
+use simclock::SimDuration;
+use workload::{Arrival, ArrivalKind, ArrivalProcess};
+
+const DOCS: u64 = 20_000;
+const SHARDS: usize = 2;
+
+fn cfg(seed: u64) -> EngineConfig {
+    EngineConfig::cached(
+        DOCS,
+        HybridConfig::paper(1 << 20, 8 << 20, PolicyKind::Cblru),
+        seed,
+    )
+}
+
+/// Mean closed-loop response of this configuration — the capacity
+/// anchor the load factors below are expressed against.
+fn mean_service(seed: u64) -> SimDuration {
+    let mut c = SearchCluster::new(cfg(seed), SHARDS);
+    c.run(300).mean_response
+}
+
+fn arrivals(seed: u64, rate_qps: f64, n: usize) -> Vec<Arrival> {
+    let c = SearchCluster::new(cfg(seed), SHARDS);
+    ArrivalProcess::new(c.log().clone(), ArrivalKind::Poisson { rate_qps }).generate(n)
+}
+
+fn run_open(
+    seed: u64,
+    replicas: usize,
+    exec: ClusterExecution,
+    oc: OpenLoopConfig,
+    arr: &[Arrival],
+) -> (ServingReport, Vec<engine::QueryRecord>) {
+    let mut sim = ServingSim::new(cfg(seed), SHARDS, replicas, ServingMode::OpenLoop(oc));
+    sim.set_execution(exec);
+    let report = match sim.run(arr) {
+        ServingOutcome::Open(r) => r,
+        ServingOutcome::Closed(_) => unreachable!("mode is OpenLoop"),
+    };
+    assert!(
+        sim.validation_report().is_clean(),
+        "serving run left structural violations:\n{}",
+        sim.validation_report().summary()
+    );
+    (report, sim.records().to_vec())
+}
+
+/// A loaded configuration exercising every front-end feature at once:
+/// tight deadlines, a bulk class, batching, shedding and hedging.
+fn full_featured(mean: SimDuration) -> OpenLoopConfig {
+    OpenLoopConfig {
+        deadline: Some(mean * 6),
+        bulk_period: 7,
+        bulk_factor: 4,
+        batch_max: 8,
+        shed: ShedPolicy::Drop,
+        hedge_after: Some(mean * 2),
+        dispatch_overhead: SimDuration::from_micros(200),
+    }
+}
+
+#[test]
+fn seeded_serving_runs_are_bit_reproducible() {
+    invariant::force_enable();
+    let mean = mean_service(11);
+    let rate = 1.2 / mean.as_secs_f64(); // 20% past naive capacity
+    let arr = arrivals(11, rate, 600);
+    let oc = full_featured(mean);
+    let (r1, rec1) = run_open(11, 2, ClusterExecution::Sequential, oc, &arr);
+    let (r2, rec2) = run_open(11, 2, ClusterExecution::Sequential, oc, &arr);
+    assert_eq!(r1, r2, "same seed, same stream, same report");
+    assert_eq!(rec1, rec2, "same seed, same stream, same records");
+}
+
+#[test]
+fn worker_pools_only_move_wall_clock_never_the_schedule() {
+    let mean = mean_service(13);
+    let rate = 1.1 / mean.as_secs_f64();
+    let arr = arrivals(13, rate, 500);
+    let oc = full_featured(mean);
+    let (seq_report, seq_records) = run_open(13, 2, ClusterExecution::Sequential, oc, &arr);
+    for workers in [1usize, 2, 0] {
+        let (par_report, par_records) =
+            run_open(13, 2, ClusterExecution::Parallel { workers }, oc, &arr);
+        assert_eq!(
+            seq_report, par_report,
+            "report diverged at workers={workers}"
+        );
+        assert_eq!(
+            seq_records, par_records,
+            "records diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn closed_loop_mode_is_the_reference_harness_verbatim() {
+    let arr = arrivals(17, 40.0, 400);
+    let mut sim = ServingSim::new(cfg(17), SHARDS, 1, ServingMode::ClosedLoop);
+    let closed_via_serving = match sim.run(&arr) {
+        ServingOutcome::Closed(r) => r,
+        ServingOutcome::Open(_) => unreachable!("mode is ClosedLoop"),
+    };
+    let mut bare = SearchCluster::new(cfg(17), SHARDS);
+    let queries: Vec<_> = arr.iter().map(|a| a.query.clone()).collect();
+    let direct = bare.run_queries(&queries);
+    assert_eq!(closed_via_serving, direct);
+}
+
+#[test]
+fn reference_open_loop_services_match_closed_loop_responses() {
+    let arr = arrivals(19, 60.0, 400);
+    let (_, records) = run_open(
+        19,
+        1,
+        ClusterExecution::Sequential,
+        OpenLoopConfig::reference(),
+        &arr,
+    );
+    let mut closed = SearchCluster::new(cfg(19), SHARDS);
+    for (i, (rec, a)) in records.iter().zip(&arr).enumerate() {
+        let response = closed.execute(&a.query);
+        match rec.outcome {
+            Outcome::Answered {
+                service,
+                hedged,
+                degraded,
+                ..
+            } => {
+                assert_eq!(service, response, "service diverged at query {i}");
+                assert!(!hedged && !degraded, "reference config is plain FIFO");
+            }
+            Outcome::Shed => panic!("reference config never sheds (query {i})"),
+        }
+    }
+}
+
+#[test]
+fn shedding_is_deterministic_and_only_fires_under_overload() {
+    let mean = mean_service(23);
+    let oc = OpenLoopConfig::batched(mean * 4, SimDuration::from_micros(200), 8);
+
+    // Well under capacity: nothing sheds, nothing misses.
+    let calm = arrivals(23, 0.3 / mean.as_secs_f64(), 400);
+    let (calm_report, _) = run_open(23, 2, ClusterExecution::Sequential, oc, &calm);
+    assert_eq!(calm_report.shed, 0, "no shedding below the knee");
+    assert_eq!(calm_report.answered, 400);
+
+    // Far past capacity: the gate sheds, and identically on every run.
+    let hot = arrivals(23, 3.0 / mean.as_secs_f64(), 600);
+    let (hot1, recs1) = run_open(23, 2, ClusterExecution::Sequential, oc, &hot);
+    let (hot2, recs2) = run_open(23, 2, ClusterExecution::Sequential, oc, &hot);
+    assert!(hot1.shed > 0, "overload must shed (got {:?})", hot1.shed);
+    assert_eq!(hot1, hot2);
+    assert_eq!(recs1, recs2);
+    assert_eq!(
+        hot1.answered + hot1.shed,
+        hot1.arrivals,
+        "every arrival gets one outcome"
+    );
+}
+
+#[test]
+fn degrade_answers_everything_in_cheaper_form_instead_of_dropping() {
+    let mean = mean_service(29);
+    let mut oc = OpenLoopConfig::batched(mean * 4, SimDuration::from_micros(200), 8);
+    oc.shed = ShedPolicy::Degrade;
+    let hot = arrivals(29, 3.0 / mean.as_secs_f64(), 500);
+    let (report, records) = run_open(29, 2, ClusterExecution::Sequential, oc, &hot);
+    assert_eq!(report.shed, 0, "degrade never drops");
+    assert_eq!(report.answered, 500);
+    assert!(report.degraded > 0, "overload must degrade");
+    let flagged = records
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Answered { degraded: true, .. }))
+        .count() as u64;
+    assert_eq!(flagged, report.degraded);
+}
+
+#[test]
+fn hedges_are_accounted_and_bounded() {
+    let mean = mean_service(31);
+    let mut oc = full_featured(mean);
+    oc.shed = ShedPolicy::Admit; // keep every query so hedges get chances
+    oc.hedge_after = Some(mean); // aggressive hedging
+    let arr = arrivals(31, 1.3 / mean.as_secs_f64(), 500);
+    let (report, records) = run_open(31, 2, ClusterExecution::Sequential, oc, &arr);
+    assert!(
+        report.hedges_issued > 0,
+        "an overloaded 2-replica tier must hedge"
+    );
+    assert!(report.hedges_won <= report.hedges_issued);
+    assert!(report.hedges_issued <= report.answered);
+    let (issued, won) = records
+        .iter()
+        .fold((0u64, 0u64), |(i, w), r| match r.outcome {
+            Outcome::Answered {
+                hedged, hedge_won, ..
+            } => (i + hedged as u64, w + hedge_won as u64),
+            Outcome::Shed => (i, w),
+        });
+    assert_eq!(issued, report.hedges_issued);
+    assert_eq!(won, report.hedges_won);
+    if report.hedges_won < report.hedges_issued {
+        assert!(
+            report.hedge_wasted > SimDuration::ZERO,
+            "losing duplicates burn replica time"
+        );
+    }
+}
+
+#[test]
+fn batching_beats_naive_fifo_past_the_naive_knee() {
+    // Deterministic head-to-head at a load the naive arm cannot absorb
+    // (per-dispatch overhead is the dominant cost at batch size 1).
+    let mean = mean_service(37);
+    let overhead = SimDuration::from_micros(500);
+    let deadline = (mean + overhead) * 6;
+    // Aggregate capacity of the 2-replica tier at batch size 1.
+    let naive_capacity = 2.0 / (mean + overhead).as_secs_f64();
+    let arr = arrivals(37, 1.3 * naive_capacity, 600);
+    let naive = OpenLoopConfig::naive_fifo(deadline, overhead);
+    let batched = OpenLoopConfig::batched(deadline, overhead, 16);
+    let (naive_r, _) = run_open(37, 2, ClusterExecution::Sequential, naive, &arr);
+    let (batched_r, _) = run_open(37, 2, ClusterExecution::Sequential, batched, &arr);
+    assert!(
+        batched_r.p99_response < naive_r.p99_response,
+        "batched p99 {} !< naive p99 {}",
+        batched_r.p99_response,
+        naive_r.p99_response
+    );
+    assert!(
+        batched_r.goodput_qps > naive_r.goodput_qps,
+        "batched goodput {:.1} !> naive {:.1}",
+        batched_r.goodput_qps,
+        naive_r.goodput_qps
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation: goodput never exceeds offered load, outcomes
+    /// partition the arrivals, and a lightly-loaded tier with a
+    /// generous deadline sheds nothing.
+    #[test]
+    fn goodput_is_bounded_by_offered_load(seed in 1u64..1_000, load in 0.1f64..0.5) {
+        let mean = mean_service(seed);
+        let oc = OpenLoopConfig::batched(mean * 20, SimDuration::from_micros(200), 8);
+        let arr = arrivals(seed, load / mean.as_secs_f64(), 250);
+        let (report, _) = run_open(seed, 2, ClusterExecution::Sequential, oc, &arr);
+        prop_assert!(report.goodput_qps <= report.offered_qps * 1.000_001,
+            "goodput {} > offered {}", report.goodput_qps, report.offered_qps);
+        prop_assert_eq!(report.shed, 0);
+        prop_assert_eq!(report.answered + report.shed, report.arrivals);
+        prop_assert_eq!(report.deadline_misses, 0);
+    }
+}

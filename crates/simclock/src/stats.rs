@@ -203,6 +203,24 @@ impl Histogram {
     }
 }
 
+/// Exact quantile of a sample set by partial selection: the element at
+/// rank `ceil(q·n) - 1` (the classic "nearest-rank" definition, so
+/// `q = 0.99` over 100 samples is the 99th smallest). The log-scale
+/// [`Histogram`] answers the same question with one-octave error, which
+/// is fine for latency *shapes* but too coarse to compare two serving
+/// arms whose p99s differ by less than 2x — the open-loop latency-vs-load
+/// curves need the exact order statistic. `O(n)` via `select_nth_unstable`;
+/// reorders `samples` in place. Returns 0 on an empty slice.
+pub fn quantile_exact(samples: &mut [u64], q: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if samples.is_empty() {
+        return 0;
+    }
+    let rank = ((samples.len() as f64) * q).ceil().max(1.0) as usize - 1;
+    let rank = rank.min(samples.len() - 1);
+    *samples.select_nth_unstable(rank).1
+}
+
 /// Fixed-window moving average over the last `window` observations.
 #[derive(Debug, Clone)]
 pub struct MovingAverage {
@@ -343,6 +361,34 @@ mod tests {
         assert_eq!(m.push(9.0), 6.0);
         // Window slides: (6+9+12)/3
         assert_eq!(m.push(12.0), 9.0);
+    }
+
+    #[test]
+    fn quantile_exact_is_the_nearest_rank_order_statistic() {
+        let mut xs: Vec<u64> = (1..=1000).rev().collect();
+        assert_eq!(quantile_exact(&mut xs, 0.5), 500);
+        assert_eq!(quantile_exact(&mut xs, 0.99), 990);
+        assert_eq!(quantile_exact(&mut xs, 0.999), 999);
+        assert_eq!(quantile_exact(&mut xs, 1.0), 1000);
+        assert_eq!(quantile_exact(&mut xs, 0.0), 1);
+        assert_eq!(quantile_exact(&mut [], 0.9), 0);
+        assert_eq!(quantile_exact(&mut [7], 0.999), 7);
+    }
+
+    #[test]
+    fn quantile_exact_refines_the_histogram_bound() {
+        // Same data, same question: the histogram may only answer to the
+        // enclosing octave; the exact quantile must land inside it.
+        let mut h = Histogram::new();
+        let mut xs = Vec::new();
+        for x in 1..=1000u64 {
+            h.record(x);
+            xs.push(x);
+        }
+        let exact = quantile_exact(&mut xs, 0.99);
+        assert_eq!(exact, 990);
+        assert!(h.quantile(0.99) >= exact);
+        assert!(h.quantile(0.99) <= exact * 2);
     }
 
     #[test]

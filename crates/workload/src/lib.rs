@@ -20,11 +20,13 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod arrival;
 pub mod drift;
 pub mod querylog;
 pub mod scenario;
 pub mod sweep;
 
+pub use arrival::{offered_qps, Arrival, ArrivalKind, ArrivalProcess};
 pub use drift::DriftingLog;
 pub use querylog::{Query, QueryLog, QueryLogSpec};
 pub use scenario::{DriftingZipfLog, ScanHeavyLog, TopicChurnLog};

@@ -61,6 +61,17 @@ pub const DEVICE_LAYER_PREFIXES: &[&str] =
 /// purpose.
 pub const ADMISSION_GATE_ALLOW_PREFIXES: &[&str] = &["crates/core/", "crates/bench/benches/"];
 
+/// Modules whose entire behaviour must be a pure function of the seed:
+/// the arrival-process generators and the open-loop serving front-end.
+/// A wall-clock read or an ad-hoc RNG here silently breaks the
+/// bit-reproducibility contract behind the latency-vs-load curves, so
+/// both are forbidden outright — randomness comes from `simclock::Rng`,
+/// time from the virtual clock.
+pub const SIM_RNG_ONLY_FILES: &[&str] = &[
+    "crates/workload/src/arrival.rs",
+    "crates/engine/src/serving.rs",
+];
+
 /// `lib.rs` files that must pin `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_LIBS: &[&str] = &[
     "crates/cachekit/src/lib.rs",
@@ -313,6 +324,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
         check_wall_clock(file, &stripped, &mut violations);
         check_device_bypass(file, &stripped, &mut violations);
         check_admission_bypass(file, &stripped, &mut violations);
+        check_sim_rng_only(file, &stripped, &mut violations);
         check_pub_enum_docs(file, raw, &stripped, &mut violations);
     }
     check_forbid_unsafe(root, &mut violations);
@@ -396,6 +408,34 @@ fn check_admission_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) 
                     "raw SSD-store entry point `{token})` outside the cache manager — \
                      SSD writes must flow through CacheManager's flush paths so the \
                      AdmissionPolicy gate (static EV or sketch tier) decides them"
+                ),
+            });
+        }
+    }
+}
+
+fn check_sim_rng_only(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if !SIM_RNG_ONLY_FILES.contains(&file) {
+        return;
+    }
+    for token in [
+        "thread_rng",
+        "from_entropy",
+        "rand",
+        "random",
+        "RandomState",
+        "Instant",
+        "SystemTime",
+    ] {
+        if let Some(at) = find_ident(stripped, token) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, at),
+                rule: "sim-rng-only",
+                detail: format!(
+                    "`{token}` in an arrival/serving module — the open-loop schedule must \
+                     be a pure function of the seed; draw randomness from simclock::Rng \
+                     and time from the virtual clock"
                 ),
             });
         }

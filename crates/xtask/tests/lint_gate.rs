@@ -64,6 +64,14 @@ fn the_real_workspace_is_clean() {
             "{file} missing from the workspace"
         );
     }
+    // Likewise for the seed-pure serving modules: a rename would turn
+    // the sim-rng-only rule into a silent no-op.
+    for file in xtask::SIM_RNG_ONLY_FILES {
+        assert!(
+            root.join(file).is_file(),
+            "{file} missing from the workspace"
+        );
+    }
 }
 
 #[test]
@@ -209,4 +217,53 @@ fn missing_forbid_attribute_is_caught() {
     assert_eq!(v.len(), 1, "{v:?}");
     assert_eq!(v[0].rule, "forbid-unsafe-missing");
     assert_eq!(v[0].file, "crates/simclock/src/lib.rs");
+}
+
+#[test]
+fn planted_adhoc_rng_in_serving_modules_is_caught() {
+    let s = Scratch::new("simrng");
+    s.write(
+        "crates/workload/src/arrival.rs",
+        "pub fn jitter() -> u64 { thread_rng().next_u64() }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "sim-rng-only");
+    assert_eq!(v[0].file, "crates/workload/src/arrival.rs");
+    assert_eq!(v[0].line, 1);
+
+    let s2 = Scratch::new("simrng-serving");
+    s2.write(
+        "crates/engine/src/serving.rs",
+        "use std::collections::hash_map::RandomState;\npub fn h() -> RandomState { RandomState::new() }\n",
+    );
+    let v2 = s2.lint();
+    assert!(!v2.is_empty(), "{v2:?}");
+    assert!(v2.iter().all(|v| v.rule == "sim-rng-only"), "{v2:?}");
+    assert_eq!(v2[0].line, 1);
+
+    // The same token outside the seed-pure modules is not this rule's
+    // business (no other rule claims `thread_rng` either).
+    let s3 = Scratch::new("simrng-elsewhere");
+    s3.write(
+        "crates/demo/src/lib.rs",
+        "pub fn jitter() -> u64 { thread_rng().next_u64() }\n",
+    );
+    assert!(s3.lint().is_empty());
+}
+
+#[test]
+fn planted_wall_clock_in_serving_modules_trips_both_rules() {
+    // `Instant` in the serving front-end is doubly wrong: it is a
+    // simulation crate (no-wall-clock) and a seed-pure module
+    // (sim-rng-only). Both rules must report it.
+    let s = Scratch::new("simrng-clock");
+    s.write(
+        "crates/engine/src/serving.rs",
+        "use std::time::Instant;\npub fn t() { let _ = Instant::now(); }\n",
+    );
+    let v = s.lint();
+    let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&"no-wall-clock"), "{v:?}");
+    assert!(rules.contains(&"sim-rng-only"), "{v:?}");
 }
