@@ -30,10 +30,13 @@ cargo test --release -q -p engine --test admission_equivalence --test admission_
 echo "== serving equivalence (explicit) =="
 cargo test --release -q -p engine --test serving_equivalence
 
+echo "== offload equivalence (explicit) =="
+cargo test --release -q -p engine --test offload_equivalence --test offload_audit
+
 echo "== postings_decode bench builds =="
 cargo build --release -p bench --bench postings_decode
 
-echo "== perf_regress binary builds (BENCH_5 admission + BENCH_6 serving arms included) =="
+echo "== perf_regress binary builds (BENCH_6 serving + BENCH_7 offload arms included) =="
 cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
 echo "== xtask lint gate =="
@@ -44,6 +47,7 @@ INVARIANT_AUDIT=1 cargo test -q -p hybridcache --test victim_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_path_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test admission_audit
 INVARIANT_AUDIT=1 cargo test -q -p engine --test serving_equivalence --test serving_audit
+INVARIANT_AUDIT=1 cargo test -q -p engine --test offload_equivalence --test offload_audit
 INVARIANT_AUDIT=1 cargo test -q -p searchidx --test postings_equivalence
 
 echo "== loom models (bounded schedule exploration) =="

@@ -30,18 +30,82 @@
 //! `SearchCluster` march through one arrival stream, comparing every
 //! per-query service time, then the cumulative cluster reports.
 //!
+//! With `--offload` it bisects the *offload arms*: a `Host` engine and
+//! an `InFlash` engine under the reference compute model (which must be
+//! bit-identical on every simulated figure — only the bus-byte ledger
+//! may move) run in lockstep, comparing every response, the cache
+//! counters, both submission-queue sections, and the cache pipeline's
+//! stats mirror. `--depth N` and `--channels N` pick the queued
+//! configuration to bisect under.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
 //!         [--cluster] [--workers N] [--postings] [--iopath] [--admission] \
-//!         [--serving]
+//!         [--serving] [--offload] [--depth N] [--channels N]
 
 use engine::{
-    ClusterExecution, EngineConfig, OpenLoopConfig, Outcome, PostingsBackend, SearchCluster,
-    SearchEngine, ServingMode, ServingOutcome, ServingSim,
+    ClusterExecution, EngineConfig, OffloadMode, OpenLoopConfig, Outcome, PostingsBackend,
+    SearchCluster, SearchEngine, ServingMode, ServingOutcome, ServingSim,
 };
 use hybridcache::{AdmissionConfig, AdmissionPolicy, PolicyKind};
-use storagecore::{IoPath, SchedulerPolicy};
+use storagecore::{BlockDevice, IoPath, SchedulerPolicy};
 use workload::{Arrival, ArrivalKind, ArrivalProcess, Query};
+
+/// One engine-pair lockstep bisection — the loop every per-arm probe
+/// shares. Optionally seeds both arms' static partitions first (CBSLRU),
+/// then marches the shared query stream, comparing each response, the
+/// cache counters, and whatever per-arm figures `snapshot` captures.
+/// Prints the first divergence and returns `false`; `true` means the
+/// arms stayed bit-identical for all `queries`.
+fn lockstep_engines<S: PartialEq + std::fmt::Debug>(
+    label_a: &str,
+    label_b: &str,
+    a: &mut SearchEngine,
+    b: &mut SearchEngine,
+    queries: usize,
+    seed_static: bool,
+    snapshot: impl Fn(&SearchEngine) -> S,
+) -> bool {
+    if seed_static {
+        a.seed_static_from_log(queries);
+        b.seed_static_from_log(queries);
+        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
+        if ra != rb {
+            println!("diverged during seeding: {ra:?} vs {rb:?}");
+            return false;
+        }
+        let (sa, sb) = (snapshot(a), snapshot(b));
+        if sa != sb {
+            println!(
+                "snapshots diverged during seeding:\n  {label_a}: {sa:?}\n  {label_b}: {sb:?}"
+            );
+            return false;
+        }
+        println!("seeding identical");
+    }
+    let stream: Vec<Query> = a.log().stream(queries);
+    for (i, q) in stream.iter().enumerate() {
+        let ta = a.execute(q);
+        let tb = b.execute(q);
+        let ca = a.cache().map(|c| *c.stats());
+        let cb = b.cache().map(|c| *c.stats());
+        let (sa, sb) = (snapshot(a), snapshot(b));
+        if ta != tb || ca != cb || sa != sb {
+            println!(
+                "first divergence at query {i} (id {}, {} terms)",
+                q.id,
+                q.terms.len()
+            );
+            println!("  response: {ta} vs {tb}");
+            println!("  cache stats {label_a}: {ca:?}");
+            println!("  cache stats {label_b}: {cb:?}");
+            println!("  snapshot {label_a}: {sa:?}");
+            println!("  snapshot {label_b}: {sb:?}");
+            return false;
+        }
+    }
+    true
+}
 
 /// Lockstep bisection of the cluster execution arms.
 fn probe_cluster(policy: PolicyKind, workers: usize) {
@@ -191,48 +255,25 @@ fn probe_postings(policy: PolicyKind, seed_flag: bool) {
         a.postings_backend(),
         b.postings_backend()
     );
-    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
-        a.seed_static_from_log(queries);
-        b.seed_static_from_log(queries);
-        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
-        if ra != rb {
-            println!("diverged during seeding: {ra:?} vs {rb:?}");
-            return;
-        }
-        println!("seeding identical");
-    }
-    let stream: Vec<Query> = a.log().stream(queries);
-    for (i, q) in stream.iter().enumerate() {
-        let ta = a.execute(q);
-        let tb = b.execute(q);
-        let sa = a.cache().unwrap().stats();
-        let sb = b.cache().unwrap().stats();
-        let (ssa, ssb) = (
-            a.cache().unwrap().store_stats(),
-            b.cache().unwrap().store_stats(),
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines(
+        "reference",
+        "blocked",
+        &mut a,
+        &mut b,
+        queries,
+        seed_static,
+        |e| e.cache().map(|c| c.store_stats()),
+    ) {
+        let skips = b.postings_skip_stats();
+        let store = b.postings_store_stats();
+        println!("no divergence over {queries} queries between postings backends");
+        println!(
+            "  blocked arm: {} block-max probes, {} postings pruned undecoded, \
+             {} terms encoded ({} B)",
+            skips.skip_probes, skips.skipped, store.terms, store.encoded_bytes
         );
-        if ta != tb || sa != sb || ssa != ssb {
-            println!(
-                "first divergence at query {i} (id {}, {} terms)",
-                q.id,
-                q.terms.len()
-            );
-            println!("  response: {ta} vs {tb}");
-            println!("  stats reference: {sa:?}");
-            println!("  stats blocked:   {sb:?}");
-            println!("  store reference: {ssa:?}");
-            println!("  store blocked:   {ssb:?}");
-            return;
-        }
     }
-    let skips = b.postings_skip_stats();
-    let store = b.postings_store_stats();
-    println!("no divergence over {queries} queries between postings backends");
-    println!(
-        "  blocked arm: {} block-max probes, {} postings pruned undecoded, \
-         {} terms encoded ({} B)",
-        skips.skip_probes, skips.skipped, store.terms, store.encoded_bytes
-    );
 }
 
 /// Lockstep bisection of the I/O-path arms: `Direct` vs its event-driven
@@ -258,46 +299,23 @@ fn probe_iopath(policy: PolicyKind, seed_flag: bool) {
         b.io_path(),
         b.io_scheduler()
     );
-    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
-        a.seed_static_from_log(queries);
-        b.seed_static_from_log(queries);
-        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
-        if ra != rb {
-            println!("diverged during seeding: {ra:?} vs {rb:?}");
-            return;
-        }
-        println!("seeding identical");
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines(
+        "direct",
+        "queued",
+        &mut a,
+        &mut b,
+        queries,
+        seed_static,
+        |e| (e.index_queue_stats(), e.cache_queue_stats()),
+    ) {
+        println!(
+            "no divergence over {queries} queries between I/O-path arms \
+             ({} index dispatches, {} cache dispatches)",
+            b.index_queue_stats().dispatches(),
+            b.cache_queue_stats().dispatches()
+        );
     }
-    let stream: Vec<Query> = a.log().stream(queries);
-    for (i, q) in stream.iter().enumerate() {
-        let ta = a.execute(q);
-        let tb = b.execute(q);
-        let sa = a.cache().unwrap().stats();
-        let sb = b.cache().unwrap().stats();
-        let (qa, qb) = (a.index_queue_stats(), b.index_queue_stats());
-        let (ca, cb) = (a.cache_queue_stats(), b.cache_queue_stats());
-        if ta != tb || sa != sb || qa != qb || ca != cb {
-            println!(
-                "first divergence at query {i} (id {}, {} terms)",
-                q.id,
-                q.terms.len()
-            );
-            println!("  response: {ta} vs {tb}");
-            println!("  cache stats direct: {sa:?}");
-            println!("  cache stats queued: {sb:?}");
-            println!("  index queue direct: {qa:?}");
-            println!("  index queue queued: {qb:?}");
-            println!("  cache queue direct: {ca:?}");
-            println!("  cache queue queued: {cb:?}");
-            return;
-        }
-    }
-    println!(
-        "no divergence over {queries} queries between I/O-path arms \
-         ({} index dispatches, {} cache dispatches)",
-        b.index_queue_stats().dispatches(),
-        b.cache_queue_stats().dispatches()
-    );
 }
 
 /// Lockstep bisection of the admission-tier arms: arm A carries the
@@ -322,44 +340,73 @@ fn probe_admission(policy: PolicyKind, seed_flag: bool) {
          arm B = sketch params pinned to {:?}",
         b.admission_policy()
     );
-    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
-        a.seed_static_from_log(queries);
-        b.seed_static_from_log(queries);
-        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
-        if ra != rb {
-            println!("diverged during seeding: {ra:?} vs {rb:?}");
-            return;
-        }
-        println!("seeding identical");
-    }
-    let stream: Vec<Query> = a.log().stream(queries);
-    for (i, q) in stream.iter().enumerate() {
-        let ta = a.execute(q);
-        let tb = b.execute(q);
-        let sa = a.cache().unwrap().stats();
-        let sb = b.cache().unwrap().stats();
-        let (ssa, ssb) = (
-            a.cache().unwrap().store_stats(),
-            b.cache().unwrap().store_stats(),
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines("bare", "inert", &mut a, &mut b, queries, seed_static, |e| {
+        e.cache().map(|c| c.store_stats())
+    }) {
+        println!(
+            "no divergence over {queries} queries between admission arms \
+             (policy {policy:?}, seeded {seed_flag})"
         );
-        if ta != tb || sa != sb || ssa != ssb {
-            println!(
-                "first divergence at query {i} (id {}, {} terms)",
-                q.id,
-                q.terms.len()
-            );
-            println!("  response: {ta} vs {tb}");
-            println!("  stats bare:  {sa:?}");
-            println!("  stats inert: {sb:?}");
-            println!("  store bare:  {ssa:?}");
-            println!("  store inert: {ssb:?}");
-            return;
-        }
     }
+}
+
+/// Lockstep bisection of the offload arms: `Host` galloping vs the
+/// in-flash predicate push-down under the reference compute model. The
+/// two arms must agree on every response, cache counter, both
+/// submission-queue sections, and the cache pipeline's whole stats
+/// mirror; the inner SSD's bus ledger is the one figure the offload is
+/// allowed to move, so it stays out of the comparison and is reported
+/// at the end instead.
+fn probe_offload(policy: PolicyKind, seed_flag: bool, depth: usize, channels: u32) {
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+    let cfg = || {
+        let mut c = EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
+            seed,
+        );
+        c.ssd_channels = channels;
+        if depth > 0 {
+            c.io_path = IoPath::Queued { depth };
+        }
+        c
+    };
+    let mut a = SearchEngine::new(cfg());
+    let mut b = SearchEngine::new(cfg());
+    b.set_offload_mode(OffloadMode::InFlash);
     println!(
-        "no divergence over {queries} queries between admission arms \
-         (policy {policy:?}, seeded {seed_flag})"
+        "offload probe: {docs} docs, {channels} channels, {:?}, arm A = {:?}, arm B = {:?}",
+        a.io_path(),
+        a.offload_mode(),
+        b.offload_mode()
     );
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines(
+        "host",
+        "in-flash",
+        &mut a,
+        &mut b,
+        queries,
+        seed_static,
+        |e| {
+            (
+                e.index_queue_stats(),
+                e.cache_queue_stats(),
+                e.cache().map(|c| c.device().stats().clone()),
+            )
+        },
+    ) {
+        let bus = b.cache_bus_stats();
+        println!(
+            "no divergence over {queries} queries between offload arms \
+             ({} predicates pushed down, {} bus bytes saved)",
+            bus.offload_ops(),
+            bus.saved_bytes()
+        );
+    }
 }
 
 fn main() {
@@ -370,7 +417,10 @@ fn main() {
     let mut iopath = false;
     let mut admission = false;
     let mut serving = false;
+    let mut offload = false;
     let mut workers = 0usize;
+    let mut depth = 0usize;
+    let mut channels = 4u32;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -381,7 +431,10 @@ fn main() {
             "--iopath" => iopath = true,
             "--admission" => admission = true,
             "--serving" => serving = true,
+            "--offload" => offload = true,
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--depth" => depth = args.next().and_then(|v| v.parse().ok()).unwrap_or(depth),
+            "--channels" => channels = args.next().and_then(|v| v.parse().ok()).unwrap_or(channels),
             _ => {}
         }
     }
@@ -412,6 +465,10 @@ fn main() {
         probe_admission(policy, seed_flag);
         return;
     }
+    if offload {
+        probe_offload(policy, seed_flag, depth, channels);
+        return;
+    }
     let cfg = || hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy);
     let docs = 400_000;
     let queries = 30_000usize;
@@ -421,48 +478,16 @@ fn main() {
     a.set_reference_mode(true);
     let mut b = SearchEngine::new(EngineConfig::cached(docs, cfg(), seed));
     b.set_reference_mode(false);
-    if seed_flag && matches!(policy, PolicyKind::Cbslru { .. }) {
-        a.seed_static_from_log(queries);
-        b.seed_static_from_log(queries);
-        let (ra, rb) = (a.cache().unwrap().stats(), b.cache().unwrap().stats());
-        if ra != rb {
-            println!("diverged during seeding: {ra:?} vs {rb:?}");
-            return;
-        }
-        let (sa, sb) = (
-            a.cache().unwrap().store_stats(),
-            b.cache().unwrap().store_stats(),
-        );
-        if sa != sb {
-            println!("store stats diverged during seeding:\n  {sa:?}\n  {sb:?}");
-            return;
-        }
-        println!("seeding identical");
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines(
+        "reference",
+        "optimized",
+        &mut a,
+        &mut b,
+        queries,
+        seed_static,
+        |e| e.cache().map(|c| c.store_stats()),
+    ) {
+        println!("no divergence over {queries} queries (policy {policy_arg}, seeded {seed_flag})");
     }
-
-    let stream: Vec<Query> = a.log().stream(queries);
-    for (i, q) in stream.iter().enumerate() {
-        let ta = a.execute(q);
-        let tb = b.execute(q);
-        let sa = a.cache().unwrap().stats();
-        let sb = b.cache().unwrap().stats();
-        let (ssa, ssb) = (
-            a.cache().unwrap().store_stats(),
-            b.cache().unwrap().store_stats(),
-        );
-        if ta != tb || sa != sb || ssa != ssb {
-            println!(
-                "first divergence at query {i} (id {}, {} terms)",
-                q.id,
-                q.terms.len()
-            );
-            println!("  response: {ta} vs {tb}");
-            println!("  stats a: {sa:?}");
-            println!("  stats b: {sb:?}");
-            println!("  store a: {ssa:?}");
-            println!("  store b: {ssb:?}");
-            return;
-        }
-    }
-    println!("no divergence over {queries} queries (policy {policy_arg}, seeded {seed_flag})");
 }

@@ -53,6 +53,21 @@
 //! and a hasher micro-bench records the FxHash-vs-SipHash map speedup
 //! behind the hot-path swap.
 //!
+//! **Offload arm** (PR 7, `BENCH_7.json`): the in-flash postings
+//! intersection offload. A queue-depth × channel-count grid of
+//! Host/`InFlash` engine pairs re-checks the bit-identity gate (full
+//! `RunReport`, both submission-queue sections, the cache SSD's whole
+//! `IoStats` mirror — the reference compute model is timing-neutral, so
+//! *everything* but the bus ledger must agree), plus one
+//! production-scale headline pair for the measured bus-bytes-crossed
+//! reduction. A device-level selectivity microbench then prices the
+//! offload under the *active* compute model across three regimes:
+//! selective intersections (the claim regime — large bus reduction, scan
+//! latency amortized across channels), sparse probes (host galloping
+//! does far less device work), and dense matches (the offload honestly
+//! *loses*: it crosses more bytes than the plain read and its serial
+//! emit cost grows with channel count).
+//!
 //! In the first three arms every **simulated figure must be bit-identical** (hit
 //! ratio, response times, cache/flash counters, the full `RunReport` /
 //! `ClusterReport`): the optimizations are behavior-preserving by
@@ -62,7 +77,7 @@
 //!     cargo run --release -p bench --bin perf_regress \
 //!         [-- --out PATH] [--cluster-out PATH] [--postings-out PATH] \
 //!         [--iopath-out PATH] [--iopath-depth N] [--admission-out PATH] \
-//!         [--serving-out PATH]
+//!         [--serving-out PATH] [--offload-out PATH]
 //!
 //! Exit status is non-zero if any arm's simulated figures diverge, or if
 //! the admission arm's efficiency claim or the serving arm's
@@ -73,12 +88,19 @@ use std::time::Instant;
 use bench::{cache_config, run_cached};
 use engine::{
     detect_knee, ClusterExecution, ClusterReport, EngineConfig, IndexPlacement, LoadPoint,
-    OpenLoopConfig, Outcome, PostingsBackend, RunReport, SearchCluster, SearchEngine, ServingMode,
-    ServingOutcome, ServingReport, ServingSim,
+    OffloadMode, OpenLoopConfig, Outcome, PostingsBackend, RunReport, SearchCluster, SearchEngine,
+    ServingMode, ServingOutcome, ServingReport, ServingSim,
 };
+use flashsim::{ComputeParams, FlashParams, PageMapFtl, SsdDisk};
 use hybridcache::{AdmissionConfig, AdmissionPolicy, AdmissionStats, PolicyKind};
+use searchidx::{
+    flash_scan, host_gallop, BlockSortedList, DecodeArena, OffloadPredicate, Posting, PostingList,
+};
 use simclock::SimDuration;
-use storagecore::{BlockDevice, IoPath, IoStats, QueueDepthStats, SchedulerPolicy};
+use storagecore::{
+    BlockDevice, Extent, IoPath, IoRequest, IoStats, QueueDepthStats, SchedulerPolicy,
+    OFFLOAD_DESCRIPTOR_BYTES, SECTOR_SIZE,
+};
 use workload::{
     Arrival, ArrivalKind, ArrivalProcess, DriftingZipfLog, Query, QueryLog, ScanHeavyLog,
     TopicChurnLog,
@@ -1453,6 +1475,367 @@ fn serving_regress(out: &str) -> bool {
     ok
 }
 
+// The pinned offload gate grid: a small corpus with a deliberately tight
+// memory tier, so postings lists spill to the SSD list store — the reads
+// the offload toggle routes — within the first few hundred queries of
+// every cell.
+const OFFL_DOCS: u64 = 40_000;
+const OFFL_QUERIES: usize = 2_000;
+const OFFL_MEM_BYTES: u64 = 256 << 10;
+const OFFL_SSD_BYTES: u64 = 2 << 20;
+const OFFL_DEPTHS: [usize; 3] = [1, 4, 8];
+const OFFL_CHANNELS: [u32; 3] = [1, 4, 8];
+
+/// One gate cell: a Host/`InFlash` engine pair on identical configs.
+struct OffloadCell {
+    depth: usize,
+    channels: u32,
+    /// Whether every simulated figure outside the bus ledger agreed.
+    identical: bool,
+    offload_ops: u64,
+    saved_bytes: i64,
+    host_bus_bytes: u64,
+    flash_bus_bytes: u64,
+    wall_secs: f64,
+}
+
+/// Run one Host/`InFlash` pair. `depth == 0` means the `Direct` I/O path.
+fn run_offload_pair(
+    docs: u64,
+    queries: usize,
+    mem: u64,
+    ssd: u64,
+    depth: usize,
+    channels: u32,
+) -> OffloadCell {
+    let t0 = Instant::now();
+    let mk = |mode| {
+        let mut cfg = EngineConfig::cached(docs, cache_config(mem, ssd, PolicyKind::Cblru), SEED);
+        cfg.ssd_channels = channels;
+        let mut e = SearchEngine::new(cfg);
+        if depth > 0 {
+            e.set_io_path(IoPath::Queued { depth });
+        }
+        e.set_offload_mode(mode);
+        e
+    };
+    let mut host = mk(OffloadMode::Host);
+    let mut flash = mk(OffloadMode::InFlash);
+    let rh = host.run(queries);
+    let rf = flash.run(queries);
+    // The gate: the reference compute model is timing-neutral, so the
+    // full report (responses, match sets, cache counters), both
+    // submission-queue sections, and the pipeline wrapper's whole
+    // IoStats mirror (bus-free by design) must be bit-identical. Only
+    // the inner SSD's bus ledger may move.
+    let identical = rh == rf
+        && host.index_queue_stats() == flash.index_queue_stats()
+        && host.cache_queue_stats() == flash.cache_queue_stats()
+        && host.cache().expect("cached config").device().stats()
+            == flash.cache().expect("cached config").device().stats();
+    let bh = host.cache_bus_stats();
+    let bf = flash.cache_bus_stats();
+    OffloadCell {
+        depth,
+        channels,
+        identical,
+        offload_ops: bf.offload_ops(),
+        saved_bytes: bf.saved_bytes(),
+        host_bus_bytes: bh.host_crossed_bytes(),
+        flash_bus_bytes: bf.host_crossed_bytes(),
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn offload_cell_json(c: &OffloadCell) -> String {
+    format!(
+        concat!(
+            "    {{ \"depth\": {}, \"channels\": {}, \"identical\": {}, ",
+            "\"offload_ops\": {}, \"bus_saved_bytes\": {}, \"host_bus_bytes\": {}, ",
+            "\"inflash_bus_bytes\": {}, \"wall_clock_secs\": {:.3} }}"
+        ),
+        c.depth,
+        c.channels,
+        c.identical,
+        c.offload_ops,
+        c.saved_bytes,
+        c.host_bus_bytes,
+        c.flash_bus_bytes,
+        c.wall_secs,
+    )
+}
+
+/// One selectivity regime of the device-level microbench: a pinned
+/// block-compressed list and predicate, priced both ways on an SSD
+/// running the *active* compute model.
+struct OffloadRegime {
+    name: &'static str,
+    entries: u64,
+    matches: u64,
+    /// Entries the host gallop actually visited (it skips; the flash
+    /// scan cannot and always decodes all `entries`).
+    gallop_visited: u64,
+    bus_bytes_host: u64,
+    bus_bytes_inflash: u64,
+    /// `(channels, host-read ns, offloaded-read ns)` per swept width.
+    latencies: Vec<(u32, u64, u64)>,
+    scan_energy_nj: u64,
+    emit_energy_nj: u64,
+}
+
+/// Entries per microbench list: 128 KiB of postings — 64 paper pages.
+const REGIME_ENTRIES: u32 = 16_384;
+
+fn run_offload_regime(name: &'static str, pred: OffloadPredicate) -> OffloadRegime {
+    let postings: Vec<Posting> = (0..REGIME_ENTRIES)
+        .map(|i| Posting {
+            doc: i * 4,
+            tf: i % 7 + 1,
+        })
+        .collect();
+    let list = BlockSortedList::from_postings(&PostingList::new(0, postings));
+    let scan = flash_scan(&list, &pred);
+    let mut arena = DecodeArena::new();
+    let (gallop, gallop_stats) = host_gallop(&list, &pred, &mut arena);
+    assert_eq!(
+        scan.matches, gallop,
+        "{name}: flash scan diverged from the host gallop"
+    );
+
+    let entry_bytes = searchidx::types::POSTING_BYTES;
+    let bytes = list.len() as u64 * entry_bytes;
+    let sectors = bytes.div_ceil(SECTOR_SIZE as u64);
+    let page = flashsim::PAPER_PAGE_BYTES as u64;
+    let scanned_bytes = (sectors * SECTOR_SIZE as u64).div_ceil(page) * page;
+    let scan_entries = (scanned_bytes / entry_bytes) as u32;
+    let emit_entries = scan.matches.len() as u32;
+
+    let mut latencies = Vec::new();
+    let mut scan_energy = 0;
+    let mut emit_energy = 0;
+    for channels in OFFL_CHANNELS {
+        let mut params = FlashParams::paper(8 << 20);
+        params.channels = channels;
+        params.compute = ComputeParams::active();
+        let mut d = SsdDisk::with_ftl(PageMapFtl::new(params));
+        let extent = Extent::new(0, sectors);
+        d.write(extent).expect("regime extent fits the device");
+        let host_ns = d.read(extent).expect("in-region").as_nanos();
+        let desc = pred
+            .descriptor(entry_bytes as u32)
+            .with_counts(scan_entries, emit_entries);
+        let flash_ns = d
+            .request(&IoRequest::read(extent).with_offload(desc))
+            .expect("in-region")
+            .as_nanos();
+        latencies.push((channels, host_ns, flash_ns));
+        scan_energy = d.compute_stats().scan_energy_nj;
+        emit_energy = d.compute_stats().emit_energy_nj;
+    }
+    OffloadRegime {
+        name,
+        entries: scan.entries_scanned,
+        matches: emit_entries as u64,
+        gallop_visited: gallop_stats.visited,
+        bus_bytes_host: scanned_bytes,
+        bus_bytes_inflash: OFFLOAD_DESCRIPTOR_BYTES + emit_entries as u64 * entry_bytes,
+        latencies,
+        scan_energy_nj: scan_energy,
+        emit_energy_nj: emit_energy,
+    }
+}
+
+fn offload_regime_json(r: &OffloadRegime) -> String {
+    let lat: Vec<String> = r
+        .latencies
+        .iter()
+        .map(|(c, h, f)| {
+            format!(
+                "        {{ \"channels\": {c}, \"host_read_ns\": {h}, \"inflash_read_ns\": {f} }}"
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"regime\": \"{}\",\n",
+            "      \"entries\": {},\n",
+            "      \"matches\": {},\n",
+            "      \"gallop_visited\": {},\n",
+            "      \"bus_bytes_host\": {},\n",
+            "      \"bus_bytes_inflash\": {},\n",
+            "      \"scan_energy_nj\": {},\n",
+            "      \"emit_energy_nj\": {},\n",
+            "      \"latencies\": [\n{}\n      ]\n",
+            "    }}"
+        ),
+        r.name,
+        r.entries,
+        r.matches,
+        r.gallop_visited,
+        r.bus_bytes_host,
+        r.bus_bytes_inflash,
+        r.scan_energy_nj,
+        r.emit_energy_nj,
+        lat.join(",\n"),
+    )
+}
+
+/// Run the offload gate grid, the production-scale headline pair, and
+/// the selectivity microbench; emit `BENCH_7.json`; return whether the
+/// bit-identity gate, the cost-rule safety property, and the
+/// bus-reduction claim all held.
+fn offload_regress(out: &str) -> bool {
+    let mut cells = Vec::new();
+    for &depth in &OFFL_DEPTHS {
+        for &channels in &OFFL_CHANNELS {
+            let cell = run_offload_pair(
+                OFFL_DOCS,
+                OFFL_QUERIES,
+                OFFL_MEM_BYTES,
+                OFFL_SSD_BYTES,
+                depth,
+                channels,
+            );
+            eprintln!(
+                "offload depth {} channels {}: identical {} ({} offloads, {} bus bytes \
+                 saved, {:.2}s wall)",
+                cell.depth,
+                cell.channels,
+                cell.identical,
+                cell.offload_ops,
+                cell.saved_bytes,
+                cell.wall_secs
+            );
+            cells.push(cell);
+        }
+    }
+    // The headline pair: the standard pinned engine workload at the
+    // Direct path and 4 channels, for the bus-reduction figure at
+    // production scale.
+    let headline = run_offload_pair(DOCS, QUERIES, MEM_BYTES, SSD_BYTES, 0, 4);
+    eprintln!(
+        "offload headline: identical {} ({} offloads, {} bus bytes saved, {:.2}s wall)",
+        headline.identical, headline.offload_ops, headline.saved_bytes, headline.wall_secs
+    );
+
+    let gate_ok = cells.iter().all(|c| c.identical && c.offload_ops > 0)
+        && headline.identical
+        && headline.offload_ops > 0;
+    // The ListStore cost rule only attaches a descriptor where it pays,
+    // so the engine-run ledgers must never go negative.
+    let cost_rule_ok = cells.iter().all(|c| c.saved_bytes >= 0) && headline.saved_bytes >= 0;
+
+    // The selectivity microbench. Lists hold docs {0, 4, 8, ...}; the
+    // three predicates carve out the regimes the routing rule cares
+    // about.
+    let doc_span = (REGIME_ENTRIES - 1) * 4;
+    let regimes = [
+        // ~1/64 of the list matches: the offload's home turf.
+        run_offload_regime(
+            "selective_intersection",
+            OffloadPredicate::new(0, doc_span / 64, 0),
+        ),
+        // A handful of matches, and the gallop skips almost everything:
+        // pushing down buys little and the scan decodes 16 k entries the
+        // host path never touches.
+        run_offload_regime("sparse_probes", OffloadPredicate::new(40_000, 40_016, 0)),
+        // Everything matches: the emitted postings are the whole list,
+        // so the offload crosses *more* bytes (the descriptor is pure
+        // overhead) and its serial emit cost grows with channel count.
+        run_offload_regime("dense_matches", OffloadPredicate::new(0, doc_span, 1)),
+    ];
+    for r in &regimes {
+        eprintln!(
+            "offload regime {:>22}: {} / {} entries match (gallop visited {}), bus {} -> {} \
+             bytes",
+            r.name, r.matches, r.entries, r.gallop_visited, r.bus_bytes_host, r.bus_bytes_inflash
+        );
+    }
+
+    // The claim: on the selective regime the offload crosses at least 4x
+    // fewer bus bytes, and the in-flash latency *overhead* (scan time on
+    // top of the plain read) shrinks as channels widen, because the scan
+    // parallelizes across the per-channel compute units while the
+    // per-match emit stays serial and small.
+    let selective = &regimes[0];
+    let dense = &regimes[2];
+    let overhead_ns = |r: &OffloadRegime, ch: u32| -> u64 {
+        let (_, h, f) = *r
+            .latencies
+            .iter()
+            .find(|(c, _, _)| *c == ch)
+            .expect("swept channel width");
+        f - h
+    };
+    let bus_reduction = selective.bus_bytes_host as f64 / selective.bus_bytes_inflash as f64;
+    let claim_ok = bus_reduction >= 4.0
+        && overhead_ns(selective, 8) < overhead_ns(selective, 1)
+        && overhead_ns(selective, 4) < overhead_ns(selective, 1);
+    // The honest loss, recorded: dense matches cross more bytes in-flash
+    // than the plain read does.
+    let dense_loses_bus = dense.bus_bytes_inflash > dense.bus_bytes_host;
+
+    let ok = gate_ok && cost_rule_ok && claim_ok;
+    let cell_json: Vec<String> = cells.iter().map(offload_cell_json).collect();
+    let regime_json: Vec<String> = regimes.iter().map(offload_regime_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf_regress_offload\",\n",
+            "  \"gate_workload\": {{ \"docs\": {}, \"queries\": {}, \"seed\": {}, ",
+            "\"mem_bytes\": {}, \"ssd_bytes\": {}, \"policy\": \"CBLRU\" }},\n",
+            "  \"gate_cells\": [\n{}\n  ],\n",
+            "  \"headline_workload\": {{ \"docs\": {}, \"queries\": {}, \"seed\": {}, ",
+            "\"mem_bytes\": {}, \"ssd_bytes\": {}, \"policy\": \"CBLRU\", ",
+            "\"channels\": 4, \"io_path\": \"direct\" }},\n",
+            "  \"headline\": {},\n",
+            "  \"microbench_compute\": \"active (8 us/page scan, 50 ns/entry emit, ",
+            "100 nJ/page, 1 nJ/entry)\",\n",
+            "  \"regimes\": [\n{}\n  ],\n",
+            "  \"sim_figures_bit_identical\": {},\n",
+            "  \"cost_rule_never_negative\": {},\n",
+            "  \"selective_bus_reduction\": {:.3},\n",
+            "  \"selective_overhead_ns_ch1\": {},\n",
+            "  \"selective_overhead_ns_ch4\": {},\n",
+            "  \"selective_overhead_ns_ch8\": {},\n",
+            "  \"dense_loses_bus\": {},\n",
+            "  \"offload_claims_hold\": {}\n",
+            "}}\n"
+        ),
+        OFFL_DOCS,
+        OFFL_QUERIES,
+        SEED,
+        OFFL_MEM_BYTES,
+        OFFL_SSD_BYTES,
+        cell_json.join(",\n"),
+        DOCS,
+        QUERIES,
+        SEED,
+        MEM_BYTES,
+        SSD_BYTES,
+        offload_cell_json(&headline).trim_start(),
+        regime_json.join(",\n"),
+        gate_ok,
+        cost_rule_ok,
+        bus_reduction,
+        overhead_ns(selective, 1),
+        overhead_ns(selective, 4),
+        overhead_ns(selective, 8),
+        dense_loses_bus,
+        ok,
+    );
+    std::fs::write(out, &json)
+        .unwrap_or_else(|e| panic!("cannot write offload report to {out}: {e}"));
+    println!("{json}");
+    println!(
+        "wrote {out}; gate identical: {gate_ok}, selective bus reduction {bus_reduction:.1}x, \
+         headline saved {} bytes over {} offloads, claims hold: {claim_ok}",
+        headline.saved_bytes, headline.offload_ops
+    );
+    ok
+}
+
 fn main() {
     let mut out = String::from("BENCH_1.json");
     let mut cluster_out = String::from("BENCH_2.json");
@@ -1460,7 +1843,9 @@ fn main() {
     let mut iopath_out = String::from("BENCH_4.json");
     let mut admission_out = String::from("BENCH_5.json");
     let mut serving_out = String::from("BENCH_6.json");
+    let mut offload_out = String::from("BENCH_7.json");
     let mut only_serving = false;
+    let mut only_offload = false;
     let mut iopath_depth = 4usize;
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -1492,9 +1877,27 @@ fn main() {
             if let Some(v) = args.next() {
                 serving_out = v;
             }
+        } else if a == "--offload-out" {
+            if let Some(v) = args.next() {
+                offload_out = v;
+            }
         } else if a == "--only-serving" {
             only_serving = true;
+        } else if a == "--only-offload" {
+            only_offload = true;
         }
+    }
+
+    // Fast path for iterating on the offload arm (CI runs everything).
+    if only_offload {
+        if !offload_regress(&offload_out) {
+            eprintln!(
+                "FAIL: offload arm — bisect with \
+                 `cargo run --release -p bench --bin divergence_probe -- --offload`"
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     // Fast path for iterating on the serving arm (CI runs everything).
@@ -1578,6 +1981,7 @@ fn main() {
     let iopath_identical = iopath_regress(&iopath_out, iopath_depth);
     let admission_ok = admission_regress(&admission_out);
     let serving_ok = serving_regress(&serving_out);
+    let offload_ok = offload_regress(&offload_out);
 
     if !identical {
         eprintln!("FAIL: simulated figures diverged between the engine arms");
@@ -1619,12 +2023,22 @@ fn main() {
              against naive FIFO"
         );
     }
+    if !offload_ok {
+        eprintln!(
+            "FAIL: offload arm — either an in-flash arm stopped being bit-identical \
+             to host galloping (bisect with \
+             `cargo run --release -p bench --bin divergence_probe -- --offload`), \
+             the cost rule attached a losing descriptor, or the selective-intersection \
+             bus-reduction claim failed"
+        );
+    }
     if !identical
         || !postings_identical
         || !cluster_identical
         || !iopath_identical
         || !admission_ok
         || !serving_ok
+        || !offload_ok
     {
         std::process::exit(1);
     }

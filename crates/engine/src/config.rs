@@ -1,5 +1,6 @@
 //! Engine configuration and the CPU cost model.
 
+use flashsim::ComputeParams;
 use hybridcache::HybridConfig;
 use searchidx::{PostingsBackend, TopKConfig};
 use simclock::SimDuration;
@@ -92,6 +93,12 @@ pub struct EngineConfig {
     /// Flash channels on the cache SSD (1 = the paper's Table III
     /// device). More channels let queued page operations overlap.
     pub ssd_channels: u32,
+    /// Latency/energy model of the cache SSD's per-channel compute
+    /// units. The default [`ComputeParams::reference`] is all-zero, so
+    /// the `OffloadMode` toggle stays bit-identical on every simulated
+    /// figure; [`ComputeParams::active`] charges honest scan/emit costs
+    /// for the latency-realism sweeps.
+    pub ssd_compute: ComputeParams,
 }
 
 impl EngineConfig {
@@ -123,6 +130,7 @@ impl EngineConfig {
             io_path: IoPath::Direct,
             io_scheduler: SchedulerPolicy::Fifo,
             ssd_channels: 1,
+            ssd_compute: ComputeParams::reference(),
         }
     }
 
@@ -141,6 +149,7 @@ impl EngineConfig {
             io_path: IoPath::Direct,
             io_scheduler: SchedulerPolicy::Fifo,
             ssd_channels: 1,
+            ssd_compute: ComputeParams::reference(),
         }
     }
 }

@@ -9,8 +9,8 @@ use searchidx::{
 };
 use simclock::{Clock, Histogram, RunningStats, SimDuration, SimTime};
 use storagecore::{
-    BlockDevice, Extent, Geometry, IoError, IoEvent, IoPath, IoRequest, IoStats, Lba,
-    PipelinedDevice, QueueDepthStats, SchedulerPolicy, TraceSink,
+    BlockDevice, BusStats, Extent, Geometry, IoError, IoEvent, IoPath, IoRequest, IoStats, Lba,
+    OffloadDescriptor, OffloadMode, PipelinedDevice, QueueDepthStats, SchedulerPolicy, TraceSink,
 };
 use workload::{Query, QueryLog, QueryLogSpec};
 
@@ -133,6 +133,11 @@ pub struct SearchEngine {
     cache: Option<CacheManager<CachedResult, PipelinedDevice<SsdDisk<PageMapFtl>>>>,
     /// The active I/O path, mirrored onto both pipelined devices.
     io_path: IoPath,
+    /// Where SSD-tier postings predicates are evaluated: `Host` is the
+    /// seed path verbatim; `InFlash` attaches an [`OffloadDescriptor`]
+    /// to cache-SSD list reads whose per-block cost rule says pushing
+    /// the filter down pays.
+    offload_mode: OffloadMode,
     processor: TopKProcessor,
     /// Run the straight-line reference paths (linear victim scans,
     /// `HashMap` top-K) instead of the indexed/pooled ones.
@@ -178,8 +183,14 @@ impl SearchEngine {
         };
         let cache = config.cache.clone().map(|hc| {
             let footprint = (hc.ssd_base_lba + hc.ssd_sectors()) * storagecore::SECTOR_SIZE as u64;
-            let device =
-                SsdDisk::paper_channels(footprint.max(4 << 20), config.ssd_channels.max(1));
+            // The paper's SSD widened to the configured channel count,
+            // with per-channel compute units behind the offload toggle
+            // (the reference compute model is timing-neutral, so this is
+            // `paper_channels` exactly unless `ssd_compute` is active).
+            let mut params = flashsim::FlashParams::paper(footprint.max(4 << 20));
+            params.channels = config.ssd_channels.max(1);
+            params.compute = config.ssd_compute;
+            let device = SsdDisk::with_ftl(PageMapFtl::new(params));
             let mut piped = PipelinedDevice::direct(device);
             piped.set_path(config.io_path);
             piped.set_policy(config.io_scheduler);
@@ -205,6 +216,7 @@ impl SearchEngine {
             },
             cache,
             io_path: config.io_path,
+            offload_mode: OffloadMode::Host,
             log,
             clock: Clock::new(),
             situations: SituationTable::new(),
@@ -257,6 +269,16 @@ impl SearchEngine {
         self.cache.as_ref()
     }
 
+    /// Mutable cache access for the corruption-seeding audit tests (the
+    /// offload suite plants inconsistencies in the device ledgers to
+    /// prove the validators fire). Not part of the public surface.
+    #[doc(hidden)]
+    pub fn debug_cache_mut(
+        &mut self,
+    ) -> Option<&mut CacheManager<CachedResult, PipelinedDevice<SsdDisk<PageMapFtl>>>> {
+        self.cache.as_mut()
+    }
+
     /// Runs the structural invariant validators over every audited piece
     /// of engine state: the two-level cache (memory caches, SSD stores),
     /// the cache SSD's pipeline queue and FTL, and the index device's
@@ -302,6 +324,44 @@ impl SearchEngine {
     /// The active scheduler policy.
     pub fn io_scheduler(&self) -> SchedulerPolicy {
         self.index_dev.policy()
+    }
+
+    /// Switch where SSD-tier postings predicates are evaluated. `Host`
+    /// is the seed path verbatim; `InFlash` serializes each traversed
+    /// term's predicate into an offload descriptor and attaches it to
+    /// the cache-SSD reads where the per-block cost rule says the
+    /// descriptor pays. Under the reference compute model the two arms
+    /// are bit-identical on every simulated figure (the
+    /// `offload_equivalence` suite proves it; `divergence_probe --offload`
+    /// bisects); only the bus-byte ledger differs. Devices are idle
+    /// between queries, so mid-run toggles are always legal.
+    pub fn set_offload_mode(&mut self, mode: OffloadMode) {
+        self.offload_mode = mode;
+    }
+
+    /// The active offload mode.
+    pub fn offload_mode(&self) -> OffloadMode {
+        self.offload_mode
+    }
+
+    /// Host-bus transfer ledger of the cache SSD (zeros when uncached):
+    /// page bytes moved by plain reads, descriptor/emitted bytes moved
+    /// by offload reads, and the net bytes the offloads saved.
+    pub fn cache_bus_stats(&self) -> BusStats {
+        self.cache
+            .as_ref()
+            .map(|c| *c.device().inner().stats().bus())
+            .unwrap_or_default()
+    }
+
+    /// Per-channel compute-unit accounting of the cache SSD (zeros when
+    /// uncached): offloads serviced, pages scanned, entries emitted, and
+    /// the energy the latency/energy model charged.
+    pub fn cache_compute_stats(&self) -> flashsim::ComputeStats {
+        self.cache
+            .as_ref()
+            .map(|c| *c.device().inner().compute_stats())
+            .unwrap_or_default()
     }
 
     /// Queue-depth accounting of the index device.
@@ -381,6 +441,31 @@ impl SearchEngine {
     /// Footprint of the processor's block-compressed store.
     pub fn postings_store_stats(&self) -> searchidx::BlockStoreStats {
         self.processor.store_stats()
+    }
+
+    /// Serialize one term's traversal into the wire predicate for the
+    /// in-flash path, or `None` when the Host arm is active (or there is
+    /// nothing to push down). The scanned prefix of a frequency-sorted
+    /// list is bounded below by the last-visited posting's tf, so the
+    /// template carries that tf bound plus the full doc-id range; the
+    /// storage layer fills the per-block scan/emit counts where its cost
+    /// rule fires.
+    fn offload_template(&self, u: &searchidx::TermUsage) -> Option<OffloadDescriptor> {
+        if self.offload_mode != OffloadMode::InFlash || self.cache.is_none() || u.scanned == 0 {
+            return None;
+        }
+        let tf_bound = self
+            .index
+            .postings_range(u.term, u.scanned - 1, u.scanned)
+            .first()
+            .map_or(0, |p| p.tf);
+        let last_doc = self.index.num_docs().saturating_sub(1) as u32;
+        Some(OffloadDescriptor::new(
+            0,
+            last_doc,
+            tf_bound,
+            searchidx::types::POSTING_BYTES as u32,
+        ))
     }
 
     fn topk(&mut self, terms: &[u32]) -> QueryOutcome {
@@ -542,9 +627,10 @@ impl SearchEngine {
             let needed = u.bytes_scanned();
             let pu = u.utilization();
             let full = self.index.list_bytes(u.term);
+            let offload = self.offload_template(u);
             let list_start = self.clock.now();
             if let Some(cache) = self.cache.as_mut() {
-                let serve = cache.lookup_list(u.term, needed, full, pu);
+                let serve = cache.lookup_list_offload(u.term, needed, full, pu, offload);
                 self.clock.advance(serve.ssd_latency);
                 self.clock.advance(cost.mem_read(serve.from_mem));
                 if serve.from_hdd + serve.fill_from_hdd > 0 {
@@ -709,9 +795,10 @@ impl SearchEngine {
             let needed = u.bytes_scanned();
             let pu = u.utilization();
             let full = self.index.list_bytes(u.term);
+            let offload = self.offload_template(u);
             if let Some(cache) = self.cache.as_mut() {
                 cache.device_mut().set_now(self.clock.now());
-                let serve = cache.lookup_list(u.term, needed, full, pu);
+                let serve = cache.lookup_list_offload(u.term, needed, full, pu, offload);
                 self.clock.advance(serve.ssd_latency);
                 self.clock.advance(cost.mem_read(serve.from_mem));
                 let slot = records.len();

@@ -28,6 +28,7 @@ pub mod situations;
 pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
 pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
 pub use engine::SearchEngine;
+pub use flashsim::{ComputeParams, ComputeStats};
 pub use model::{predict, FixedCosts, ModelCheck};
 pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};
@@ -37,3 +38,4 @@ pub use serving::{
     ServingMode, ServingOutcome, ServingReport, ServingSim, ShedPolicy,
 };
 pub use situations::{Situation, SituationTable};
+pub use storagecore::{BusStats, OffloadDescriptor, OffloadMode};

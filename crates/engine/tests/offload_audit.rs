@@ -1,0 +1,95 @@
+//! The offload path's audit coverage, in its own process: a clean
+//! in-flash run must leave every offload validator satisfied, and a
+//! seeded corruption in any of the three ledgers the validators tie
+//! together (compute-unit counters, bus accounting, per-channel compute
+//! horizons) must be caught by `validation_report`. The first test also
+//! flips the process-global audit switch ([`invariant::force_enable`]),
+//! so every FTL/queue mutation of its run validates in place.
+
+use engine::{EngineConfig, OffloadMode, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+use simclock::SimDuration;
+
+const DOCS: u64 = 40_000;
+
+fn in_flash_engine(queries: usize) -> SearchEngine {
+    // Mirrors the equivalence suite: a small memory tier so the SSD
+    // list store warms inside the run, and a small SSD so per-mutation
+    // audits stay cheap.
+    let mut cfg = EngineConfig::cached(
+        DOCS,
+        HybridConfig::paper(256 << 10, 2 << 20, PolicyKind::Cblru),
+        3,
+    );
+    cfg.ssd_channels = 4;
+    let mut e = SearchEngine::new(cfg);
+    e.set_offload_mode(OffloadMode::InFlash);
+    e.run(queries);
+    e
+}
+
+fn has_violation(e: &SearchEngine, invariant: &str) -> bool {
+    e.validation_report()
+        .violations()
+        .iter()
+        .any(|v| v.invariant == invariant)
+}
+
+#[test]
+fn in_flash_run_audits_clean_and_engages_the_offload() {
+    invariant::force_enable();
+    let e = in_flash_engine(400);
+    let report = e.validation_report();
+    assert!(report.is_clean(), "{}", report.summary());
+    let bus = e.cache_bus_stats();
+    assert!(bus.offload_ops() > 0, "run never pushed a predicate down");
+    // The two ledgers the validators tie together really were active.
+    let comp = e.cache_compute_stats();
+    assert_eq!(comp.offload_ops, bus.offload_ops());
+    assert!(comp.pages_scanned > 0);
+}
+
+#[test]
+fn corrupted_compute_horizon_trips_the_lane_validator() {
+    // A compute horizon ahead of its lane claims the compute unit kept
+    // working after the channel went idle — impossible, since offload
+    // completions return on the lane that carried them.
+    let mut e = in_flash_engine(100);
+    assert!(!has_violation(&e, "compute-lane-agree"));
+    e.debug_cache_mut()
+        .expect("cached config")
+        .device_mut()
+        .debug_corrupt_compute_horizon(0, SimDuration::from_micros(50));
+    assert!(has_violation(&e, "compute-lane-agree"));
+}
+
+#[test]
+fn corrupted_emitted_counter_trips_the_compute_bus_validator() {
+    // Compute units claiming more emitted entries than the bus ledger
+    // shipped breaks the compute/bus agreement invariant.
+    let mut e = in_flash_engine(100);
+    assert!(!has_violation(&e, "compute-bus-agree"));
+    e.debug_cache_mut()
+        .expect("cached config")
+        .device_mut()
+        .inner_mut()
+        .debug_corrupt_emitted_entries(1_000_000);
+    assert!(has_violation(&e, "compute-bus-agree"));
+    // The bus-side ledger is untouched, so emitted ⊆ scanned still holds
+    // there — the disagreement between the views is the whole signal.
+    assert!(!has_violation(&e, "emitted-within-scanned"));
+}
+
+#[test]
+fn corrupted_bus_ledger_trips_conservation() {
+    // saved_bytes must equal scanned − (descriptors + emitted), exactly.
+    let mut e = in_flash_engine(100);
+    assert!(!has_violation(&e, "bus-conservation"));
+    e.debug_cache_mut()
+        .expect("cached config")
+        .device_mut()
+        .inner_mut()
+        .debug_stats_mut()
+        .debug_corrupt_bus_saved(512);
+    assert!(has_violation(&e, "bus-conservation"));
+}

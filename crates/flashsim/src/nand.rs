@@ -64,7 +64,7 @@ impl Block {
 }
 
 /// Medium-level counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NandStats {
     /// Pages read from the medium (host + GC).
     pub page_reads: u64,

@@ -30,6 +30,7 @@ pub mod corpus;
 pub mod docstore;
 pub mod layout;
 pub mod mem;
+pub mod offload;
 pub mod skips;
 pub mod topk;
 pub mod types;
@@ -43,6 +44,7 @@ pub use corpus::{CorpusSpec, SyntheticIndex};
 pub use docstore::DocStore;
 pub use layout::IndexLayout;
 pub use mem::MemIndex;
+pub use offload::{flash_scan, host_gallop, OffloadPredicate, ScanOutcome};
 pub use skips::{DocSortedList, PostingsCursor, SkipCursor, SkipStats, SKIP_INTERVAL};
 pub use topk::{QueryOutcome, TermUsage, TopKConfig, TopKProcessor};
 pub use types::{

@@ -24,9 +24,10 @@ pub mod types;
 
 pub use device::{BlockDevice, IoError};
 pub use queue::{
-    IoCompletion, IoPath, IoRequest, PipelinedDevice, SchedulerPolicy, DEADLINE_WINDOW,
+    IoCompletion, IoPath, IoRequest, OffloadDescriptor, OffloadMode, PipelinedDevice,
+    SchedulerPolicy, DEADLINE_WINDOW, OFFLOAD_DESCRIPTOR_BYTES,
 };
 pub use ramdisk::RamDisk;
-pub use stats::{IoStats, QueueDepthStats};
+pub use stats::{BusStats, IoStats, QueueDepthStats};
 pub use trace::{IoEvent, NullSink, TraceSink, VecSink};
 pub use types::{Extent, Geometry, IoKind, Lba, SECTOR_SIZE};

@@ -28,6 +28,12 @@
 //!    consulting the `AdmissionPolicy` tier; only the cache manager
 //!    that owns the gate (crates/core) and the store-level
 //!    microbenchmarks that deliberately measure below it may call them.
+//! 6. **In-flash compute runs only behind `BlockDevice::request`.** The
+//!    offload's direct entry point (`.offload_read(`) is the SSD's
+//!    implementation detail; a consumer crate calling it would evaluate
+//!    predicates without the submission queue, the Host/InFlash toggle,
+//!    or the bus-conservation audits seeing the request — the exact
+//!    bypass the offload equivalence suite exists to rule out.
 //!
 //! The scanner is deliberately std-only (the build environment has no
 //! registry access, so `syn` is unavailable): sources are stripped of
@@ -323,6 +329,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
         check_unsafe(file, &stripped, &mut violations);
         check_wall_clock(file, &stripped, &mut violations);
         check_device_bypass(file, &stripped, &mut violations);
+        check_nand_compute_bypass(file, &stripped, &mut violations);
         check_admission_bypass(file, &stripped, &mut violations);
         check_sim_rng_only(file, &stripped, &mut violations);
         check_pub_enum_docs(file, raw, &stripped, &mut violations);
@@ -388,6 +395,24 @@ fn check_device_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
                 ),
             });
         }
+    }
+}
+
+fn check_nand_compute_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if DEVICE_LAYER_PREFIXES.iter().any(|p| file.starts_with(p)) {
+        return;
+    }
+    if let Some(pos) = stripped.find(".offload_read(") {
+        out.push(Violation {
+            file: file.to_string(),
+            line: line_of(stripped, pos),
+            rule: "no-nand-compute-bypass",
+            detail: "direct in-flash compute entry point `.offload_read()` outside the \
+                     device layer — offload execution must flow through \
+                     BlockDevice::request with an OffloadDescriptor so the queue, the \
+                     Host/InFlash toggle, and the bus-conservation audits see it"
+                .to_string(),
+        });
     }
 }
 

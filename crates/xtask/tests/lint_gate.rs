@@ -148,6 +148,43 @@ fn planted_device_bypass_is_caught() {
 }
 
 #[test]
+fn planted_nand_compute_bypass_is_caught() {
+    let s = Scratch::new("compute-bypass");
+    s.write(
+        "crates/searchidx/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn sneak(d: &mut SsdDisk, e: Extent, desc: &OffloadDescriptor) { d.offload_read(e, desc); }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-nand-compute-bypass");
+    assert_eq!(v[0].line, 2);
+    // The engine routing around the request path is the same bypass.
+    let s2 = Scratch::new("compute-bypass-engine");
+    s2.write(
+        "crates/engine/src/engine.rs",
+        "pub fn fast(d: &mut SsdDisk, e: Extent, desc: &OffloadDescriptor) { d.offload_read(e, desc); }\n",
+    );
+    let v2 = s2.lint();
+    assert_eq!(v2.len(), 1, "{v2:?}");
+    assert_eq!(v2[0].rule, "no-nand-compute-bypass");
+    // Inside the device layer the same call is the implementation of the
+    // request path, not a bypass.
+    let s3 = Scratch::new("compute-bypass-allow");
+    s3.write(
+        "crates/flashsim/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn dispatch(d: &mut SsdDisk, e: Extent, desc: &OffloadDescriptor) { d.offload_read(e, desc); }\n",
+    );
+    assert!(s3.lint().is_empty());
+    // Mentions in comments and strings are not calls.
+    let s4 = Scratch::new("compute-bypass-prose");
+    s4.write(
+        "crates/demo/src/lib.rs",
+        "// documented: the SSD's .offload_read( entry point\npub const HELP: &str = \".offload_read( is device-internal\";\n",
+    );
+    assert!(s4.lint().is_empty());
+}
+
+#[test]
 fn planted_admission_bypass_is_caught() {
     let s = Scratch::new("admission");
     s.write(
