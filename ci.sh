@@ -33,10 +33,14 @@ cargo test --release -q -p engine --test serving_equivalence
 echo "== offload equivalence (explicit) =="
 cargo test --release -q -p engine --test offload_equivalence --test offload_audit
 
+echo "== mutation equivalence (explicit) =="
+cargo test --release -q -p engine --test mutation_equivalence
+cargo test --release -q -p searchidx --test live_index
+
 echo "== postings_decode bench builds =="
 cargo build --release -p bench --bench postings_decode
 
-echo "== perf_regress binary builds (BENCH_6 serving + BENCH_7 offload arms included) =="
+echo "== perf_regress binary builds (BENCH_6 serving + BENCH_7 offload + BENCH_8 mutation arms included) =="
 cargo build --release -p bench --bin perf_regress --bin divergence_probe
 
 echo "== xtask lint gate =="
@@ -48,6 +52,7 @@ INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_p
 INVARIANT_AUDIT=1 cargo test -q -p engine --test admission_audit
 INVARIANT_AUDIT=1 cargo test -q -p engine --test serving_equivalence --test serving_audit
 INVARIANT_AUDIT=1 cargo test -q -p engine --test offload_equivalence --test offload_audit
+INVARIANT_AUDIT=1 cargo test -q -p engine --test mutation_equivalence --test mutation_audit
 INVARIANT_AUDIT=1 cargo test -q -p searchidx --test postings_equivalence
 
 echo "== loom models (bounded schedule exploration) =="

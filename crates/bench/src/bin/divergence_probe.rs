@@ -38,14 +38,20 @@
 //! stats mirror. `--depth N` and `--channels N` pick the queued
 //! configuration to bisect under.
 //!
+//! With `--mutation` it bisects the *mutability arms*: a `Frozen` engine
+//! and a zero-ingest `Live` one (whose pristine segmented index must
+//! delegate every read to the frozen base) run in lockstep, comparing
+//! every response, the cache counters, the index device's I/O ledger,
+//! and the running result digest.
+//!
 //!     cargo run --release -p bench --bin divergence_probe \
 //!         [-- --policy lru|cblru|cbslru] [--no-seed] \
 //!         [--cluster] [--workers N] [--postings] [--iopath] [--admission] \
-//!         [--serving] [--offload] [--depth N] [--channels N]
+//!         [--serving] [--offload] [--depth N] [--channels N] [--mutation]
 
 use engine::{
-    ClusterExecution, EngineConfig, OffloadMode, OpenLoopConfig, Outcome, PostingsBackend,
-    SearchCluster, SearchEngine, ServingMode, ServingOutcome, ServingSim,
+    ClusterExecution, EngineConfig, IndexMutability, LiveConfig, OffloadMode, OpenLoopConfig,
+    Outcome, PostingsBackend, SearchCluster, SearchEngine, ServingMode, ServingOutcome, ServingSim,
 };
 use hybridcache::{AdmissionConfig, AdmissionPolicy, PolicyKind};
 use storagecore::{BlockDevice, IoPath, SchedulerPolicy};
@@ -409,6 +415,49 @@ fn probe_offload(policy: PolicyKind, seed_flag: bool, depth: usize, channels: u3
     }
 }
 
+/// Lockstep bisection of the mutability toggle: a `Frozen` engine and a
+/// zero-ingest `Live` one (pristine — every read delegates to the same
+/// frozen base) must stay bit-identical on every response, every cache
+/// counter, the index device's whole I/O ledger, and the running result
+/// digest. The first query where they differ is where the live read
+/// path stopped being the seed path.
+fn probe_mutation(policy: PolicyKind, seed_flag: bool) {
+    let docs = 400_000;
+    let queries = 30_000usize;
+    let seed = 42;
+    let cfg = || {
+        EngineConfig::cached(
+            docs,
+            hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy),
+            seed,
+        )
+    };
+    let mut a = SearchEngine::new(cfg());
+    let mut live_cfg = cfg();
+    live_cfg.mutability = IndexMutability::Live(LiveConfig::default());
+    let mut b = SearchEngine::new(live_cfg);
+    println!("mutation probe: {docs} docs, arm A = frozen, arm B = live (zero ingest)");
+    let seed_static = seed_flag && matches!(policy, PolicyKind::Cbslru { .. });
+    if lockstep_engines(
+        "frozen",
+        "live",
+        &mut a,
+        &mut b,
+        queries,
+        seed_static,
+        |e| (e.index_io_stats().clone(), e.result_digest()),
+    ) {
+        assert!(
+            b.live_index().is_some_and(|l| l.is_pristine()),
+            "zero-ingest arm stopped being pristine"
+        );
+        println!(
+            "no divergence over {queries} queries between mutability arms \
+             (live arm still pristine)"
+        );
+    }
+}
+
 fn main() {
     let mut policy_arg = String::from("cbslru");
     let mut seed_flag = true;
@@ -418,6 +467,7 @@ fn main() {
     let mut admission = false;
     let mut serving = false;
     let mut offload = false;
+    let mut mutation = false;
     let mut workers = 0usize;
     let mut depth = 0usize;
     let mut channels = 4u32;
@@ -432,6 +482,7 @@ fn main() {
             "--admission" => admission = true,
             "--serving" => serving = true,
             "--offload" => offload = true,
+            "--mutation" => mutation = true,
             "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             "--depth" => depth = args.next().and_then(|v| v.parse().ok()).unwrap_or(depth),
             "--channels" => channels = args.next().and_then(|v| v.parse().ok()).unwrap_or(channels),
@@ -467,6 +518,10 @@ fn main() {
     }
     if offload {
         probe_offload(policy, seed_flag, depth, channels);
+        return;
+    }
+    if mutation {
+        probe_mutation(policy, seed_flag);
         return;
     }
     let cfg = || hybridcache::HybridConfig::paper(16 << 20, 160 << 20, policy);

@@ -371,7 +371,7 @@ mod tests {
         cfg.write_budget_blocks = 4;
         let mut t = AdmissionTier::new(cfg, 0.5);
         // Epoch 1: heavy admitted writes (hot keys clear the gate).
-        for k in 0..4u32 {
+        for k in 0..4u64 {
             t.record_list_access(k, true);
             t.record_list_access(k, true);
             assert!(t.admit_list(k, 5, 2));
@@ -399,7 +399,7 @@ mod tests {
         }
         let w0 = t.reset_window();
         // Then an all-misses epoch: a detected phase change.
-        for k in 0..16u32 {
+        for k in 0..16u64 {
             t.record_list_access(1_000 + k, false);
         }
         assert!(t.reset_window() < w0, "window shrinks on a phase change");

@@ -56,8 +56,34 @@ pub use ttl::TtlTracker;
 /// Identity of a distinct query (the result-cache key).
 pub type QueryId = u64;
 
-/// Identity of a term (the inverted-list-cache key).
-pub type TermKey = u32;
+/// Identity of an inverted-list cache entry: `(segment, term)` packed as
+/// `segment << 32 | term`.
+///
+/// Segment 0 is the frozen base index, so for a frozen corpus the key is
+/// numerically the term id — exactly the pre-segmentation behaviour. A
+/// live index hands out fresh segment ids as it seals and merges, which
+/// is what stops a freshly merged list from *aliasing* a stale cached
+/// prefix of a retired segment: the old `(segment, term)` key can only
+/// ever be invalidated, never re-resolved.
+pub type TermKey = u64;
+
+/// Packs a `(segment, term)` pair into a [`TermKey`].
+#[inline]
+pub const fn list_key(segment: u32, term: u32) -> TermKey {
+    ((segment as u64) << 32) | term as u64
+}
+
+/// The segment id of a [`TermKey`].
+#[inline]
+pub const fn key_segment(key: TermKey) -> u32 {
+    (key >> 32) as u32
+}
+
+/// The term id of a [`TermKey`].
+#[inline]
+pub const fn key_term(key: TermKey) -> u32 {
+    key as u32
+}
 
 /// A normalized term pair `(lo, hi)` — the intersection-cache key of the
 /// three-level extension.

@@ -754,6 +754,88 @@ impl<V: Clone, D: BlockDevice> CacheManager<V, D> {
         self.stats.ssd_time += t;
         t
     }
+
+    // ------------------------------------------------------------------
+    // Segment coherence (live index)
+    // ------------------------------------------------------------------
+
+    /// Every `(segment, term)` key cached in either tier, sorted and
+    /// deduplicated. The engine sweeps this after a merge to find entries
+    /// whose segment has been retired.
+    pub fn cached_list_keys(&self) -> Vec<TermKey> {
+        let mut keys = self.mem_ic.keys();
+        keys.extend(self.ssd_ic.keys());
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The cached profile of `key` — `(si_bytes, pu, freq, full_bytes)` —
+    /// preferring the richer L1 metadata, falling back to the SSD entry
+    /// (whole cached extent, so `pu = 1.0`). `None` if nowhere cached.
+    pub fn list_profile(&self, key: TermKey) -> Option<(u64, f64, u64, u64)> {
+        if let Some(m) = self.mem_ic.peek(key) {
+            return Some((m.si_bytes, m.pu, m.freq, m.full_bytes));
+        }
+        self.ssd_ic
+            .entry_profile(key)
+            .map(|(bytes, freq)| (bytes, 1.0, freq, bytes))
+    }
+
+    /// Drop `key` from both tiers: L1 removal plus an SSD invalidate
+    /// that Trims the entry's blocks as background work. Returns whether
+    /// anything was actually cached.
+    pub fn invalidate_list(&mut self, key: TermKey) -> bool {
+        let in_mem = self.mem_ic.remove(key).is_some();
+        let in_ssd = self.ssd_ic.cached_bytes(key).is_some();
+        if in_ssd {
+            self.device.set_background(true);
+            let t = self.ssd_ic.invalidate(key, &mut self.device);
+            self.device.set_background(false);
+            self.stats.ssd_time += t;
+        }
+        if let Some(ttl) = self.list_ttl.as_mut() {
+            ttl.forget(&key);
+        }
+        in_mem || in_ssd
+    }
+
+    /// The naive merge-coherence arm: drop every cached list from both
+    /// tiers. Returns how many keys were invalidated.
+    pub fn invalidate_all_lists(&mut self) -> u64 {
+        let keys = self.cached_list_keys();
+        let mut n = 0;
+        for key in keys {
+            if self.invalidate_list(key) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Cooperative readmission of a freshly merged list under its new
+    /// `(segment, term)` key. Goes through the normal selection gate
+    /// (Formulas 1 & 2 / the sketch filter), so a merge cannot smuggle a
+    /// low-value list past admission; the carried `freq` is what earns
+    /// the survivor its slot. Returns whether the SSD accepted it.
+    pub fn readmit_list(
+        &mut self,
+        key: TermKey,
+        si_bytes: u64,
+        pu: f64,
+        freq: u64,
+        full_bytes: u64,
+    ) -> bool {
+        let meta = ListMeta {
+            si_bytes,
+            pu,
+            freq,
+            full_bytes: full_bytes.max(si_bytes),
+        };
+        let t = self.flush_list(key, meta);
+        self.stats.ssd_time += t;
+        self.ssd_ic.cached_bytes(key).is_some()
+    }
 }
 
 impl<V, D> invariant::Validate for CacheManager<V, D> {
@@ -1159,7 +1241,7 @@ mod tests {
         assert_eq!(m.stats().intersections.mem_hits, 1);
         // Push it out of memory: fill with hotter pairs (touched twice so
         // their EV beats the victim's inside the replace-first window).
-        for pair in [(1u32, 2u32), (4, 5), (6, 7)] {
+        for pair in [(1u64, 2u64), (4, 5), (6, 7)] {
             m.install_intersection(pair, SB);
             m.lookup_intersection(pair, SB);
             m.lookup_intersection(pair, SB);

@@ -262,6 +262,11 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
     }
 
     /// Metadata of a cached term (no recency effect).
+    pub fn keys(&self) -> Vec<K> {
+        self.map.keys().copied().collect()
+    }
+
+    /// The cached metadata of `term` without touching recency.
     pub fn peek(&self, term: K) -> Option<&ListMeta> {
         self.map.get(&term)
     }

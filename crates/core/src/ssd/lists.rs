@@ -192,6 +192,16 @@ impl<K: Eq + Hash + Copy + Debug> ListStore<K> {
         self.entries.get(&term).map(|e| e.cached_bytes)
     }
 
+    /// Every cached key, in no particular order.
+    pub fn keys(&self) -> Vec<K> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The `(cached_bytes, freq)` profile of a cached entry.
+    pub fn entry_profile(&self, term: K) -> Option<(u64, u64)> {
+        self.entries.get(&term).map(|e| (e.cached_bytes, e.freq))
+    }
+
     /// Blocks currently unallocated in the dynamic partition.
     fn dynamic_free(&self) -> u32 {
         self.region

@@ -367,8 +367,8 @@ proptest! {
                     indexed.set_now(now);
                     scan.set_now(now);
                     let needed = units * 16 * 1024;
-                    let a = indexed.lookup_list(t, needed, needed * 2, pu(p));
-                    let b = scan.lookup_list(t, needed, needed * 2, pu(p));
+                    let a = indexed.lookup_list(t as u64, needed, needed * 2, pu(p));
+                    let b = scan.lookup_list(t as u64, needed, needed * 2, pu(p));
                     prop_assert_eq!(a, b, "list lookup diverged for term {}", t);
                 }
             }

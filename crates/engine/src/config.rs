@@ -55,6 +55,55 @@ impl CpuCostModel {
     }
 }
 
+/// How the engine keeps the cache coherent with a compaction merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionMode {
+    /// Targeted: invalidate only the `(segment, term)` keys of the
+    /// retired input segments, then re-offer the merged survivors under
+    /// the output segment's key through the normal admission gate (the
+    /// carried frequency is what earns them their slot back).
+    #[default]
+    Cooperative,
+    /// Naive: drop every cached list on every merge. The trivially
+    /// correct baseline `perf_regress`'s mutation arm compares against.
+    InvalidateAll,
+}
+
+/// Knobs of the live (mutable) index arm.
+#[derive(Debug, Clone, Default)]
+pub struct LiveConfig {
+    /// Segment lifecycle policy (seal threshold, compaction fan-in,
+    /// write-segment growth strategy).
+    pub segments: searchidx::SegmentPolicy,
+    /// Cache-coherence strategy for compaction merges.
+    pub compaction: CompactionMode,
+}
+
+/// Whether the index accepts mutations at run time.
+///
+/// `Frozen` is the seed behaviour, kept verbatim: one immutable index,
+/// cache keys numerically equal to term ids. `Live` wraps the same base
+/// corpus in a segmented [`searchidx::LiveIndex`]; until the first
+/// mutation it delegates every read to the base, so a zero-ingest live
+/// run is bit-identical to the frozen arm by construction (the
+/// `mutation_equivalence` suite asserts it on every simulated figure).
+#[derive(Debug, Clone, Default)]
+pub enum IndexMutability {
+    /// The read-only seed path.
+    #[default]
+    Frozen,
+    /// The segmented write path: WAL + write segment + sealed segments +
+    /// tombstones + background compaction.
+    Live(LiveConfig),
+}
+
+impl IndexMutability {
+    /// Whether this is the live arm.
+    pub fn is_live(&self) -> bool {
+        matches!(self, IndexMutability::Live(_))
+    }
+}
+
 /// Full experiment configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -99,6 +148,9 @@ pub struct EngineConfig {
     /// figure; [`ComputeParams::active`] charges honest scan/emit costs
     /// for the latency-realism sweeps.
     pub ssd_compute: ComputeParams,
+    /// Whether the index accepts run-time mutations. `Frozen` (the
+    /// default) is the seed read-only path, untouched.
+    pub mutability: IndexMutability,
 }
 
 impl EngineConfig {
@@ -131,6 +183,7 @@ impl EngineConfig {
             io_scheduler: SchedulerPolicy::Fifo,
             ssd_channels: 1,
             ssd_compute: ComputeParams::reference(),
+            mutability: IndexMutability::default(),
         }
     }
 
@@ -150,6 +203,7 @@ impl EngineConfig {
             io_scheduler: SchedulerPolicy::Fifo,
             ssd_channels: 1,
             ssd_compute: ComputeParams::reference(),
+            mutability: IndexMutability::default(),
         }
     }
 }

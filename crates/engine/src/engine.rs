@@ -14,7 +14,8 @@ use storagecore::{
 };
 use workload::{Query, QueryLog, QueryLogSpec};
 
-use crate::config::{EngineConfig, IndexPlacement};
+use crate::config::{CompactionMode, CpuCostModel, EngineConfig, IndexMutability, IndexPlacement};
+use crate::mutation::{IndexArm, SegLayout, SegmentArena};
 use crate::payload::CachedResult;
 use crate::report::{FlashReport, RunReport};
 use crate::situations::{classify_list, Situation, SituationTable};
@@ -120,9 +121,26 @@ const _: () = {
 #[derive(Debug)]
 pub struct SearchEngine {
     config: EngineConfig,
-    index: SyntheticIndex,
+    index: IndexArm,
     layout: IndexLayout,
     docstore: DocStore,
+    /// Per-sealed-segment on-device layouts (live arm only; empty while
+    /// frozen or pristine).
+    seg_layouts: std::collections::HashMap<searchidx::SegmentId, SegLayout>,
+    /// Ring allocator for WAL appends and segment images in the free
+    /// region past the doc store (live arm only).
+    arena: Option<SegmentArena>,
+    /// Cache-coherence strategy for compaction merges.
+    compaction_mode: CompactionMode,
+    /// Virtual time spent in background mutation I/O (WAL appends, seal
+    /// images, merge traffic). Not added to query response times — the
+    /// background flag on the device is what models the overlap — but
+    /// reported so ingest cost stays visible.
+    mutation_io_time: SimDuration,
+    /// Order-insensitive digest over every served result (computed or
+    /// cache-hit): equal digests ⇒ equal match sets, the equal-correctness
+    /// gate of the compaction-mode comparison. Accounting only.
+    result_digest: u64,
     /// Index device behind the explicit I/O pipeline. In
     /// [`IoPath::Direct`] the wrapper is a synchronous pass-through with
     /// the legacy trace-timestamp semantics; in `Queued` mode the engine
@@ -163,8 +181,28 @@ pub struct SearchEngine {
 impl SearchEngine {
     /// Build the whole testbed from a configuration. Construction is O(vocabulary).
     pub fn new(config: EngineConfig) -> Self {
-        let index = SyntheticIndex::new(CorpusSpec::enwiki_like(config.docs, config.seed));
-        let layout = IndexLayout::build(&index, 0);
+        let base = SyntheticIndex::new(CorpusSpec::enwiki_like(config.docs, config.seed));
+        let index = match &config.mutability {
+            IndexMutability::Frozen => IndexArm::Frozen(base),
+            IndexMutability::Live(live) => {
+                // The three-level intersection family has no segment
+                // story (pair keys carry no segment identity), so it
+                // cannot be kept coherent across merges.
+                assert!(
+                    config
+                        .cache
+                        .as_ref()
+                        .is_none_or(|c| c.intersections.is_none()),
+                    "intersection caching is incompatible with IndexMutability::Live"
+                );
+                IndexArm::Live(Box::new(searchidx::LiveIndex::new(base, live.segments)))
+            }
+        };
+        let compaction_mode = match &config.mutability {
+            IndexMutability::Live(live) => live.compaction,
+            IndexMutability::Frozen => CompactionMode::default(),
+        };
+        let layout = IndexLayout::build(index.base(), 0);
         // Stored fields live right after the posting lists.
         let docstore = DocStore::new(layout.end(), config.docs);
         let index_dev = match config.index_placement {
@@ -202,12 +240,26 @@ impl SearchEngine {
         ));
         let mut processor = TopKProcessor::new(config.topk);
         processor.set_backend(config.postings);
+        // The live arm rings its WAL and segment images through the free
+        // region past the doc store; the device capacity formulas above
+        // are *unchanged* so the frozen geometry (and thus seek timing)
+        // is preserved bit-for-bit.
+        let arena = config.mutability.is_live().then(|| {
+            let used = docstore.end();
+            let capacity = index_dev.geometry().sectors;
+            SegmentArena::new(used, capacity.saturating_sub(used))
+        });
         SearchEngine {
             processor,
             reference_mode: false,
             index,
             layout,
             docstore,
+            seg_layouts: std::collections::HashMap::new(),
+            arena,
+            compaction_mode,
+            mutation_io_time: SimDuration::ZERO,
+            result_digest: 0xcbf2_9ce4_8422_2325,
             index_dev: {
                 let mut piped = PipelinedDevice::new(index_dev, sink);
                 piped.set_path(config.io_path);
@@ -247,9 +299,40 @@ impl SearchEngine {
         (expect * 12).max(64)
     }
 
-    /// The synthetic index.
+    /// The base (frozen) synthetic index. Both arms share it; the live
+    /// arm's segments layer on top without renumbering its documents.
     pub fn index(&self) -> &SyntheticIndex {
-        &self.index
+        self.index.base()
+    }
+
+    /// The live index, when `mutability` is [`IndexMutability::Live`].
+    pub fn live_index(&self) -> Option<&searchidx::LiveIndex<SyntheticIndex>> {
+        self.index.live()
+    }
+
+    /// Mutation-lifecycle counters of the live arm (zero-default when
+    /// frozen).
+    pub fn mutation_stats(&self) -> searchidx::MutationStats {
+        self.index.live().map(|l| l.stats()).unwrap_or_default()
+    }
+
+    /// Virtual time spent in background mutation I/O (WAL appends, seal
+    /// images, merge traffic).
+    pub fn mutation_io_time(&self) -> SimDuration {
+        self.mutation_io_time
+    }
+
+    /// Order-insensitive digest over every result served so far. Two
+    /// runs that served the same match sets (same docs, same scores, in
+    /// any interleaving) have equal digests — the equal-correctness gate
+    /// the compaction-mode benchmark relies on.
+    pub fn result_digest(&self) -> u64 {
+        self.result_digest
+    }
+
+    /// The response-time quantile `q` over all queries so far.
+    pub fn response_quantile(&self, q: f64) -> SimDuration {
+        SimDuration::from_nanos(self.response_hist.quantile(q))
     }
 
     /// The on-device index layout.
@@ -279,6 +362,20 @@ impl SearchEngine {
         self.cache.as_mut()
     }
 
+    /// Mutable live-index access for the corruption-seeding audit tests
+    /// (`mutation_audit` plants WAL/segment/tombstone inconsistencies to
+    /// prove the validators fire). Not part of the public surface.
+    #[doc(hidden)]
+    pub fn debug_live_mut(&mut self) -> Option<&mut searchidx::LiveIndex<SyntheticIndex>> {
+        self.index.live_mut()
+    }
+
+    /// Full I/O statistics of the index device, submission-queue section
+    /// included (what the equivalence suites compare bit-for-bit).
+    pub fn index_io_stats(&self) -> &IoStats {
+        self.index_dev.stats()
+    }
+
     /// Runs the structural invariant validators over every audited piece
     /// of engine state: the two-level cache (memory caches, SSD stores),
     /// the cache SSD's pipeline queue and FTL, and the index device's
@@ -293,6 +390,31 @@ impl SearchEngine {
             cache.device().inner().validate(&mut report);
         }
         self.index_dev.validate(&mut report);
+        if let Some(live) = self.index.live() {
+            // The segment stack's own validators (WAL monotonicity,
+            // doc-range disjointness, tombstone conservation).
+            live.validate(&mut report);
+            // Cache/segment coherence: no tier may hold a key whose
+            // segment has been retired by compaction — a stale prefix
+            // there could alias a freshly merged list.
+            if let Some(cache) = &self.cache {
+                let retired = live.retired_ids();
+                for key in cache.cached_list_keys() {
+                    let seg = hybridcache::key_segment(key);
+                    report.check(
+                        !retired.contains(&seg),
+                        "SearchEngine",
+                        "no-cached-prefix-for-dead-segment",
+                        || {
+                            format!(
+                                "cache holds key (segment {seg}, term {}) but segment {seg} is retired",
+                                hybridcache::key_term(key)
+                            )
+                        },
+                    );
+                }
+            }
+        }
         report
     }
 
@@ -454,6 +576,12 @@ impl SearchEngine {
         if self.offload_mode != OffloadMode::InFlash || self.cache.is_none() || u.scanned == 0 {
             return None;
         }
+        // Once the live index has mutated, a cached list is one segment's
+        // share of a term, not the frequency-sorted prefix the descriptor
+        // describes — the push-down predicate no longer applies.
+        if self.index.live().is_some_and(|l| !l.is_pristine()) {
+            return None;
+        }
         let tf_bound = self
             .index
             .postings_range(u.term, u.scanned - 1, u.scanned)
@@ -558,6 +686,7 @@ impl SearchEngine {
                     _ => Situation::S3ResultSsd,
                 };
                 self.situations.record(situation, service);
+                self.digest_result(&result.decode());
                 return self.finish(start);
             }
         }
@@ -565,6 +694,7 @@ impl SearchEngine {
         // Compute from the index, charging list I/O per visited prefix.
         let outcome = self.topk(&query.terms);
         self.postings_scanned += outcome.postings_scanned();
+        self.digest_result(&outcome.result);
 
         // Three-level mode: the two heaviest lists may be replaced by a
         // cached intersection (Long & Suel's intermediate level).
@@ -590,7 +720,8 @@ impl SearchEngine {
                     .and_then(|c| c.config().intersections)
                     .map_or(u64::MAX, |x| x.pair_threshold);
                 let cache = self.cache.as_mut().expect("checked above");
-                if let Some(serve) = cache.lookup_intersection(pair, est) {
+                if let Some(serve) = cache.lookup_intersection((pair.0 as u64, pair.1 as u64), est)
+                {
                     // Served: the two lists' storage I/O is replaced by
                     // reading the (much smaller) intersection.
                     self.intersection_hits += 1;
@@ -608,7 +739,7 @@ impl SearchEngine {
                     // Materialize it for next time (built from postings
                     // already in hand this query — no extra storage I/O).
                     let cache = self.cache.as_mut().expect("checked above");
-                    cache.install_intersection(pair, est);
+                    cache.install_intersection((pair.0 as u64, pair.1 as u64), est);
                     self.intersection_installs += 1;
                 }
             }
@@ -624,13 +755,24 @@ impl SearchEngine {
                     continue; // served by the cached intersection
                 }
             }
+            // Once the live index has mutated, a scanned prefix splits
+            // into per-layer shares; while frozen (or pristine) the
+            // split is `None` and the seed path below runs verbatim.
+            let split = self
+                .index
+                .live()
+                .and_then(|l| l.split_usage(u.term, u.scanned));
+            if let Some(parts) = split {
+                self.charge_parts_direct(u.term, &parts, cost);
+                continue;
+            }
             let needed = u.bytes_scanned();
             let pu = u.utilization();
             let full = self.index.list_bytes(u.term);
             let offload = self.offload_template(u);
             let list_start = self.clock.now();
             if let Some(cache) = self.cache.as_mut() {
-                let serve = cache.lookup_list_offload(u.term, needed, full, pu, offload);
+                let serve = cache.lookup_list_offload(u.term as u64, needed, full, pu, offload);
                 self.clock.advance(serve.ssd_latency);
                 self.clock.advance(cost.mem_read(serve.from_mem));
                 if serve.from_hdd + serve.fill_from_hdd > 0 {
@@ -668,7 +810,7 @@ impl SearchEngine {
         for d in &outcome.result.docs[..fetches] {
             let t = self
                 .index_dev
-                .read(self.docstore.extent(d.doc))
+                .read(self.docstore.extent(self.doc_slot(d.doc)))
                 .expect("doc store is on-device");
             self.clock.advance(t);
         }
@@ -722,6 +864,7 @@ impl SearchEngine {
                     _ => Situation::S3ResultSsd,
                 };
                 self.situations.record(situation, service);
+                self.digest_result(&result.decode());
                 return self.finish(start);
             }
         }
@@ -729,6 +872,7 @@ impl SearchEngine {
         // Compute from the index, charging list I/O per visited prefix.
         let outcome = self.topk(&query.terms);
         self.postings_scanned += outcome.postings_scanned();
+        self.digest_result(&outcome.result);
 
         // Three-level mode (identical to the direct arm: intersection
         // serves are cache-device work, dispatched inline).
@@ -756,7 +900,8 @@ impl SearchEngine {
                 let now = self.clock.now();
                 let cache = self.cache.as_mut().expect("checked above");
                 cache.device_mut().set_now(now);
-                if let Some(serve) = cache.lookup_intersection(pair, est) {
+                if let Some(serve) = cache.lookup_intersection((pair.0 as u64, pair.1 as u64), est)
+                {
                     self.intersection_hits += 1;
                     self.clock.advance(serve.ssd_latency);
                     self.clock.advance(cost.mem_read(serve.from_mem));
@@ -770,7 +915,7 @@ impl SearchEngine {
                     paired = Some(pair);
                 } else if self.pair_freq.record(&pair) >= threshold {
                     let cache = self.cache.as_mut().expect("checked above");
-                    cache.install_intersection(pair, est);
+                    cache.install_intersection((pair.0 as u64, pair.1 as u64), est);
                     self.intersection_installs += 1;
                 }
             }
@@ -792,13 +937,23 @@ impl SearchEngine {
                     continue; // served by the cached intersection
                 }
             }
+            // Per-layer split once the live index has mutated (same
+            // branch as the direct arm; `None` keeps the seed path).
+            let split = self
+                .index
+                .live()
+                .and_then(|l| l.split_usage(u.term, u.scanned));
+            if let Some(parts) = split {
+                self.charge_parts_queued(u.term, &parts, cost, &mut records, &mut deferred);
+                continue;
+            }
             let needed = u.bytes_scanned();
             let pu = u.utilization();
             let full = self.index.list_bytes(u.term);
             let offload = self.offload_template(u);
             if let Some(cache) = self.cache.as_mut() {
                 cache.device_mut().set_now(self.clock.now());
-                let serve = cache.lookup_list_offload(u.term, needed, full, pu, offload);
+                let serve = cache.lookup_list_offload(u.term as u64, needed, full, pu, offload);
                 self.clock.advance(serve.ssd_latency);
                 self.clock.advance(cost.mem_read(serve.from_mem));
                 let slot = records.len();
@@ -853,7 +1008,7 @@ impl SearchEngine {
         let fetches = self.config.snippet_fetches.min(outcome.result.docs.len());
         let extents: Vec<Extent> = outcome.result.docs[..fetches]
             .iter()
-            .map(|d| self.docstore.extent(d.doc))
+            .map(|d| self.docstore.extent(self.doc_slot(d.doc)))
             .collect();
         for window in extents.chunks(depth) {
             let base = self.clock.now();
@@ -939,15 +1094,17 @@ impl SearchEngine {
             result_seeds.push((qid, CachedResult::encode(&outcome.result), freq));
         }
 
-        let mut list_seeds: Vec<(u32, u64, f64, u64)> = term_stats
+        let mut list_seeds: Vec<(u64, u64, f64, u64)> = term_stats
             .into_iter()
-            .map(|(term, (freq, si, pu_sum))| (term, si, (pu_sum / freq as f64).min(1.0), freq))
+            .map(|(term, (freq, si, pu_sum))| {
+                (term as u64, si, (pu_sum / freq as f64).min(1.0), freq)
+            })
             .collect();
         // Rank lists by efficiency value; ties break on the term id so
         // the seeded set is reproducible (`term_stats` iterates in
         // arbitrary `HashMap` order).
         list_seeds.sort_by(|a, b| {
-            let ev = |x: &(u32, u64, f64, u64)| {
+            let ev = |x: &(u64, u64, f64, u64)| {
                 hybridcache::efficiency_value(x.3, hybridcache::sc_blocks(x.1, x.2, sb))
             };
             ev(b)
@@ -1007,6 +1164,453 @@ impl SearchEngine {
             index_mean_latency: idx_stats.mean_latency(),
             situations: self.situations,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Live-index mutation path
+    // ------------------------------------------------------------------
+
+    /// Whether the live (mutable) arm is active.
+    pub fn is_live(&self) -> bool {
+        self.index.live().is_some()
+    }
+
+    /// Ingest one document into the live index: WAL append (background
+    /// write), in-memory postings growth, and — at the seal/compaction
+    /// thresholds — the background segment lifecycle. Returns the
+    /// assigned document slot, or `None` on the frozen arm.
+    ///
+    /// `terms` must be distinct, ascending, in-vocabulary `(term, tf)`
+    /// pairs with `tf > 0`.
+    pub fn ingest_document(&mut self, terms: &[(u32, u32)]) -> Option<u32> {
+        let at = self.clock.now();
+        let live = self.index.live_mut()?;
+        let out = live.add_document(at, terms);
+        self.charge_wal(out.wal_bytes);
+        self.sync_processor();
+        self.run_segment_lifecycle();
+        Some(out.doc)
+    }
+
+    /// Tombstone-delete a document from the live index. Returns whether
+    /// it was alive (always `false` on the frozen arm).
+    pub fn delete_document(&mut self, doc: u32) -> bool {
+        let at = self.clock.now();
+        let Some(live) = self.index.live_mut() else {
+            return false;
+        };
+        let out = live.delete_document(at, doc);
+        self.charge_wal(out.wal_bytes);
+        self.sync_processor();
+        self.run_segment_lifecycle();
+        out.deleted
+    }
+
+    /// Force a seal of the current write segment regardless of the
+    /// threshold (tests and shutdown paths).
+    pub fn force_seal(&mut self) -> Option<searchidx::SealOutcome> {
+        let at = self.clock.now();
+        let out = self.index.live_mut()?.seal(at)?;
+        self.on_seal(&out);
+        Some(out)
+    }
+
+    /// Force a compaction round regardless of the fan-in threshold
+    /// (needs at least two sealed segments).
+    pub fn force_compact(&mut self) -> Option<searchidx::CompactOutcome> {
+        let at = self.clock.now();
+        let out = self.index.live_mut()?.compact(at)?;
+        self.on_compact(&out);
+        Some(out)
+    }
+
+    /// The deterministic background lifecycle: seal at the policy
+    /// threshold, then compact at the fan-in threshold.
+    fn run_segment_lifecycle(&mut self) {
+        let at = self.clock.now();
+        let sealed = {
+            let Some(live) = self.index.live_mut() else {
+                return;
+            };
+            if live.seal_due() {
+                live.seal(at)
+            } else {
+                None
+            }
+        };
+        if let Some(out) = sealed {
+            self.on_seal(&out);
+        }
+        let compacted = {
+            let live = self.index.live_mut().expect("checked above");
+            if live.compaction_due() {
+                live.compact(at)
+            } else {
+                None
+            }
+        };
+        if let Some(out) = compacted {
+            self.on_compact(&out);
+        }
+    }
+
+    /// Charge a WAL append as a background write into the WAL ring.
+    fn charge_wal(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let Some(arena) = self.arena.as_mut() else {
+            return;
+        };
+        let extent = arena.wal_extent(bytes);
+        self.index_dev.set_now(self.clock.now());
+        self.index_dev.set_background(true);
+        let t = self.index_dev.write(extent).expect("WAL ring is on-device");
+        self.index_dev.set_background(false);
+        self.mutation_io_time += t;
+    }
+
+    /// A freshly sealed segment: lay it out in the arena and charge the
+    /// image write as background I/O.
+    fn on_seal(&mut self, out: &searchidx::SealOutcome) {
+        self.charge_wal(out.wal_bytes);
+        let (layout, image) = {
+            let live = self.index.live().expect("seal implies live");
+            let seg = live
+                .sealed_segment(out.segment)
+                .expect("sealed segment exists");
+            let arena = self.arena.as_mut().expect("live arm has an arena");
+            // Build at 0 first to learn the footprint, then place.
+            let probe = SegLayout::build(seg, 0);
+            let base = arena.alloc_segment(probe.sectors());
+            let layout = SegLayout::build(seg, base);
+            let image = layout.image_extent();
+            (layout, image)
+        };
+        self.index_dev.set_now(self.clock.now());
+        self.index_dev.set_background(true);
+        let t = self
+            .index_dev
+            .write(image)
+            .expect("segment arena is on-device");
+        self.index_dev.set_background(false);
+        self.mutation_io_time += t;
+        self.seg_layouts.insert(out.segment, layout);
+        self.audit_mutation("SearchEngine::on_seal");
+    }
+
+    /// A compaction merge: charge input reads + output write as
+    /// background I/O, retire the input layouts, and reconcile the
+    /// cache under the configured [`CompactionMode`].
+    fn on_compact(&mut self, out: &searchidx::CompactOutcome) {
+        self.charge_wal(out.wal_bytes);
+        self.index_dev.set_now(self.clock.now());
+        self.index_dev.set_background(true);
+        let mut t = SimDuration::ZERO;
+        for id in &out.inputs {
+            if let Some(l) = self.seg_layouts.get(id) {
+                t += self
+                    .index_dev
+                    .read(l.image_extent())
+                    .expect("segment arena is on-device");
+            }
+        }
+        let layout = {
+            let live = self.index.live().expect("compact implies live");
+            let seg = live
+                .sealed_segment(out.output)
+                .expect("merge output exists");
+            let arena = self.arena.as_mut().expect("live arm has an arena");
+            let probe = SegLayout::build(seg, 0);
+            let base = arena.alloc_segment(probe.sectors());
+            SegLayout::build(seg, base)
+        };
+        t += self
+            .index_dev
+            .write(layout.image_extent())
+            .expect("segment arena is on-device");
+        self.index_dev.set_background(false);
+        self.mutation_io_time += t;
+        for id in &out.inputs {
+            self.seg_layouts.remove(id);
+        }
+        self.seg_layouts.insert(out.output, layout);
+        self.reconcile_cache(out);
+        if out.content_changed {
+            self.processor.invalidate_all_terms();
+        }
+        self.sync_processor();
+        self.audit_mutation("SearchEngine::on_compact");
+    }
+
+    /// Merge-driven cache coherence. Both modes leave zero cached keys
+    /// on retired segments (the `no-cached-prefix-for-dead-segment`
+    /// audit); they differ in what happens to everything else.
+    fn reconcile_cache(&mut self, out: &searchidx::CompactOutcome) {
+        if self.cache.is_none() {
+            return;
+        }
+        let now = self.clock.now();
+        match self.compaction_mode {
+            CompactionMode::InvalidateAll => {
+                let cache = self.cache.as_mut().expect("checked above");
+                cache.set_now(now);
+                cache.device_mut().set_now(now);
+                cache.invalidate_all_lists();
+            }
+            CompactionMode::Cooperative => {
+                // Pass 1: invalidate exactly the retired segments' keys,
+                // carrying each term's cached profile.
+                let mut carried: Vec<(u32, u64, f64, u64)> = Vec::new();
+                {
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.set_now(now);
+                    cache.device_mut().set_now(now);
+                    let mut by_term: std::collections::BTreeMap<u32, (u64, f64, u64)> =
+                        std::collections::BTreeMap::new();
+                    for key in cache.cached_list_keys() {
+                        let seg = hybridcache::key_segment(key);
+                        if !out.inputs.contains(&seg) {
+                            continue;
+                        }
+                        if let Some((si, pu, freq, _full)) = cache.list_profile(key) {
+                            let e = by_term
+                                .entry(hybridcache::key_term(key))
+                                .or_insert((0, 0.0, 0));
+                            e.0 += si;
+                            e.1 = e.1.max(pu);
+                            e.2 += freq;
+                        }
+                        cache.invalidate_list(key);
+                    }
+                    carried.extend(by_term.into_iter().map(|(t, (si, pu, f))| (t, si, pu, f)));
+                }
+                // Pass 2: the merged survivor's footprint per term.
+                let full_bytes: Vec<u64> = {
+                    let live = self.index.live().expect("compact implies live");
+                    let seg = live.sealed_segment(out.output);
+                    carried
+                        .iter()
+                        .map(|&(t, ..)| seg.map_or(0, |s| s.doc_freq(t) * 8))
+                        .collect()
+                };
+                // Pass 3: readmit under the output segment's key, through
+                // the normal admission gate.
+                let cache = self.cache.as_mut().expect("checked above");
+                for (&(term, si, pu, freq), &full) in carried.iter().zip(&full_bytes) {
+                    if full == 0 {
+                        continue; // every posting of the term was dropped
+                    }
+                    let key = hybridcache::list_key(out.output, term);
+                    cache.readmit_list(key, si.min(full), pu, freq, full);
+                }
+            }
+        }
+    }
+
+    /// Drain the live index's dirty-term set into the processor's
+    /// per-term caches (block postings + weight scratch are keyed by
+    /// term only, so stale entries must go before the next query).
+    fn sync_processor(&mut self) {
+        let Some(live) = self.index.live_mut() else {
+            return;
+        };
+        let dirty = live.take_dirty();
+        if dirty.all {
+            self.processor.invalidate_all_terms();
+        } else {
+            for t in dirty.terms {
+                self.processor.invalidate_term(t);
+            }
+        }
+    }
+
+    /// Debug-gated full-state audit after a lifecycle step (includes the
+    /// segment validators and the dead-segment cache sweep).
+    fn audit_mutation(&mut self, context: &str) {
+        #[cfg(debug_assertions)]
+        {
+            if invariant::audit_enabled() {
+                let report = self.validation_report();
+                if !report.is_clean() {
+                    panic!(
+                        "invariant audit failed at {context} ({} violation(s)):\n{}",
+                        report.violations().len(),
+                        report.summary()
+                    );
+                }
+            }
+        }
+        let _ = context;
+    }
+
+    /// The on-device extent for bytes `[from, to)` of one segment's share
+    /// of a term (base layer uses the frozen layout; sealed segments use
+    /// their compact arena layouts). `None` only if a sealed segment has
+    /// no image yet, which cannot happen after `on_seal` — kept total so
+    /// a charging miss degrades to "no HDD read" instead of a panic.
+    fn live_range_extent(
+        &self,
+        segment: searchidx::SegmentId,
+        term: u32,
+        from: u64,
+        to: u64,
+    ) -> Option<Extent> {
+        if segment == searchidx::BASE_SEGMENT {
+            Some(self.layout.range_extent(term, from, to))
+        } else {
+            self.seg_layouts.get(&segment)?.range_extent(term, from, to)
+        }
+    }
+
+    /// The extent of the first `bytes` of one segment's share of a term.
+    fn live_prefix_extent(
+        &self,
+        segment: searchidx::SegmentId,
+        term: u32,
+        bytes: u64,
+    ) -> Option<Extent> {
+        if segment == searchidx::BASE_SEGMENT {
+            Some(self.layout.prefix_extent(term, bytes))
+        } else {
+            self.seg_layouts.get(&segment)?.prefix_extent(term, bytes)
+        }
+    }
+
+    /// Charge one term's traversal across the live layers, direct arm.
+    /// Each non-empty part is an independent cacheable unit keyed by
+    /// `(segment, term)`; the write-segment share is RAM-resident and
+    /// never cached.
+    fn charge_parts_direct(
+        &mut self,
+        term: u32,
+        parts: &[searchidx::UsagePart],
+        cost: CpuCostModel,
+    ) {
+        for p in parts {
+            let needed = p.scanned * searchidx::POSTING_BYTES;
+            let list_start = self.clock.now();
+            if p.segment == searchidx::WRITE_SEGMENT {
+                self.clock.advance(cost.mem_read(needed));
+                self.situations
+                    .record(Situation::S2ListMem, self.clock.now() - list_start);
+                continue;
+            }
+            let full = p.df * searchidx::POSTING_BYTES;
+            let pu = if p.df == 0 {
+                0.0
+            } else {
+                (p.scanned as f64 / p.df as f64).min(1.0)
+            };
+            let key = hybridcache::list_key(p.segment, term);
+            if let Some(cache) = self.cache.as_mut() {
+                let serve = cache.lookup_list_offload(key, needed, full, pu, None);
+                self.clock.advance(serve.ssd_latency);
+                self.clock.advance(cost.mem_read(serve.from_mem));
+                if serve.from_hdd + serve.fill_from_hdd > 0 {
+                    let from = serve.from_mem + serve.from_ssd;
+                    let to = needed + serve.fill_from_hdd;
+                    if let Some(extent) =
+                        self.live_range_extent(p.segment, term, from.min(to - 1), to)
+                    {
+                        let t = self
+                            .index_dev
+                            .read(extent)
+                            .expect("segment extents are on-device");
+                        self.clock.advance(t);
+                    }
+                }
+                self.situations.record(
+                    classify_list(serve.from_mem, serve.from_ssd, serve.from_hdd),
+                    self.clock.now() - list_start,
+                );
+            } else {
+                if let Some(extent) = self.live_prefix_extent(p.segment, term, needed) {
+                    let t = self
+                        .index_dev
+                        .read(extent)
+                        .expect("segment extents are on-device");
+                    self.clock.advance(t);
+                }
+                self.situations
+                    .record(Situation::S9ListHdd, self.clock.now() - list_start);
+            }
+        }
+    }
+
+    /// Charge one term's traversal across the live layers, queued arm:
+    /// cache serves happen inline, HDD tails are deferred into the
+    /// caller's `(record slot, extent)` batch like the seed path.
+    fn charge_parts_queued(
+        &mut self,
+        term: u32,
+        parts: &[searchidx::UsagePart],
+        cost: CpuCostModel,
+        records: &mut Vec<(Situation, SimDuration)>,
+        deferred: &mut Vec<(usize, Extent)>,
+    ) {
+        for p in parts {
+            let needed = p.scanned * searchidx::POSTING_BYTES;
+            if p.segment == searchidx::WRITE_SEGMENT {
+                let t = cost.mem_read(needed);
+                self.clock.advance(t);
+                records.push((Situation::S2ListMem, t));
+                continue;
+            }
+            let full = p.df * searchidx::POSTING_BYTES;
+            let pu = if p.df == 0 {
+                0.0
+            } else {
+                (p.scanned as f64 / p.df as f64).min(1.0)
+            };
+            let key = hybridcache::list_key(p.segment, term);
+            if let Some(cache) = self.cache.as_mut() {
+                cache.device_mut().set_now(self.clock.now());
+                let serve = cache.lookup_list_offload(key, needed, full, pu, None);
+                self.clock.advance(serve.ssd_latency);
+                self.clock.advance(cost.mem_read(serve.from_mem));
+                let slot = records.len();
+                records.push((
+                    classify_list(serve.from_mem, serve.from_ssd, serve.from_hdd),
+                    serve.ssd_latency + cost.mem_read(serve.from_mem),
+                ));
+                if serve.from_hdd + serve.fill_from_hdd > 0 {
+                    let from = serve.from_mem + serve.from_ssd;
+                    let to = needed + serve.fill_from_hdd;
+                    if let Some(extent) =
+                        self.live_range_extent(p.segment, term, from.min(to - 1), to)
+                    {
+                        deferred.push((slot, extent));
+                    }
+                }
+            } else {
+                let slot = records.len();
+                records.push((Situation::S9ListHdd, SimDuration::ZERO));
+                if let Some(extent) = self.live_prefix_extent(p.segment, term, needed) {
+                    deferred.push((slot, extent));
+                }
+            }
+        }
+    }
+
+    /// The document slot whose stored-fields record backs `doc`.
+    /// Identity for the frozen corpus; ingested documents ring over the
+    /// fixed doc-store region (slot reuse is fine — the simulation
+    /// charges the read, it never stores data).
+    fn doc_slot(&self, doc: u32) -> u32 {
+        (doc as u64 % self.docstore.docs().max(1)) as u32
+    }
+
+    /// Fold one served result into the order-insensitive digest.
+    fn digest_result(&mut self, result: &searchidx::ResultEntry) {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for d in &result.docs {
+            h = (h ^ (d.doc as u64)).wrapping_mul(0x100_0000_01b3);
+            h = (h ^ (d.score.to_bits() as u64)).wrapping_mul(0x100_0000_01b3);
+        }
+        // Commutative fold: arrival order must not matter when two runs
+        // interleave ingest differently between the same queries.
+        self.result_digest = self.result_digest.wrapping_add(h | 1);
     }
 
     /// Reset measurement windows (cache contents and device wear persist —

@@ -20,16 +20,20 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod model;
+pub mod mutation;
 pub mod payload;
 pub mod report;
 pub mod serving;
 pub mod situations;
 
 pub use cluster::{ClusterExecution, ClusterReport, SearchCluster};
-pub use config::{CpuCostModel, EngineConfig, IndexPlacement};
+pub use config::{
+    CompactionMode, CpuCostModel, EngineConfig, IndexMutability, IndexPlacement, LiveConfig,
+};
 pub use engine::SearchEngine;
 pub use flashsim::{ComputeParams, ComputeStats};
 pub use model::{predict, FixedCosts, ModelCheck};
+pub use mutation::IndexArm;
 pub use payload::CachedResult;
 pub use report::{FlashReport, RunReport};
 pub use searchidx::PostingsBackend;

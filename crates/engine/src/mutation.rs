@@ -1,0 +1,324 @@
+//! Live-index plumbing for the engine: the frozen/live index arm, the
+//! on-device layout of sealed segments, and the ring arena that places
+//! WAL appends and segment images after the base index.
+//!
+//! The base index image and the [`searchidx::IndexLayout`] over it are
+//! untouched by mutation — document slots are never renumbered, so the
+//! frozen extents stay valid for the base layer forever. Everything the
+//! live arm adds (WAL records, sealed-segment images, merge outputs)
+//! lives in the free region between the end of the doc store and the
+//! device's capacity, allocated ring-wise: the simulation charges honest
+//! seeks/programs for the background writes without ever growing the
+//! device.
+
+use std::collections::HashMap;
+
+use searchidx::{
+    IndexReader, LiveIndex, Posting, PostingList, SealedSegment, SyntheticIndex, TermId,
+    POSTING_BYTES,
+};
+use storagecore::{Extent, Lba, SECTOR_SIZE};
+
+/// The engine's index: the seed read-only path, or the segmented
+/// mutable stack over the same base corpus.
+#[derive(Debug)]
+pub enum IndexArm {
+    /// One immutable [`SyntheticIndex`] — the seed behaviour verbatim.
+    Frozen(SyntheticIndex),
+    /// The segmented write path. Until the first mutation it delegates
+    /// every read to the base, so a zero-ingest live run is
+    /// bit-identical to the frozen arm by construction.
+    Live(Box<LiveIndex<SyntheticIndex>>),
+}
+
+impl IndexArm {
+    /// The base (frozen) index both arms share.
+    pub fn base(&self) -> &SyntheticIndex {
+        match self {
+            IndexArm::Frozen(i) => i,
+            IndexArm::Live(l) => l.base(),
+        }
+    }
+
+    /// The live index, when this is the live arm.
+    pub fn live(&self) -> Option<&LiveIndex<SyntheticIndex>> {
+        match self {
+            IndexArm::Frozen(_) => None,
+            IndexArm::Live(l) => Some(l),
+        }
+    }
+
+    /// Mutable live access.
+    pub fn live_mut(&mut self) -> Option<&mut LiveIndex<SyntheticIndex>> {
+        match self {
+            IndexArm::Frozen(_) => None,
+            IndexArm::Live(l) => Some(l),
+        }
+    }
+}
+
+impl IndexReader for IndexArm {
+    fn num_docs(&self) -> u64 {
+        match self {
+            IndexArm::Frozen(i) => i.num_docs(),
+            IndexArm::Live(l) => l.num_docs(),
+        }
+    }
+
+    fn num_terms(&self) -> u64 {
+        match self {
+            IndexArm::Frozen(i) => i.num_terms(),
+            IndexArm::Live(l) => l.num_terms(),
+        }
+    }
+
+    fn doc_freq(&self, term: TermId) -> u64 {
+        match self {
+            IndexArm::Frozen(i) => i.doc_freq(term),
+            IndexArm::Live(l) => l.doc_freq(term),
+        }
+    }
+
+    fn postings(&self, term: TermId) -> PostingList {
+        match self {
+            IndexArm::Frozen(i) => i.postings(term),
+            IndexArm::Live(l) => l.postings(term),
+        }
+    }
+
+    fn postings_range(&self, term: TermId, start: u64, end: u64) -> Vec<Posting> {
+        match self {
+            IndexArm::Frozen(i) => i.postings_range(term, start, end),
+            IndexArm::Live(l) => l.postings_range(term, start, end),
+        }
+    }
+
+    fn list_bytes(&self, term: TermId) -> u64 {
+        match self {
+            IndexArm::Frozen(i) => i.list_bytes(term),
+            IndexArm::Live(l) => l.list_bytes(term),
+        }
+    }
+
+    fn idf(&self, term: TermId) -> f64 {
+        match self {
+            IndexArm::Frozen(i) => i.idf(term),
+            IndexArm::Live(l) => l.idf(term),
+        }
+    }
+}
+
+/// Compact on-device layout of one sealed segment: only the terms the
+/// segment actually holds get extents (a full [`searchidx::IndexLayout`]
+/// would burn a sector per vocabulary term). Extent semantics mirror the
+/// base layout — sector-aligned contiguous runs per term, prefix reads
+/// rounded up to whole sectors.
+#[derive(Debug, Clone)]
+pub struct SegLayout {
+    base: Lba,
+    sectors: u64,
+    /// `term -> (first sector, sectors, list bytes)`, extents laid out
+    /// in ascending-term order.
+    by_term: HashMap<TermId, (Lba, u64, u64)>,
+}
+
+impl SegLayout {
+    /// Lay the segment's lists out starting at sector `base`.
+    pub fn build(seg: &SealedSegment, base: Lba) -> Self {
+        let mut by_term = HashMap::new();
+        let mut cursor = base;
+        for term in seg.terms() {
+            let bytes = seg.doc_freq(term) * POSTING_BYTES;
+            let sectors = bytes.div_ceil(SECTOR_SIZE as u64).max(1);
+            by_term.insert(term, (cursor, sectors, bytes));
+            cursor += sectors;
+        }
+        SegLayout {
+            base,
+            sectors: cursor - base,
+            by_term,
+        }
+    }
+
+    /// Total sectors occupied.
+    pub fn sectors(&self) -> u64 {
+        self.sectors
+    }
+
+    /// The whole image as one extent (what seal/merge I/O moves).
+    pub fn image_extent(&self) -> Extent {
+        Extent::new(self.base, self.sectors.max(1))
+    }
+
+    /// The full extent of one term's list.
+    pub fn extent(&self, term: TermId) -> Option<Extent> {
+        self.by_term
+            .get(&term)
+            .map(|&(lba, sectors, _)| Extent::new(lba, sectors))
+    }
+
+    /// The extent covering the first `bytes` of a term's list (whole
+    /// sectors, clamped, at least one).
+    pub fn prefix_extent(&self, term: TermId, bytes: u64) -> Option<Extent> {
+        let full = self.extent(term)?;
+        let sectors = bytes.div_ceil(SECTOR_SIZE as u64).clamp(1, full.sectors);
+        Some(Extent::new(full.lba, sectors))
+    }
+
+    /// The extent covering bytes `[from, to)` of a term's list, rounded
+    /// outward to whole sectors and clamped.
+    pub fn range_extent(&self, term: TermId, from: u64, to: u64) -> Option<Extent> {
+        debug_assert!(from < to, "empty range [{from}, {to})");
+        let full = self.extent(term)?;
+        let first = (from / SECTOR_SIZE as u64).min(full.sectors - 1);
+        let last = to
+            .div_ceil(SECTOR_SIZE as u64)
+            .clamp(first + 1, full.sectors);
+        Some(Extent::new(full.lba + first, last - first))
+    }
+}
+
+/// Ring allocator over the free device region past the doc store: a
+/// small WAL ring up front, segment images behind it. Purely an
+/// accounting structure — retired segments' extents are simply reused
+/// once the cursor laps, which is safe because the simulation never
+/// stores data, only charges the I/O.
+#[derive(Debug)]
+pub struct SegmentArena {
+    wal_base: Lba,
+    wal_sectors: u64,
+    wal_cursor: u64,
+    seg_base: Lba,
+    seg_sectors: u64,
+    seg_cursor: u64,
+}
+
+impl SegmentArena {
+    /// Carve the region `[base, base + sectors)`: one eighth (at least
+    /// one sector) for the WAL ring, the rest for segment images.
+    pub fn new(base: Lba, sectors: u64) -> Self {
+        assert!(sectors >= 8, "arena too small: {sectors} sectors");
+        let wal_sectors = (sectors / 8).max(1);
+        SegmentArena {
+            wal_base: base,
+            wal_sectors,
+            wal_cursor: 0,
+            seg_base: base + wal_sectors,
+            seg_sectors: sectors - wal_sectors,
+            seg_cursor: 0,
+        }
+    }
+
+    /// The next WAL append's extent (ring of whole sectors).
+    pub fn wal_extent(&mut self, bytes: u64) -> Extent {
+        let sectors = bytes
+            .div_ceil(SECTOR_SIZE as u64)
+            .clamp(1, self.wal_sectors);
+        if self.wal_cursor + sectors > self.wal_sectors {
+            self.wal_cursor = 0;
+        }
+        let e = Extent::new(self.wal_base + self.wal_cursor, sectors);
+        self.wal_cursor += sectors;
+        e
+    }
+
+    /// A contiguous run of `sectors` for a segment image (wraps to the
+    /// start when the tail is too short; images larger than the whole
+    /// region are clamped — the charge stays honest enough and extents
+    /// stay on-device).
+    pub fn alloc_segment(&mut self, sectors: u64) -> Lba {
+        let sectors = sectors.clamp(1, self.seg_sectors);
+        if self.seg_cursor + sectors > self.seg_sectors {
+            self.seg_cursor = 0;
+        }
+        let lba = self.seg_base + self.seg_cursor;
+        self.seg_cursor += sectors;
+        lba
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use searchidx::{GrowthPolicy, SegmentPolicy, WriteSegment};
+    use simclock::SimTime;
+
+    fn sealed() -> SealedSegment {
+        let mut ws = WriteSegment::new(100, GrowthPolicy::Contiguous);
+        for d in 0..20u32 {
+            ws.add_doc(&[(d % 5, 1 + d % 3), (7, 2)]);
+        }
+        SealedSegment::from_write(3, &ws, 1_000)
+    }
+
+    #[test]
+    fn seg_layout_covers_every_list_without_vocab_padding() {
+        let seg = sealed();
+        let l = SegLayout::build(&seg, 5_000);
+        // Only present terms are laid out; extents are disjoint and
+        // back-to-back in ascending term order.
+        let mut terms: Vec<TermId> = seg.terms().collect();
+        terms.sort_unstable();
+        let mut cursor = 5_000;
+        for &t in &terms {
+            let e = l.extent(t).expect("present term laid out");
+            assert_eq!(e.lba, cursor);
+            assert!(e.bytes() >= seg.doc_freq(t) * POSTING_BYTES);
+            cursor = e.end();
+        }
+        assert_eq!(l.image_extent(), Extent::new(5_000, l.sectors()));
+        assert_eq!(l.extent(999), None, "absent term has no extent");
+        // Prefix/range clamp like the base layout.
+        let t = terms[0];
+        assert_eq!(l.prefix_extent(t, 1).unwrap().sectors, 1);
+        let full = l.extent(t).unwrap();
+        assert!(full.contains(&l.range_extent(t, 0, u64::MAX).unwrap()));
+    }
+
+    #[test]
+    fn arena_rings_wal_and_segments_in_bounds() {
+        let mut a = SegmentArena::new(1_000, 80);
+        let region = Extent::new(1_000, 80);
+        let mut seen_wrap = false;
+        let mut last = 0;
+        for i in 0..50 {
+            let e = a.wal_extent(100 + i * 37);
+            assert!(region.contains(&e), "wal extent {e} escaped the arena");
+            if e.lba < last {
+                seen_wrap = true;
+            }
+            last = e.lba;
+        }
+        assert!(seen_wrap, "wal ring never wrapped");
+        for sectors in [5u64, 30, 64, 200] {
+            let lba = a.alloc_segment(sectors);
+            let clamped = sectors.min(80 - 10);
+            assert!(
+                lba >= a.seg_base && lba + clamped <= 1_000 + 80,
+                "segment run escaped the arena"
+            );
+        }
+    }
+
+    #[test]
+    fn index_arm_pristine_live_reads_equal_frozen() {
+        let spec = searchidx::CorpusSpec::tiny(11);
+        let frozen = IndexArm::Frozen(SyntheticIndex::new(spec.clone()));
+        let live = IndexArm::Live(Box::new(LiveIndex::new(
+            SyntheticIndex::new(spec),
+            SegmentPolicy::default(),
+        )));
+        assert_eq!(frozen.num_docs(), live.num_docs());
+        assert_eq!(frozen.num_terms(), live.num_terms());
+        for t in [0u32, 5, 100, 1_999] {
+            assert_eq!(frozen.doc_freq(t), live.doc_freq(t));
+            assert_eq!(frozen.postings(t), live.postings(t));
+            assert_eq!(frozen.list_bytes(t), live.list_bytes(t));
+            assert!((frozen.idf(t) - live.idf(t)).abs() == 0.0, "idf bit-equal");
+        }
+        let mut arm = live;
+        let l = arm.live_mut().expect("live arm");
+        l.add_document(SimTime::ZERO, &[(0, 1)]);
+        assert_eq!(arm.num_docs(), arm.base().num_docs() + 1);
+    }
+}

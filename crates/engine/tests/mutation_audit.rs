@@ -1,0 +1,156 @@
+//! Seeded-corruption coverage for the live-index validators, in its own
+//! process (it flips the process-global audit switch).
+//!
+//! A validator that has never fired is indistinguishable from one that
+//! cannot fire. Each test drives a real mutation history, plants one
+//! specific inconsistency through the `#[doc(hidden)]` corruption hooks,
+//! and proves exactly the right rule reports it — including the engine's
+//! own `no-cached-prefix-for-dead-segment` sweep, which catches a cache
+//! entry aliasing a compacted-away segment.
+
+use engine::{CompactionMode, EngineConfig, IndexMutability, LiveConfig, SearchEngine};
+use hybridcache::{HybridConfig, PolicyKind};
+use searchidx::{GrowthPolicy, SegmentPolicy};
+
+const DOCS: u64 = 40_000;
+
+fn live_cfg(seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::cached(
+        DOCS,
+        HybridConfig::paper(1 << 20, 8 << 20, PolicyKind::Cblru),
+        seed,
+    );
+    cfg.mutability = IndexMutability::Live(LiveConfig {
+        segments: SegmentPolicy {
+            seal_threshold_docs: 16,
+            compact_fanin: 3,
+            growth: GrowthPolicy::Contiguous,
+        },
+        compaction: CompactionMode::Cooperative,
+    });
+    cfg
+}
+
+/// A live engine with real history: enough ingest for several seals and
+/// at least one compaction, at least one delete, plus a query window so
+/// the cache holds live-segment keys.
+fn exercised_engine() -> SearchEngine {
+    let mut e = SearchEngine::new(live_cfg(41));
+    let mut docs = Vec::new();
+    for i in 0..120u32 {
+        let t = (i % 50) * 3;
+        docs.push(
+            e.ingest_document(&[(t, 1 + i % 3), (t + 1, 1)])
+                .expect("live arm"),
+        );
+    }
+    assert!(e.delete_document(docs[5]));
+    assert!(e.delete_document(docs[40]));
+    let s = e.mutation_stats();
+    assert!(
+        s.seals >= 3 && s.compactions >= 1,
+        "history too shallow: {s:?}"
+    );
+    e.run(200);
+    e
+}
+
+fn violated_rules(e: &SearchEngine) -> Vec<String> {
+    e.validation_report()
+        .violations()
+        .iter()
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[test]
+fn exercised_history_audits_clean() {
+    invariant::force_enable();
+    let e = exercised_engine();
+    let report = e.validation_report();
+    assert!(report.is_clean(), "{}", report.summary());
+}
+
+#[test]
+fn broken_wal_lsn_trips_wal_monotonic() {
+    let mut e = exercised_engine();
+    assert!(e.validation_report().is_clean());
+    e.debug_live_mut().unwrap().debug_break_wal();
+    let rules = violated_rules(&e);
+    assert!(
+        rules.iter().any(|r| r.contains("wal-monotonic")),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn overlapping_segments_trip_segment_doc_range() {
+    let mut e = exercised_engine();
+    e.debug_live_mut().unwrap().debug_overlap_segments();
+    let rules = violated_rules(&e);
+    assert!(
+        rules.iter().any(|r| r.contains("segment-doc-range")),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn leaked_tombstone_trips_tombstone_conservation() {
+    let mut e = exercised_engine();
+    e.debug_live_mut().unwrap().debug_leak_tombstone();
+    let rules = violated_rules(&e);
+    assert!(
+        rules.iter().any(|r| r.contains("tombstone-conservation")),
+        "{rules:?}"
+    );
+}
+
+#[test]
+fn cached_key_on_a_retired_segment_trips_the_dead_segment_sweep() {
+    let mut e = exercised_engine();
+    let retired = e
+        .live_index()
+        .unwrap()
+        .retired_ids()
+        .first()
+        .copied()
+        .expect("at least one compaction retired a segment");
+    // Plant a cache entry under the dead segment's key — exactly the
+    // stale-prefix aliasing the cooperative reconcile must prevent.
+    let key = hybridcache::list_key(retired, 7);
+    assert!(
+        e.debug_cache_mut()
+            .unwrap()
+            .readmit_list(key, 4_096, 0.5, 50, 8_192),
+        "planted readmission was rejected by the gate"
+    );
+    let rules = violated_rules(&e);
+    assert!(
+        rules
+            .iter()
+            .any(|r| r.contains("no-cached-prefix-for-dead-segment")),
+        "{rules:?}"
+    );
+}
+
+/// The audit must fire *at the lifecycle site*, not only on explicit
+/// `validation_report` calls: with auditing enabled, the first
+/// seal/compact after a planted corruption panics inside the engine.
+/// `audit!`-style site checks compile away in release builds, so this
+/// is debug-only (tier-1 runs debug).
+#[cfg(debug_assertions)]
+#[test]
+fn corruption_panics_at_the_next_lifecycle_site() {
+    invariant::force_enable();
+    let mut e = exercised_engine();
+    e.debug_live_mut().unwrap().debug_leak_tombstone();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Enough adds to cross the seal threshold and trigger on_seal's
+        // audit.
+        for i in 0..32u32 {
+            e.ingest_document(&[(i % 10, 1)]);
+        }
+    }))
+    .is_err();
+    assert!(panicked, "lifecycle audit did not fire on corrupted state");
+}

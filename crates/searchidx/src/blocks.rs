@@ -405,6 +405,22 @@ impl BlockStore {
             .or_insert_with(|| BlockPostings::new(df))
     }
 
+    /// Drop `term`'s encoded list, if any. Returns whether one existed.
+    ///
+    /// The store is keyed by term only, so when an index becomes mutable
+    /// a merged/updated list would silently *alias* the stale encoding —
+    /// the live-index engine must drop touched terms before the next
+    /// query reads them.
+    pub fn remove(&mut self, term: TermId) -> bool {
+        self.lists.remove(&term).is_some()
+    }
+
+    /// Drop every encoded list (deletes and content-changing merges
+    /// invalidate an unknown term set).
+    pub fn clear(&mut self) {
+        self.lists.clear();
+    }
+
     /// Aggregate footprint.
     pub fn stats(&self) -> BlockStoreStats {
         let mut s = BlockStoreStats::default();

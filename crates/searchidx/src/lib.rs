@@ -31,6 +31,7 @@ pub mod docstore;
 pub mod layout;
 pub mod mem;
 pub mod offload;
+pub mod segment;
 pub mod skips;
 pub mod topk;
 pub mod types;
@@ -45,9 +46,14 @@ pub use docstore::DocStore;
 pub use layout::IndexLayout;
 pub use mem::MemIndex;
 pub use offload::{flash_scan, host_gallop, OffloadPredicate, ScanOutcome};
+pub use segment::{
+    AddOutcome, CompactOutcome, DeleteOutcome, DirtyTerms, GrowthPolicy, GrowthStats, LiveIndex,
+    MutationStats, SealOutcome, SealedSegment, SegmentId, SegmentPolicy, UsagePart, WalOp,
+    WalRecord, WriteAheadLog, WriteSegment, BASE_SEGMENT, WRITE_SEGMENT,
+};
 pub use skips::{DocSortedList, PostingsCursor, SkipCursor, SkipStats, SKIP_INTERVAL};
 pub use topk::{QueryOutcome, TermUsage, TopKConfig, TopKProcessor};
 pub use types::{
     tf_weight, DocId, IndexReader, Posting, PostingList, ResultEntry, ScoredDoc, TermId,
-    RESULT_DOC_BYTES,
+    POSTING_BYTES, RESULT_DOC_BYTES,
 };

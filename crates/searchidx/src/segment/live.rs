@@ -1,0 +1,758 @@
+//! The segmented, mutable index: frozen base + sealed segments + write
+//! segment + tombstones, served through a single [`IndexReader`] view.
+//!
+//! Layering (oldest to newest):
+//!
+//! ```text
+//!   base (segment 0, immutable reader B)      docs [0, base_docs)
+//!   sealed segments (immutable, id ≥ 1)       docs [base_docs, …)
+//!   write segment (mutable, in memory)        docs […, next_doc)
+//!   tombstones (global doc-id set)            filter over everything
+//! ```
+//!
+//! Queries see the **merged view**: per-term, the tombstone-filtered
+//! k-way merge of every layer's canonical tf-descending list, with ties
+//! broken by layer order (base first, then sealed by id, then write) so
+//! the merge is stable — the postings a query takes from a layer are
+//! always a *prefix* of that layer's own canonical order, which is what
+//! lets the engine charge per-segment partial reads exactly.
+//!
+//! **Pristine fast path:** until the first mutation, every reader method
+//! delegates straight to the base. A zero-ingest live index is therefore
+//! bit-identical to the frozen arm *by construction* — the
+//! `mutation_equivalence` suite pins this.
+
+use std::cell::RefCell;
+
+use fxmap::{FxHashMap, FxHashSet};
+use invariant::{Report, Validate};
+use simclock::SimTime;
+
+use crate::types::{DocId, IndexReader, Posting, PostingList, TermId, POSTING_BYTES};
+
+use super::sealed::SealedSegment;
+use super::wal::{Lsn, WalOp, WriteAheadLog};
+use super::write::{GrowthPolicy, GrowthStats, WriteSegment};
+use super::{SegmentId, BASE_SEGMENT, WRITE_SEGMENT};
+
+/// Segment-lifecycle knobs of a live index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentPolicy {
+    /// Seal the write segment once it holds this many documents.
+    pub seal_threshold_docs: u64,
+    /// Compact once this many sealed segments accumulate (the oldest
+    /// `compact_fanin` are merged).
+    pub compact_fanin: usize,
+    /// How write-segment postings grow.
+    pub growth: GrowthPolicy,
+}
+
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        SegmentPolicy {
+            seal_threshold_docs: 128,
+            compact_fanin: 4,
+            growth: GrowthPolicy::Contiguous,
+        }
+    }
+}
+
+/// Cumulative mutation ledger (adds, WAL, seals, merges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Documents accepted.
+    pub docs_added: u64,
+    /// Documents tombstoned.
+    pub docs_deleted: u64,
+    /// WAL records appended.
+    pub wal_records: u64,
+    /// WAL bytes appended (lifetime).
+    pub wal_bytes: u64,
+    /// Write segments sealed.
+    pub seals: u64,
+    /// List bytes frozen into sealed segments.
+    pub seal_bytes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// List bytes read by compactions.
+    pub merge_bytes_read: u64,
+    /// List bytes written by compactions.
+    pub merge_bytes_written: u64,
+    /// Tombstones physically resolved by compactions.
+    pub tombstones_cleared: u64,
+    /// Write-segment growth ledger (cumulative across seals).
+    pub growth: GrowthStats,
+}
+
+/// Result of accepting a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddOutcome {
+    /// The slot assigned (never reused).
+    pub doc: DocId,
+    /// WAL record sequence number.
+    pub lsn: Lsn,
+    /// WAL bytes to charge to the device.
+    pub wal_bytes: u64,
+}
+
+/// Result of a tombstone delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// Whether the document was alive (false: unknown/already dead; no
+    /// WAL record is written).
+    pub deleted: bool,
+    /// WAL bytes to charge (0 when not deleted).
+    pub wal_bytes: u64,
+}
+
+/// Result of sealing the write segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealOutcome {
+    /// Id of the new sealed segment.
+    pub segment: SegmentId,
+    /// Documents it holds.
+    pub docs: u64,
+    /// List bytes to persist (the segment image the engine writes).
+    pub bytes: u64,
+    /// WAL bytes for the seal record.
+    pub wal_bytes: u64,
+}
+
+/// Result of one compaction round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Retired input segments, ascending.
+    pub inputs: Vec<SegmentId>,
+    /// The replacement segment.
+    pub output: SegmentId,
+    /// List bytes read from the inputs.
+    pub bytes_read: u64,
+    /// List bytes written to the output.
+    pub bytes_written: u64,
+    /// Tombstones physically resolved (their docs dropped for good).
+    pub tombstones_cleared: u64,
+    /// Whether any query-visible list content changed (only true when
+    /// tombstoned postings were dropped; a pure concatenation merge is
+    /// invisible to queries).
+    pub content_changed: bool,
+    /// WAL bytes for the compact record.
+    pub wal_bytes: u64,
+}
+
+/// What changed since the engine last synchronized its per-term caches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtyTerms {
+    /// Everything is suspect (deletes and content-changing compactions:
+    /// a tombstone filters *every* list its doc appears in, and the doc's
+    /// terms are unknown by design).
+    pub all: bool,
+    /// Specific touched terms (from adds), ascending, deduplicated.
+    pub terms: Vec<TermId>,
+}
+
+/// One layer's share of a partially scanned merged list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsagePart {
+    /// [`BASE_SEGMENT`], a sealed id, or [`WRITE_SEGMENT`].
+    pub segment: SegmentId,
+    /// Postings the query took from this layer (a prefix of the layer's
+    /// canonical list).
+    pub scanned: u64,
+    /// The layer's document frequency for the term.
+    pub df: u64,
+}
+
+/// A materialized merged list with per-posting origin tracking.
+#[derive(Debug, Clone)]
+struct MergedList {
+    postings: Vec<Posting>,
+    /// Index into `parts` for each posting.
+    origin: Vec<u32>,
+    /// `(segment, df)` per contributing layer, in merge-priority order.
+    parts: Vec<(SegmentId, u64)>,
+}
+
+/// The segmented mutable index over an immutable base reader.
+#[derive(Debug)]
+pub struct LiveIndex<B> {
+    base: B,
+    base_docs: u64,
+    vocab: u64,
+    policy: SegmentPolicy,
+    wal: WriteAheadLog,
+    sealed: Vec<SealedSegment>,
+    write: WriteSegment,
+    /// Docs tombstoned but not yet physically dropped by a compaction.
+    tombstones: FxHashSet<DocId>,
+    /// Every doc ever deleted (tombstoned *or* already compacted away) —
+    /// the aliveness/resurrection oracle.
+    dead: FxHashSet<DocId>,
+    tombstones_cleared: u64,
+    next_doc: DocId,
+    next_segment: SegmentId,
+    retired: Vec<SegmentId>,
+    /// Sticky: set on the first mutation, never cleared. While false the
+    /// reader delegates wholesale to the base.
+    mutated: bool,
+    /// Bumped on every mutation; cached merged lists are keyed by it.
+    epoch: u64,
+    dirty: DirtyTerms,
+    growth_sealed: GrowthStats,
+    stats: MutationStats,
+    merged: RefCell<FxHashMap<TermId, (u64, MergedList)>>,
+}
+
+impl<B: IndexReader> LiveIndex<B> {
+    /// Wrap `base` as segment 0 of a live index.
+    pub fn new(base: B, policy: SegmentPolicy) -> Self {
+        let base_docs = base.num_docs();
+        let vocab = base.num_terms();
+        let next_doc = base_docs as DocId;
+        LiveIndex {
+            base,
+            base_docs,
+            vocab,
+            policy,
+            wal: WriteAheadLog::new(),
+            sealed: Vec::new(),
+            write: WriteSegment::new(next_doc, policy.growth),
+            tombstones: FxHashSet::default(),
+            dead: FxHashSet::default(),
+            tombstones_cleared: 0,
+            next_doc,
+            next_segment: 1,
+            retired: Vec::new(),
+            mutated: false,
+            epoch: 0,
+            dirty: DirtyTerms::default(),
+            growth_sealed: GrowthStats::default(),
+            stats: MutationStats::default(),
+            merged: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// The wrapped base reader (segment 0).
+    pub fn base(&self) -> &B {
+        &self.base
+    }
+
+    /// Segment-lifecycle knobs.
+    pub fn policy(&self) -> &SegmentPolicy {
+        &self.policy
+    }
+
+    /// Whether no mutation has ever been applied (the bit-identity fast
+    /// path is still active).
+    pub fn is_pristine(&self) -> bool {
+        !self.mutated
+    }
+
+    /// The cumulative mutation ledger.
+    pub fn stats(&self) -> MutationStats {
+        let mut s = self.stats;
+        s.wal_records = self.wal.next_lsn();
+        s.wal_bytes = self.wal.total_bytes();
+        s.tombstones_cleared = self.tombstones_cleared;
+        s.growth = GrowthStats {
+            appended: self.growth_sealed.appended + self.write.growth_stats().appended,
+            reallocs: self.growth_sealed.reallocs + self.write.growth_stats().reallocs,
+            copied: self.growth_sealed.copied + self.write.growth_stats().copied,
+            chain_blocks: self.growth_sealed.chain_blocks + self.write.growth_stats().chain_blocks,
+        };
+        s
+    }
+
+    /// Live (undropped) tombstone count.
+    pub fn tombstone_count(&self) -> u64 {
+        self.tombstones.len() as u64
+    }
+
+    /// Whether `doc` exists and has not been deleted.
+    pub fn doc_alive(&self, doc: DocId) -> bool {
+        doc < self.next_doc && !self.dead.contains(&doc)
+    }
+
+    /// Active sealed-segment ids, ascending.
+    pub fn sealed_ids(&self) -> Vec<SegmentId> {
+        self.sealed.iter().map(|s| s.id()).collect()
+    }
+
+    /// An active sealed segment by id.
+    pub fn sealed_segment(&self, id: SegmentId) -> Option<&SealedSegment> {
+        self.sealed.iter().find(|s| s.id() == id)
+    }
+
+    /// Segments retired by compaction (their cached lists are dead).
+    pub fn retired_ids(&self) -> &[SegmentId] {
+        &self.retired
+    }
+
+    /// The WAL (read-only; the engine charges its bytes).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// Take the accumulated dirty-term set (engine synchronizes its
+    /// per-term caches, e.g. the blocked-postings store, from this).
+    pub fn take_dirty(&mut self) -> DirtyTerms {
+        std::mem::take(&mut self.dirty)
+    }
+
+    fn mark_mutated(&mut self) {
+        self.mutated = true;
+        self.epoch += 1;
+    }
+
+    /// Accept a document. `terms` must be distinct, ascending, in-vocab
+    /// `(term, tf)` pairs with positive tf.
+    pub fn add_document(&mut self, at: SimTime, terms: &[(TermId, u32)]) -> AddOutcome {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0].0 < w[1].0),
+            "terms not ascending"
+        );
+        debug_assert!(terms
+            .iter()
+            .all(|&(t, tf)| (t as u64) < self.vocab && tf > 0));
+        let doc = self.next_doc;
+        let (lsn, wal_bytes) = self.wal.append(
+            at,
+            WalOp::AddDoc {
+                doc,
+                terms: terms.to_vec(),
+            },
+        );
+        let assigned = self.write.add_doc(terms);
+        debug_assert_eq!(assigned, doc);
+        self.next_doc += 1;
+        self.stats.docs_added += 1;
+        self.mark_mutated();
+        if !self.dirty.all {
+            for &(t, _) in terms {
+                if let Err(i) = self.dirty.terms.binary_search(&t) {
+                    self.dirty.terms.insert(i, t);
+                }
+            }
+        }
+        AddOutcome {
+            doc,
+            lsn,
+            wal_bytes,
+        }
+    }
+
+    /// Tombstone a document. Idempotent: deleting a dead or unknown doc
+    /// is a no-op that writes nothing.
+    pub fn delete_document(&mut self, at: SimTime, doc: DocId) -> DeleteOutcome {
+        if !self.doc_alive(doc) {
+            return DeleteOutcome {
+                deleted: false,
+                wal_bytes: 0,
+            };
+        }
+        let (_, wal_bytes) = self.wal.append(at, WalOp::Delete { doc });
+        self.tombstones.insert(doc);
+        self.dead.insert(doc);
+        self.stats.docs_deleted += 1;
+        self.mark_mutated();
+        self.dirty.all = true;
+        self.dirty.terms.clear();
+        DeleteOutcome {
+            deleted: true,
+            wal_bytes,
+        }
+    }
+
+    /// Whether the write segment has reached the seal threshold.
+    pub fn seal_due(&self) -> bool {
+        self.write.num_docs() >= self.policy.seal_threshold_docs
+    }
+
+    /// Freeze the write segment into a sealed segment (no-op when empty).
+    /// The WAL is checkpointed: records at or below the seal are covered
+    /// by segment state.
+    pub fn seal(&mut self, at: SimTime) -> Option<SealOutcome> {
+        if self.write.is_empty() {
+            return None;
+        }
+        let id = self.next_segment;
+        self.next_segment += 1;
+        let seg = SealedSegment::from_write(id, &self.write, self.vocab);
+        let docs = self.write.num_docs();
+        let bytes = seg.bytes();
+        let g = self.write.growth_stats();
+        self.growth_sealed.appended += g.appended;
+        self.growth_sealed.reallocs += g.reallocs;
+        self.growth_sealed.copied += g.copied;
+        self.growth_sealed.chain_blocks += g.chain_blocks;
+        let (lsn, wal_bytes) = self.wal.append(at, WalOp::Seal { segment: id, docs });
+        self.wal.truncate_below(lsn);
+        self.sealed.push(seg);
+        self.write = WriteSegment::new(self.next_doc, self.policy.growth);
+        self.stats.seals += 1;
+        self.stats.seal_bytes += bytes;
+        // Content of the merged view is unchanged (stable merge): the
+        // sealed lists equal the write-segment lists they froze. Only
+        // origin attribution moves, so no terms go dirty.
+        self.mark_mutated();
+        Some(SealOutcome {
+            segment: id,
+            docs,
+            bytes,
+            wal_bytes,
+        })
+    }
+
+    /// Whether enough sealed segments have accumulated to compact.
+    pub fn compaction_due(&self) -> bool {
+        self.sealed.len() >= self.policy.compact_fanin
+    }
+
+    /// Merge the oldest `compact_fanin` sealed segments into one,
+    /// physically dropping tombstoned docs in their ranges.
+    pub fn compact(&mut self, at: SimTime) -> Option<CompactOutcome> {
+        let fanin = self.policy.compact_fanin.max(2);
+        if self.sealed.len() < 2 {
+            return None;
+        }
+        let take = fanin.min(self.sealed.len());
+        let inputs: Vec<SealedSegment> = self.sealed.drain(..take).collect();
+        let input_ids: Vec<SegmentId> = inputs.iter().map(|s| s.id()).collect();
+        let bytes_read: u64 = inputs.iter().map(|s| s.bytes()).sum();
+        let id = self.next_segment;
+        self.next_segment += 1;
+        let refs: Vec<&SealedSegment> = inputs.iter().collect();
+        let (out, mstats) = SealedSegment::merge(id, &refs, &self.tombstones);
+        let bytes_written = out.bytes();
+        for d in &mstats.docs_dropped {
+            self.tombstones.remove(d);
+        }
+        let cleared = mstats.docs_dropped.len() as u64;
+        self.tombstones_cleared += cleared;
+        let content_changed = cleared > 0;
+        let (lsn, wal_bytes) = self.wal.append(
+            at,
+            WalOp::Compact {
+                inputs: input_ids.clone(),
+                output: id,
+            },
+        );
+        self.wal.truncate_below(lsn);
+        self.sealed.insert(0, out);
+        self.retired.extend_from_slice(&input_ids);
+        self.stats.compactions += 1;
+        self.stats.merge_bytes_read += bytes_read;
+        self.stats.merge_bytes_written += bytes_written;
+        self.mark_mutated();
+        if content_changed {
+            self.dirty.all = true;
+            self.dirty.terms.clear();
+        }
+        Some(CompactOutcome {
+            inputs: input_ids,
+            output: id,
+            bytes_read,
+            bytes_written,
+            tombstones_cleared: cleared,
+            content_changed,
+            wal_bytes,
+        })
+    }
+
+    /// Split a partial scan of `term`'s merged list into per-layer
+    /// prefixes. `None` while pristine: everything came from the base,
+    /// and callers must take the frozen-identical path.
+    pub fn split_usage(&self, term: TermId, scanned: u64) -> Option<Vec<UsagePart>> {
+        if self.is_pristine() {
+            return None;
+        }
+        self.with_merged(term, |m| {
+            let take = (scanned as usize).min(m.origin.len());
+            let mut counts = vec![0u64; m.parts.len()];
+            for &o in &m.origin[..take] {
+                counts[o as usize] += 1;
+            }
+            m.parts
+                .iter()
+                .zip(&counts)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(&(segment, df), &c)| UsagePart {
+                    segment,
+                    scanned: c,
+                    df,
+                })
+                .collect::<Vec<_>>()
+        })
+        .into()
+    }
+
+    /// Run `f` over the (possibly freshly materialized) merged list.
+    fn with_merged<T>(&self, term: TermId, f: impl FnOnce(&MergedList) -> T) -> T {
+        let mut cache = self.merged.borrow_mut();
+        let entry = cache.entry(term);
+        let slot = entry.or_insert_with(|| {
+            (
+                u64::MAX,
+                MergedList {
+                    postings: Vec::new(),
+                    origin: Vec::new(),
+                    parts: Vec::new(),
+                },
+            )
+        });
+        if slot.0 != self.epoch {
+            *slot = (self.epoch, self.materialize(term));
+        }
+        f(&slot.1)
+    }
+
+    /// Build the merged, tombstone-filtered view of one term.
+    fn materialize(&self, term: TermId) -> MergedList {
+        // Layer lists in priority order: base, then sealed segments in
+        // doc-range order (`self.sealed` is maintained doc-ascending:
+        // seals append, compaction outputs re-enter at the front), then
+        // the write segment. Doc order — not id order — is what keeps
+        // the merge stable across compactions: a merged segment slots in
+        // exactly where its inputs were.
+        let mut layers: Vec<(SegmentId, Vec<Posting>)> = Vec::new();
+        let base_list = self.base.postings(term);
+        layers.push((BASE_SEGMENT, base_list.postings().to_vec()));
+        for seg in &self.sealed {
+            if let Some(l) = seg.list(term) {
+                layers.push((seg.id(), l.postings().to_vec()));
+            }
+        }
+        let wl = self.write.postings(term);
+        if !wl.is_empty() {
+            layers.push((WRITE_SEGMENT, wl.postings().to_vec()));
+        }
+        // Tombstone filter (before the merge, so df per layer is live).
+        if !self.tombstones.is_empty() {
+            for (_, l) in &mut layers {
+                l.retain(|p| !self.tombstones.contains(&p.doc));
+            }
+        }
+        layers.retain(|(seg, l)| *seg == BASE_SEGMENT || !l.is_empty());
+        let parts: Vec<(SegmentId, u64)> = layers
+            .iter()
+            .map(|(seg, l)| (*seg, l.len() as u64))
+            .collect();
+        // Stable k-way merge by descending tf; ties go to the earlier
+        // layer, preserving each layer's internal order.
+        let total: usize = layers.iter().map(|(_, l)| l.len()).sum();
+        let mut postings = Vec::with_capacity(total);
+        let mut origin = Vec::with_capacity(total);
+        let mut heads = vec![0usize; layers.len()];
+        for _ in 0..total {
+            let mut best: Option<(usize, u32)> = None;
+            for (i, (_, l)) in layers.iter().enumerate() {
+                if heads[i] < l.len() {
+                    let tf = l[heads[i]].tf;
+                    if best.is_none_or(|(_, btf)| tf > btf) {
+                        best = Some((i, tf));
+                    }
+                }
+            }
+            let (i, _) = best.expect("total counted");
+            postings.push(layers[i].1[heads[i]]);
+            origin.push(i as u32);
+            heads[i] += 1;
+        }
+        MergedList {
+            postings,
+            origin,
+            parts,
+        }
+    }
+
+    /// Raw write-segment access — segment-module internal; the
+    /// `no-segment-bypass` lint forbids calls outside `searchidx`.
+    #[doc(hidden)]
+    pub fn write_segment_mut(&mut self) -> &mut WriteSegment {
+        self.mark_mutated();
+        &mut self.write
+    }
+
+    /// Raw WAL access — segment-module internal; the `no-segment-bypass`
+    /// lint forbids calls outside `searchidx`.
+    #[doc(hidden)]
+    pub fn wal_mut(&mut self) -> &mut WriteAheadLog {
+        &mut self.wal
+    }
+
+    /// Corruption hook: break WAL monotonicity.
+    #[doc(hidden)]
+    pub fn debug_break_wal(&mut self) {
+        self.wal.debug_break_lsn();
+    }
+
+    /// Corruption hook: make the newest sealed segment's range collide
+    /// with its neighbours. Panics if nothing is sealed.
+    #[doc(hidden)]
+    pub fn debug_overlap_segments(&mut self) {
+        let seg = self.sealed.last_mut().expect("a sealed segment to corrupt");
+        seg.debug_shift_range(DocId::MAX - 1_000);
+    }
+
+    /// Corruption hook: drop a tombstone without accounting for it
+    /// (breaking delete conservation). Panics if no tombstones exist.
+    #[doc(hidden)]
+    pub fn debug_leak_tombstone(&mut self) {
+        let &doc = self.tombstones.iter().next().expect("a tombstone to leak");
+        self.tombstones.remove(&doc);
+    }
+}
+
+impl<B: IndexReader> IndexReader for LiveIndex<B> {
+    fn num_docs(&self) -> u64 {
+        if self.is_pristine() {
+            self.base.num_docs()
+        } else {
+            // Document *slots*: deletes do not shrink the collection
+            // size (idf stays monotonic; slots are never renumbered).
+            self.base_docs + self.stats.docs_added
+        }
+    }
+
+    fn num_terms(&self) -> u64 {
+        self.vocab
+    }
+
+    fn doc_freq(&self, term: TermId) -> u64 {
+        if self.is_pristine() {
+            self.base.doc_freq(term)
+        } else {
+            self.with_merged(term, |m| m.postings.len() as u64)
+        }
+    }
+
+    fn postings(&self, term: TermId) -> PostingList {
+        if self.is_pristine() {
+            self.base.postings(term)
+        } else {
+            self.with_merged(term, |m| PostingList::from_sorted(term, m.postings.clone()))
+        }
+    }
+
+    fn postings_range(&self, term: TermId, start: u64, end: u64) -> Vec<Posting> {
+        if self.is_pristine() {
+            self.base.postings_range(term, start, end)
+        } else {
+            self.with_merged(term, |m| {
+                let len = m.postings.len() as u64;
+                let s = start.min(len) as usize;
+                let e = end.min(len) as usize;
+                m.postings[s..e].to_vec()
+            })
+        }
+    }
+
+    fn list_bytes(&self, term: TermId) -> u64 {
+        self.doc_freq(term) * POSTING_BYTES
+    }
+}
+
+impl<B: IndexReader> Validate for LiveIndex<B> {
+    fn validate(&self, report: &mut Report) {
+        self.wal.validate(report);
+        self.write.validate(report);
+        for seg in &self.sealed {
+            seg.validate(report);
+        }
+        // Doc-range disjointness across base / sealed / write.
+        let mut ranges: Vec<(DocId, DocId, String)> =
+            vec![(0, self.base_docs as DocId, "base".to_string())];
+        for seg in &self.sealed {
+            let (lo, hi) = seg.doc_range();
+            ranges.push((lo, hi, format!("sealed {}", seg.id())));
+        }
+        {
+            let (lo, hi) = self.write.doc_range();
+            ranges.push((lo, hi, "write".to_string()));
+        }
+        let mut sorted = ranges.clone();
+        sorted.sort_by_key(|r| r.0);
+        for w in sorted.windows(2) {
+            report.check(w[0].1 <= w[1].0, "LiveIndex", "segment-doc-range", || {
+                format!(
+                    "{} [{}, {}) overlaps {} [{}, {})",
+                    w[0].2, w[0].0, w[0].1, w[1].2, w[1].0, w[1].1
+                )
+            });
+        }
+        report.check(
+            self.write.doc_range().1 == self.next_doc,
+            "LiveIndex",
+            "segment-doc-range",
+            || {
+                format!(
+                    "write segment ends at {}, next_doc is {}",
+                    self.write.doc_range().1,
+                    self.next_doc
+                )
+            },
+        );
+        // Active/retired segment ids are disjoint and unique.
+        let mut ids: Vec<SegmentId> = self.sealed.iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        report.check(
+            ids.len() == self.sealed.len(),
+            "LiveIndex",
+            "segment-doc-range",
+            || "duplicate sealed segment ids".to_string(),
+        );
+        report.check(
+            !self.retired.iter().any(|r| ids.binary_search(r).is_ok()),
+            "LiveIndex",
+            "segment-doc-range",
+            || "a retired segment id is still active".to_string(),
+        );
+        // Tombstone conservation: every delete is either still pending
+        // (a live tombstone) or was physically resolved by a compaction.
+        report.check(
+            self.stats.docs_deleted == self.tombstones.len() as u64 + self.tombstones_cleared,
+            "LiveIndex",
+            "tombstone-conservation",
+            || {
+                format!(
+                    "{} deletes != {} live tombstones + {} cleared",
+                    self.stats.docs_deleted,
+                    self.tombstones.len(),
+                    self.tombstones_cleared
+                )
+            },
+        );
+        report.check(
+            self.dead.len() as u64 == self.stats.docs_deleted,
+            "LiveIndex",
+            "tombstone-conservation",
+            || {
+                format!(
+                    "dead-set size {} != deletes applied {}",
+                    self.dead.len(),
+                    self.stats.docs_deleted
+                )
+            },
+        );
+        for &d in &self.tombstones {
+            report.check(
+                self.dead.contains(&d) && d < self.next_doc,
+                "LiveIndex",
+                "tombstone-conservation",
+                || format!("tombstone {d} unknown to the dead set or beyond next_doc"),
+            );
+        }
+        report.check(
+            self.stats.docs_added == self.next_doc as u64 - self.base_docs,
+            "LiveIndex",
+            "segment-doc-range",
+            || {
+                format!(
+                    "docs_added {} != slots assigned {}",
+                    self.stats.docs_added,
+                    self.next_doc as u64 - self.base_docs
+                )
+            },
+        );
+    }
+}

@@ -342,6 +342,19 @@ impl TopKProcessor {
         self.store.borrow().stats()
     }
 
+    /// Drop `term`'s encoded list from the block store. Required when the
+    /// underlying index is mutable: the store is keyed by term only, so a
+    /// changed list would otherwise alias its stale encoding.
+    pub fn invalidate_term(&self, term: TermId) -> bool {
+        self.store.borrow_mut().remove(term)
+    }
+
+    /// Drop every encoded list (for mutations whose touched-term set is
+    /// unknown: tombstone deletes and content-changing compactions).
+    pub fn invalidate_all_terms(&self) {
+        self.store.borrow_mut().clear();
+    }
+
     /// Audit every block-compressed list the processor has encoded so
     /// far (block accounting, alignment, skip-key agreement).
     pub fn validation_report(&self) -> invariant::Report {

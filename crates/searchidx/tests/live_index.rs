@@ -1,0 +1,439 @@
+//! The segmented mutable index against its oracles.
+//!
+//! Three kinds of evidence:
+//! * **Pristine delegation** — a live index that has never been mutated
+//!   answers every reader method bit-identically to its base (the
+//!   engine-level `mutation_equivalence` suite builds on this).
+//! * **Rebuild equivalence** — after an arbitrary add/delete/seal/compact
+//!   history, the merged view matches an index rebuilt from scratch over
+//!   the surviving documents (same match sets, same tfs, same dfs).
+//! * **Conservation** — a property test that interleaved mutations never
+//!   lose a live document or resurrect a deleted one, and that the
+//!   `segment-doc-range` / `tombstone-conservation` / `wal-monotonic`
+//!   validators catch planted corruption of each kind.
+
+use fxmap::FxHashMap;
+use invariant::Validate;
+use proptest::prelude::*;
+use searchidx::{
+    CorpusSpec, GrowthPolicy, IndexReader, LiveIndex, MemIndex, Posting, SegmentPolicy,
+    SyntheticIndex, TermId, BASE_SEGMENT, WRITE_SEGMENT,
+};
+use simclock::SimTime;
+
+fn base_docs() -> Vec<Vec<TermId>> {
+    (0..300u32)
+        .map(|d| (0..(d % 9 + 1)).map(|i| (d * 13 + i * 7) % 25).collect())
+        .collect()
+}
+
+fn policy(seal: u64, fanin: usize, growth: GrowthPolicy) -> SegmentPolicy {
+    SegmentPolicy {
+        seal_threshold_docs: seal,
+        compact_fanin: fanin,
+        growth,
+    }
+}
+
+/// Token stream for a doc given `(term, tf)` pairs (what `MemIndex`
+/// rebuilds from).
+fn tokens(terms: &[(TermId, u32)]) -> Vec<TermId> {
+    let mut out = Vec::new();
+    for &(t, tf) in terms {
+        for _ in 0..tf {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[test]
+fn pristine_live_index_delegates_bit_identically() {
+    let mem = MemIndex::from_docs(base_docs());
+    let live = LiveIndex::new(MemIndex::from_docs(base_docs()), SegmentPolicy::default());
+    assert!(live.is_pristine());
+    assert_eq!(live.num_docs(), mem.num_docs());
+    assert_eq!(live.num_terms(), mem.num_terms());
+    for t in 0..30u32 {
+        assert_eq!(live.doc_freq(t), mem.doc_freq(t));
+        assert_eq!(live.postings(t), mem.postings(t), "term {t}");
+        assert_eq!(live.postings_range(t, 2, 9), mem.postings_range(t, 2, 9));
+        assert_eq!(live.list_bytes(t), mem.list_bytes(t));
+        assert!(
+            live.idf(t).to_bits() == mem.idf(t).to_bits(),
+            "idf bits for {t}"
+        );
+        assert_eq!(live.split_usage(t, 4), None, "pristine split must delegate");
+    }
+
+    // Same over the synthetic (statistical) base the engine uses.
+    let spec = CorpusSpec::tiny(7);
+    let synth = SyntheticIndex::new(spec.clone());
+    let live = LiveIndex::new(SyntheticIndex::new(spec), SegmentPolicy::default());
+    for t in 0..synth.num_terms() as u32 {
+        assert_eq!(live.doc_freq(t), synth.doc_freq(t));
+        assert_eq!(
+            live.postings_range(t, 0, 17),
+            synth.postings_range(t, 0, 17)
+        );
+    }
+}
+
+#[test]
+fn ingested_docs_become_visible_and_deletes_hide() {
+    let mut live = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(4, 3, GrowthPolicy::Contiguous),
+    );
+    let t0 = SimTime::ZERO;
+    let added = live.add_document(t0, &[(2, 5), (7, 1)]);
+    assert!(!live.is_pristine());
+    assert!(live
+        .postings(2)
+        .postings()
+        .iter()
+        .any(|p| p.doc == added.doc && p.tf == 5));
+    assert_eq!(live.doc_freq(7), live.base().doc_freq(7) + 1);
+
+    // Delete it again: gone from every list.
+    assert!(live.delete_document(t0, added.doc).deleted);
+    assert!(!live.delete_document(t0, added.doc).deleted, "idempotent");
+    for t in [2u32, 7] {
+        assert!(live
+            .postings(t)
+            .postings()
+            .iter()
+            .all(|p| p.doc != added.doc));
+    }
+
+    // Drive seals + compactions past the dead doc: never resurrected.
+    for i in 0..40u32 {
+        live.add_document(t0, &[(i % 9, 2), (20, 1)]);
+        if live.seal_due() {
+            live.seal(t0);
+        }
+        if live.compaction_due() {
+            live.compact(t0);
+        }
+    }
+    assert!(live.stats().compactions > 0, "compaction exercised");
+    for t in [2u32, 7] {
+        assert!(live
+            .postings(t)
+            .postings()
+            .iter()
+            .all(|p| p.doc != added.doc));
+    }
+    assert!(live.validation_report().is_clean());
+}
+
+/// Deterministic mutation history used by the rebuild and growth tests.
+fn scripted_history(live: &mut LiveIndex<MemIndex>, model: &mut Vec<Vec<TermId>>) {
+    let t0 = SimTime::ZERO;
+    let mut salt = 0x5EEDu32;
+    for step in 0..120u32 {
+        salt = salt.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        if step % 7 == 3 && !model.is_empty() {
+            // Delete a pseudo-random doc (maybe already dead).
+            let doc = salt % live.num_docs() as u32;
+            let out = live.delete_document(t0, doc);
+            if out.deleted {
+                model[doc as usize] = Vec::new();
+            }
+        } else {
+            let n = salt % 4 + 1;
+            let terms: Vec<(TermId, u32)> = (0..n)
+                .map(|i| ((salt.wrapping_add(i * 11)) % 25, salt % 3 + 1))
+                .collect::<std::collections::BTreeMap<_, _>>()
+                .into_iter()
+                .collect();
+            let out = live.add_document(t0, &terms);
+            assert_eq!(out.doc as usize, model.len());
+            model.push(tokens(&terms));
+        }
+        if live.seal_due() {
+            live.seal(t0);
+        }
+        if live.compaction_due() {
+            live.compact(t0);
+        }
+    }
+}
+
+#[test]
+fn ingest_then_query_matches_rebuild_from_scratch() {
+    for growth in [GrowthPolicy::Contiguous, GrowthPolicy::Chained] {
+        let mut live = LiveIndex::new(MemIndex::from_docs(base_docs()), policy(16, 3, growth));
+        let mut model = base_docs();
+        scripted_history(&mut live, &mut model);
+        assert!(live.validation_report().is_clean(), "{growth:?}");
+
+        let rebuilt = MemIndex::from_docs(model.clone());
+        for t in 0..25u32 {
+            // Match sets (docs and tfs) must agree exactly; order may
+            // differ (merge priority vs. rebuild order), so compare
+            // doc-sorted.
+            let mut a: Vec<Posting> = live.postings(t).postings().to_vec();
+            let mut b: Vec<Posting> = rebuilt.postings(t).postings().to_vec();
+            a.sort_unstable_by_key(|p| p.doc);
+            b.sort_unstable_by_key(|p| p.doc);
+            assert_eq!(a, b, "term {t} under {growth:?}");
+            assert_eq!(live.doc_freq(t), rebuilt.doc_freq(t));
+        }
+        // Document-slot model: deletes never shrink the collection.
+        assert_eq!(live.num_docs(), model.len() as u64);
+    }
+}
+
+#[test]
+fn growth_policies_produce_identical_views() {
+    let mut a = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(16, 3, GrowthPolicy::Contiguous),
+    );
+    let mut b = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(16, 3, GrowthPolicy::Chained),
+    );
+    let (mut ma, mut mb) = (base_docs(), base_docs());
+    scripted_history(&mut a, &mut ma);
+    scripted_history(&mut b, &mut mb);
+    for t in 0..25u32 {
+        assert_eq!(a.postings(t), b.postings(t), "term {t}");
+        assert_eq!(a.split_usage(t, 10), b.split_usage(t, 10));
+    }
+    let (sa, sb) = (a.stats(), b.stats());
+    assert_eq!(sa.growth.appended, sb.growth.appended);
+    assert!(sa.growth.reallocs > 0 && sa.growth.chain_blocks == 0);
+    assert!(sb.growth.chain_blocks > 0 && sb.growth.reallocs == 0);
+}
+
+#[test]
+fn split_usage_accounts_every_scanned_posting() {
+    let mut live = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(8, 3, GrowthPolicy::Contiguous),
+    );
+    let mut model = base_docs();
+    scripted_history(&mut live, &mut model);
+    for t in 0..25u32 {
+        let df = live.doc_freq(t);
+        for scanned in [0, 1, df / 2, df, df + 5] {
+            let parts = live.split_usage(t, scanned).expect("mutated index splits");
+            let total: u64 = parts.iter().map(|p| p.scanned).sum();
+            assert_eq!(total, scanned.min(df), "term {t} scanned {scanned}");
+            // Zero-scanned layers are omitted (no I/O to charge), so the
+            // part dfs partition the merged df only at a full scan.
+            let df_total: u64 = parts.iter().map(|p| p.df).sum();
+            if scanned >= df {
+                assert_eq!(df_total, df, "part dfs must partition the merged df");
+            } else {
+                assert!(df_total <= df);
+            }
+            for p in &parts {
+                assert!(p.scanned <= p.df);
+                assert!(
+                    p.segment == BASE_SEGMENT
+                        || p.segment == WRITE_SEGMENT
+                        || live.sealed_segment(p.segment).is_some(),
+                    "part segment {} must be addressable",
+                    p.segment
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wal_checkpoints_on_seal_but_keeps_lifetime_ledger() {
+    let mut live = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(8, 100, GrowthPolicy::Contiguous),
+    );
+    for i in 0..20u32 {
+        live.add_document(SimTime::from_nanos(i as u64), &[(i % 5, 1)]);
+        if live.seal_due() {
+            live.seal(SimTime::from_nanos(i as u64));
+        }
+    }
+    let wal = live.wal();
+    assert!(
+        wal.total_bytes() > wal.retained_bytes(),
+        "seal checkpointed"
+    );
+    assert!(wal.validation_report().is_clean());
+    assert_eq!(live.stats().wal_records, wal.next_lsn());
+}
+
+// --- planted corruption: each validator fires ------------------------
+
+#[test]
+fn wal_corruption_is_detected() {
+    let mut live = LiveIndex::new(MemIndex::from_docs(base_docs()), SegmentPolicy::default());
+    live.add_document(SimTime::ZERO, &[(1, 1)]);
+    live.add_document(SimTime::ZERO, &[(2, 1)]);
+    assert!(live.validation_report().is_clean());
+    live.debug_break_wal();
+    let report = live.validation_report();
+    assert!(!report.is_clean());
+    assert!(
+        report.summary().contains("wal-monotonic"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn segment_overlap_is_detected() {
+    let mut live = LiveIndex::new(
+        MemIndex::from_docs(base_docs()),
+        policy(4, 100, GrowthPolicy::Contiguous),
+    );
+    for i in 0..8u32 {
+        live.add_document(SimTime::ZERO, &[(i % 3, 1)]);
+        if live.seal_due() {
+            live.seal(SimTime::ZERO);
+        }
+    }
+    assert!(live.validation_report().is_clean());
+    live.debug_overlap_segments();
+    let report = live.validation_report();
+    assert!(!report.is_clean());
+    assert!(
+        report.summary().contains("segment-doc-range"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn tombstone_leak_is_detected() {
+    let mut live = LiveIndex::new(MemIndex::from_docs(base_docs()), SegmentPolicy::default());
+    live.delete_document(SimTime::ZERO, 5);
+    assert!(live.validation_report().is_clean());
+    live.debug_leak_tombstone();
+    let report = live.validation_report();
+    assert!(!report.is_clean());
+    assert!(
+        report.summary().contains("tombstone-conservation"),
+        "{}",
+        report.summary()
+    );
+}
+
+// --- property: no document is ever lost or resurrected ----------------
+
+/// One scripted mutation for the property test.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(Vec<(TermId, u32)>),
+    Delete(u32),
+    Seal,
+    Compact,
+}
+
+fn add_strategy() -> impl Strategy<Value = Op> {
+    prop::collection::vec((0u32..20, 1u32..4), 1..5).prop_map(|pairs| {
+        // Dedup on term (last tf wins) and sort, as add_document requires.
+        let m: std::collections::BTreeMap<TermId, u32> = pairs.into_iter().collect();
+        Op::Add(m.into_iter().collect())
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The shim's `prop_oneof!` is unweighted; repeat the add arm to bias
+    // the mix toward growth.
+    prop_oneof![
+        add_strategy(),
+        add_strategy(),
+        add_strategy(),
+        (0u32..400).prop_map(Op::Delete),
+        (0u32..400).prop_map(Op::Delete),
+        Just(Op::Seal),
+        Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_mutations_never_lose_or_resurrect(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        seal_threshold in 2u64..12,
+        fanin in 2usize..5,
+    ) {
+        let base: Vec<Vec<TermId>> = (0..40u32)
+            .map(|d| vec![d % 20, (d * 3) % 20])
+            .collect();
+        let mut live = LiveIndex::new(
+            MemIndex::from_docs(base.clone()),
+            policy(seal_threshold, fanin, GrowthPolicy::Chained),
+        );
+        // The model: every doc's surviving (term, tf) pairs.
+        let mut alive: FxHashMap<u32, Vec<(TermId, u32)>> = FxHashMap::default();
+        let mut dead: Vec<u32> = Vec::new();
+        for (d, terms) in base.iter().enumerate() {
+            let mut tf: FxHashMap<TermId, u32> = FxHashMap::default();
+            for &t in terms {
+                *tf.entry(t).or_default() += 1;
+            }
+            let mut pairs: Vec<(TermId, u32)> = tf.into_iter().collect();
+            pairs.sort_unstable();
+            alive.insert(d as u32, pairs);
+        }
+        let t0 = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Add(terms) => {
+                    let out = live.add_document(t0, &terms);
+                    alive.insert(out.doc, terms);
+                }
+                Op::Delete(pick) => {
+                    let doc = pick % live.num_docs() as u32;
+                    let out = live.delete_document(t0, doc);
+                    prop_assert_eq!(out.deleted, alive.contains_key(&doc));
+                    if out.deleted {
+                        alive.remove(&doc);
+                        dead.push(doc);
+                    }
+                }
+                Op::Seal => { live.seal(t0); }
+                Op::Compact => { live.compact(t0); }
+            }
+            let report = live.validation_report();
+            prop_assert!(report.is_clean(), "{}", report.summary());
+        }
+        // Every live doc appears in each of its terms' lists exactly once,
+        // with the right tf; every dead doc appears nowhere.
+        let mut by_term: FxHashMap<TermId, FxHashMap<u32, u32>> = FxHashMap::default();
+        for t in 0..20u32 {
+            let mut seen: FxHashMap<u32, u32> = FxHashMap::default();
+            for p in live.postings(t).postings() {
+                prop_assert!(
+                    !seen.contains_key(&p.doc),
+                    "doc {} duplicated in term {t}", p.doc
+                );
+                seen.insert(p.doc, p.tf);
+            }
+            by_term.insert(t, seen);
+        }
+        for (&doc, terms) in &alive {
+            for &(t, tf) in terms {
+                let found = by_term[&t].get(&doc);
+                prop_assert_eq!(
+                    found, Some(&tf),
+                    "live doc {} lost from term {} (expected tf {})", doc, t, tf
+                );
+            }
+        }
+        for &doc in &dead {
+            for t in 0..20u32 {
+                prop_assert!(
+                    !by_term[&t].contains_key(&doc),
+                    "dead doc {} resurrected in term {}", doc, t
+                );
+            }
+        }
+    }
+}

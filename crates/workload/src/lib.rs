@@ -22,12 +22,14 @@
 
 pub mod arrival;
 pub mod drift;
+pub mod ingest;
 pub mod querylog;
 pub mod scenario;
 pub mod sweep;
 
 pub use arrival::{offered_qps, Arrival, ArrivalKind, ArrivalProcess};
 pub use drift::DriftingLog;
+pub use ingest::{IngestSpec, IngestStream, MutationOp, TimedMutation};
 pub use querylog::{Query, QueryLog, QueryLogSpec};
 pub use scenario::{DriftingZipfLog, ScanHeavyLog, TopicChurnLog};
 pub use sweep::parallel_map;

@@ -75,8 +75,16 @@ pub const ADMISSION_GATE_ALLOW_PREFIXES: &[&str] = &["crates/core/", "crates/ben
 /// time from the virtual clock.
 pub const SIM_RNG_ONLY_FILES: &[&str] = &[
     "crates/workload/src/arrival.rs",
+    "crates/workload/src/ingest.rs",
     "crates/engine/src/serving.rs",
 ];
+
+/// Path prefix allowed to touch the live index's raw mutation surfaces
+/// (`.write_segment_mut(`, `.wal_mut(`): the segment module that owns
+/// them. Everyone else must mutate through `LiveIndex`'s public API
+/// (`add_document`/`delete_document`/`seal`/`compact`), which is what
+/// keeps the WAL, the dirty-term set, and the audit counters coherent.
+pub const SEGMENT_ALLOW_PREFIX: &str = "crates/searchidx/";
 
 /// `lib.rs` files that must pin `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_LIBS: &[&str] = &[
@@ -331,6 +339,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
         check_device_bypass(file, &stripped, &mut violations);
         check_nand_compute_bypass(file, &stripped, &mut violations);
         check_admission_bypass(file, &stripped, &mut violations);
+        check_segment_bypass(file, &stripped, &mut violations);
         check_sim_rng_only(file, &stripped, &mut violations);
         check_pub_enum_docs(file, raw, &stripped, &mut violations);
     }
@@ -433,6 +442,27 @@ fn check_admission_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) 
                     "raw SSD-store entry point `{token})` outside the cache manager — \
                      SSD writes must flow through CacheManager's flush paths so the \
                      AdmissionPolicy gate (static EV or sketch tier) decides them"
+                ),
+            });
+        }
+    }
+}
+
+fn check_segment_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+    if file.starts_with(SEGMENT_ALLOW_PREFIX) {
+        return;
+    }
+    for token in [".write_segment_mut(", ".wal_mut("] {
+        if let Some(pos) = stripped.find(token) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, pos),
+                rule: "no-segment-bypass",
+                detail: format!(
+                    "raw live-index mutation surface `{token})` outside crates/searchidx — \
+                     mutations must flow through LiveIndex's public API \
+                     (add_document/delete_document/seal/compact) so the WAL, the \
+                     dirty-term set, and the invariant audits see them"
                 ),
             });
         }

@@ -227,6 +227,43 @@ fn planted_admission_bypass_is_caught() {
 }
 
 #[test]
+fn planted_segment_bypass_is_caught() {
+    let s = Scratch::new("segment");
+    s.write(
+        "crates/engine/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn sneak(l: &mut LiveIndex<I>) { l.write_segment_mut().add_doc(&[(0, 1)]); }\n",
+    );
+    let v = s.lint();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-segment-bypass");
+    assert_eq!(v[0].line, 2);
+    // Reaching into the WAL is the same bypass.
+    let s2 = Scratch::new("segment-wal");
+    s2.write(
+        "crates/bench/src/mutation.rs",
+        "pub fn sneak(l: &mut LiveIndex<I>) { l.wal_mut().truncate(0); }\n",
+    );
+    let v2 = s2.lint();
+    assert_eq!(v2.len(), 1, "{v2:?}");
+    assert_eq!(v2[0].rule, "no-segment-bypass");
+    // Inside crates/searchidx the same calls are the segment module's
+    // own implementation and tests.
+    let s3 = Scratch::new("segment-allow");
+    s3.write(
+        "crates/searchidx/src/segment/live.rs",
+        "pub fn grow(l: &mut LiveIndex<I>) { l.write_segment_mut().add_doc(&[(0, 1)]); l.wal_mut().truncate(0); }\n",
+    );
+    assert!(s3.lint().is_empty());
+    // Mentions in comments and strings are not calls.
+    let s4 = Scratch::new("segment-prose");
+    s4.write(
+        "crates/demo/src/lib.rs",
+        "// `.write_segment_mut(` and `.wal_mut(` are searchidx-internal\npub const HELP: &str = \".wal_mut( bypasses the WAL\";\n",
+    );
+    assert!(s4.lint().is_empty());
+}
+
+#[test]
 fn undocumented_pub_enum_is_caught() {
     let s = Scratch::new("enumdoc");
     s.write(

@@ -102,7 +102,7 @@ proptest! {
                 Op::List { term, needed_kb, pu } => {
                     list_lookups += 1;
                     let needed = needed_kb * 1024;
-                    let serve = m.lookup_list(term, needed, needed * 2, pu);
+                    let serve = m.lookup_list(term as u64, needed, needed * 2, pu);
                     // Byte conservation: every requested byte has a tier.
                     prop_assert_eq!(serve.total(), needed);
                 }
@@ -150,7 +150,7 @@ proptest! {
         let mut best_mem = 0u64;
         for kb in sizes {
             let needed = kb * 1024;
-            let serve = m.lookup_list(term, needed, 10 << 20, 0.5);
+            let serve = m.lookup_list(term as u64, needed, 10 << 20, 0.5);
             prop_assert_eq!(serve.total(), needed);
             if needed <= best_mem {
                 prop_assert_eq!(serve.from_hdd, 0, "covered prefix re-read from HDD");
