@@ -46,6 +46,9 @@ cargo build --release -p bench --bin perf_regress --bin divergence_probe
 echo "== xtask lint gate =="
 cargo run -q -p xtask -- lint
 
+echo "== xtask determinism analyzer (taint + oracle freeze) =="
+cargo run -q -p xtask -- analyze
+
 echo "== equivalence suites under INVARIANT_AUDIT (debug) =="
 INVARIANT_AUDIT=1 cargo test -q -p hybridcache --test victim_equivalence
 INVARIANT_AUDIT=1 cargo test -q -p engine --test cluster_equivalence --test io_path_equivalence
@@ -64,6 +67,22 @@ if cargo +nightly miri --version >/dev/null 2>&1; then
   cargo +nightly miri test -p workload
 else
   echo "== miri: nightly toolchain not available, skipping =="
+fi
+
+# ThreadSanitizer over the loom-covered concurrent code: loom explores
+# bounded schedules of the *model*; TSan watches the real threaded
+# runtime for data races. Needs nightly + the matching rust-src/target.
+if cargo +nightly --version >/dev/null 2>&1 \
+  && rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src (installed)'; then
+  echo "== thread sanitizer (loom-covered concurrent tests, nightly) =="
+  TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+    -Zbuild-std -p workload --lib --target "$TSAN_TARGET" || {
+      echo "thread sanitizer stage FAILED" >&2
+      exit 1
+    }
+else
+  echo "== thread sanitizer: nightly toolchain with rust-src not available, skipping =="
 fi
 
 echo "== clippy =="

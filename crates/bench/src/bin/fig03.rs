@@ -2,7 +2,7 @@
 //! access-frequency distribution, measured over the synthetic corpus and
 //! an AOL-like log (the paper used 5 M enwiki docs + AOL).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bench::{print_table, Scale};
 use searchidx::{CorpusSpec, IndexReader, SyntheticIndex, TopKConfig, TopKProcessor};
@@ -17,7 +17,7 @@ fn main() {
 
     // Measure per-term utilization + access counts over a query sample.
     let sample = (2_000.0 * (scale.0 * 10.0)) as usize;
-    let mut pu: HashMap<u32, (f64, u64)> = HashMap::new();
+    let mut pu: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
     for q in log.stream_iter(sample) {
         let outcome = processor.process(&index, &q.terms);
         for u in &outcome.usage {

@@ -2,7 +2,7 @@
 //! threshold bands: the most efficient lists belong in memory, the next
 //! band on SSD, and everything under TEV stays on HDD.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bench::{print_table, Scale};
 use hybridcache::{efficiency_value, sc_blocks};
@@ -18,7 +18,7 @@ fn main() {
     let processor = TopKProcessor::new(TopKConfig::default());
 
     let sample = (2_000.0 * (scale.0 * 10.0)) as usize;
-    let mut stats: HashMap<u32, (u64, u64, f64)> = HashMap::new(); // freq, si, pu_sum
+    let mut stats: BTreeMap<u32, (u64, u64, f64)> = BTreeMap::new(); // freq, si, pu_sum
     for q in log.stream_iter(sample) {
         let outcome = processor.process(&index, &q.terms);
         for u in &outcome.usage {

@@ -18,8 +18,9 @@
 //! and scan paths with identical operation sequences and assert they
 //! choose identical victims.
 
+use fxmap::FxHashMap;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -63,7 +64,7 @@ impl Ord for OrdF64 {
 #[derive(Debug, Clone, Default)]
 pub struct MaxScoreIndex<K, S> {
     by_score: BTreeMap<(S, Reverse<u64>), K>,
-    by_key: HashMap<K, (S, u64)>,
+    by_key: FxHashMap<K, (S, u64)>,
 }
 
 impl<K: Eq + Hash + Clone, S: Ord + Copy> MaxScoreIndex<K, S> {
@@ -71,7 +72,7 @@ impl<K: Eq + Hash + Clone, S: Ord + Copy> MaxScoreIndex<K, S> {
     pub fn new() -> Self {
         MaxScoreIndex {
             by_score: BTreeMap::new(),
-            by_key: HashMap::new(),
+            by_key: FxHashMap::default(),
         }
     }
 
@@ -186,7 +187,7 @@ where
 #[derive(Debug, Clone, Default)]
 pub struct OrderIndex<K> {
     by_stamp: BTreeMap<u64, K>,
-    by_key: HashMap<K, u64>,
+    by_key: FxHashMap<K, u64>,
 }
 
 impl<K: Eq + Hash + Clone> OrderIndex<K> {
@@ -194,7 +195,7 @@ impl<K: Eq + Hash + Clone> OrderIndex<K> {
     pub fn new() -> Self {
         OrderIndex {
             by_stamp: BTreeMap::new(),
-            by_key: HashMap::new(),
+            by_key: FxHashMap::default(),
         }
     }
 
@@ -278,16 +279,16 @@ impl<K: Eq + Hash + Clone + Debug> Validate for OrderIndex<K> {
 /// window entry whose size class equals the requested one".
 #[derive(Debug, Clone, Default)]
 pub struct SizeClassIndex<K> {
-    buckets: HashMap<u64, BTreeMap<u64, K>>,
-    by_key: HashMap<K, (u64, u64)>,
+    buckets: FxHashMap<u64, BTreeMap<u64, K>>,
+    by_key: FxHashMap<K, (u64, u64)>,
 }
 
 impl<K: Eq + Hash + Clone> SizeClassIndex<K> {
     /// Empty index.
     pub fn new() -> Self {
         SizeClassIndex {
-            buckets: HashMap::new(),
-            by_key: HashMap::new(),
+            buckets: FxHashMap::default(),
+            by_key: FxHashMap::default(),
         }
     }
 

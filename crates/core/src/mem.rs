@@ -10,7 +10,7 @@
 //!   among them.
 
 use core::fmt::Debug;
-use std::collections::HashMap;
+use fxmap::FxHashMap;
 use std::hash::Hash;
 
 use cachekit::{
@@ -136,7 +136,7 @@ impl ListMeta {
 #[derive(Debug, Clone)]
 pub struct MemListCache<K: Eq + Hash + Copy + Debug = TermKey> {
     lru: SegmentedLru<K>,
-    map: HashMap<K, ListMeta>,
+    map: FxHashMap<K, ListMeta>,
     budget: ByteBudget,
     policy: PolicyKind,
     block_bytes: u64,
@@ -163,7 +163,7 @@ impl<K: Eq + Hash + Copy + Debug> MemListCache<K> {
         }
         MemListCache {
             lru,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             budget: ByteBudget::new(capacity_bytes),
             policy,
             block_bytes,

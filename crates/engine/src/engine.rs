@@ -1058,7 +1058,7 @@ impl SearchEngine {
     /// seed the static partitions with the hottest results and the most
     /// efficient lists.
     pub fn seed_static_from_log(&mut self, analysis_len: usize) {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let Some(cache) = self.cache.as_ref() else {
             return;
         };
@@ -1067,7 +1067,7 @@ impl SearchEngine {
         }
         let sb = cache.config().block_bytes;
 
-        let mut query_freq: HashMap<u64, u64> = HashMap::new();
+        let mut query_freq: BTreeMap<u64, u64> = BTreeMap::new();
         for q in self.log.stream_iter(analysis_len) {
             *query_freq.entry(q.id).or_insert(0) += 1;
         }
@@ -1077,7 +1077,7 @@ impl SearchEngine {
         // Process the hottest distinct queries once to learn term usage
         // and produce the result payloads.
         let analyze = ranked.len().min(512);
-        let mut term_stats: HashMap<u32, (u64, u64, f64)> = HashMap::new(); // freq, max bytes, pu sum
+        let mut term_stats: BTreeMap<u32, (u64, u64, f64)> = BTreeMap::new(); // freq, max bytes, pu sum
         let mut result_seeds = Vec::new();
         for &(qid, freq) in ranked.iter().take(analyze) {
             let terms = self.log.terms_of(qid);
@@ -1101,8 +1101,7 @@ impl SearchEngine {
             })
             .collect();
         // Rank lists by efficiency value; ties break on the term id so
-        // the seeded set is reproducible (`term_stats` iterates in
-        // arbitrary `HashMap` order).
+        // the seeded set is reproducible independent of map order.
         list_seeds.sort_by(|a, b| {
             let ev = |x: &(u64, u64, f64, u64)| {
                 hybridcache::efficiency_value(x.3, hybridcache::sc_blocks(x.1, x.2, sb))

@@ -138,7 +138,7 @@ impl QueryLog {
     /// each term appears (Fig. 3(b)'s distribution). Returns (term, count)
     /// sorted by descending count.
     pub fn term_access_counts(&self, n: usize) -> Vec<(TermId, u64)> {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for q in self.stream_iter(n) {
             for t in q.terms {
                 *counts.entry(t).or_insert(0u64) += 1;
@@ -203,7 +203,7 @@ mod tests {
     fn query_popularity_is_zipf_like() {
         let l = log();
         let n = 20_000;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for q in l.stream_iter(n) {
             *counts.entry(q.id).or_insert(0u64) += 1;
         }

@@ -1,0 +1,311 @@
+//! Workspace-wide function-level call graph over the [`crate::parser`]
+//! item streams. Resolution is name-based and over-approximating: a
+//! call site `x.f(..)` edges to *every* non-test `fn f` in the
+//! workspace, `Q::f(..)` only to `fn f` under an `impl Q`, and
+//! `Self::f(..)` to `fn f` in the caller's own impl context. Dynamic
+//! dispatch and macro-generated calls are the documented blind spots
+//! (DESIGN.md §16); over-approximation errs toward *more* taint paths,
+//! which the reviewed allowlist then prunes.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{FileAst, FnItem};
+
+/// A function's stable identity in the graph: index into the flattened
+/// workspace fn list.
+pub type FnId = usize;
+
+/// The assembled graph plus lookup tables.
+pub struct CallGraph {
+    /// All functions, workspace order (files sorted, then file order).
+    pub fns: Vec<FnItem>,
+    /// Forward edges: caller → callees (deduped, sorted).
+    pub calls: Vec<Vec<FnId>>,
+    /// Reverse edges: callee → callers.
+    pub callers: Vec<Vec<FnId>>,
+}
+
+/// One syntactic call site inside a body.
+#[derive(Debug)]
+struct CallSite {
+    /// Bare callee name.
+    name: String,
+    /// Qualifier: `Some("Q")` for `Q::f`, `Some("Self")` for `Self::f`,
+    /// `None` for `f(..)` and `.f(..)`.
+    qualifier: Option<String>,
+    /// Was this a method call (`.f(..)`)?
+    is_method: bool,
+}
+
+const KEYWORDS_NEVER_CALLS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "fn", "impl", "struct", "enum",
+    "trait", "use", "mod", "pub", "mut", "ref", "move", "async", "await", "unsafe", "where", "in",
+    "as", "dyn", "box",
+];
+
+impl CallGraph {
+    /// Build the graph from parsed files. Test functions are kept as
+    /// *callers* (so fixtures can exercise them) but are never resolved
+    /// as *callees* of a name-based edge from a non-test caller — a
+    /// `#[test] fn f` shadowing a production `f` must not create paths.
+    pub fn build(files: &[FileAst]) -> CallGraph {
+        let mut fns: Vec<FnItem> = Vec::new();
+        // Parallel vector: the token slice each fn body spans, kept as
+        // (file index, start, end) so we can borrow lazily.
+        let mut bodies: Vec<(usize, usize, usize)> = Vec::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for f in &fa.fns {
+                bodies.push((fi, f.body_start, f.body_end));
+                fns.push(f.clone());
+            }
+        }
+        // name → candidate FnIds (non-test only).
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(f.name.as_str()).or_default().push(id);
+            }
+        }
+        let mut calls: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (id, f) in fns.iter().enumerate() {
+            let (fi, start, end) = bodies[id];
+            let body = &files[fi].toks[start..end];
+            let mut out: BTreeSet<FnId> = BTreeSet::new();
+            for site in call_sites(body) {
+                let Some(cands) = by_name.get(site.name.as_str()) else {
+                    continue;
+                };
+                for &cand in cands {
+                    if cand == id {
+                        continue;
+                    }
+                    let target = &fns[cand];
+                    let ok = match site.qualifier.as_deref() {
+                        Some("Self") => target.ctx == f.ctx && f.ctx.is_some(),
+                        // `Q::f`: Q is an impl type — require a match —
+                        // OR a module path segment, in which case the
+                        // callee is a free fn (no impl ctx). Types and
+                        // modules are indistinguishable syntactically;
+                        // accepting both over-approximates, never hides.
+                        Some(q) => target.ctx.as_deref() == Some(q) || target.ctx.is_none(),
+                        None if site.is_method => target.ctx.is_some(),
+                        None => true,
+                    };
+                    if ok {
+                        out.insert(cand);
+                    }
+                }
+            }
+            calls[id] = out.into_iter().collect();
+        }
+        let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (caller, outs) in calls.iter().enumerate() {
+            for &callee in outs {
+                callers[callee].push(caller);
+            }
+        }
+        CallGraph {
+            fns,
+            calls,
+            callers,
+        }
+    }
+
+    /// Shortest path from `from` *up through its callers* to any id in
+    /// `goals` — the taint direction: a nondeterminism source inside
+    /// `from` is visible to everything that (transitively) calls it, so
+    /// reaching a sink means the sink's output depends on the source.
+    /// Returns the FnId chain source-first, sink-last.
+    pub fn shortest_path_to(&self, from: FnId, goals: &BTreeSet<FnId>) -> Option<Vec<FnId>> {
+        if goals.contains(&from) {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(cur) = q.pop_front() {
+            for &next in &self.callers[cur] {
+                if next == from || prev.contains_key(&next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if goals.contains(&next) {
+                    let mut path = vec![next];
+                    let mut at = next;
+                    while at != from {
+                        at = prev[&at];
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(next);
+            }
+        }
+        None
+    }
+}
+
+/// Extract syntactic call sites from a body token run.
+fn call_sites(body: &[Tok]) -> Vec<CallSite> {
+    let mut sites = Vec::new();
+    let n = body.len();
+    for i in 0..n {
+        let t = &body[i];
+        if t.kind != TokKind::Ident || KEYWORDS_NEVER_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &body[j]);
+        let prev2 = i.checked_sub(2).map(|j| &body[j]);
+        let next = body.get(i + 1);
+        let next2 = body.get(i + 2);
+        // Skip the *qualifier* position of `Q::f` — handled at `f`.
+        if next.is_some_and(|t| t.is_punct(':')) && next2.is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        let qualified =
+            prev.is_some_and(|t| t.is_punct(':')) && prev2.is_some_and(|t| t.is_punct(':'));
+        let is_method = !qualified && prev.is_some_and(|t| t.is_punct('.'));
+        // A call needs `(` right after, a turbofish `::<`, or — only in
+        // qualified position — a bare fn reference passed as a value
+        // (`.map(Term::collect)`). Field access `x.f` with no `(` and
+        // plain idents are not calls.
+        let is_paren_call = next.is_some_and(|t| t.is_punct('('));
+        let is_turbofish = next.is_some_and(|t| t.is_punct(':'))
+            && next2.is_some_and(|t| t.is_punct(':'))
+            && body.get(i + 3).is_some_and(|t| t.is_punct('<'));
+        if !is_paren_call && !is_turbofish && !qualified {
+            continue;
+        }
+        let qualifier = if qualified {
+            // Walk back to the qualifier's last segment: `a::B::f` → B.
+            i.checked_sub(3).map(|j| body[j].text.clone())
+        } else {
+            None
+        };
+        // `let x: Q::Assoc = ...` style false positives are tolerable:
+        // over-approximation by design.
+        sites.push(CallSite {
+            name: t.text.clone(),
+            qualifier,
+            is_method,
+        });
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(srcs: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<FileAst> = srcs.iter().map(|(f, s)| parse_file(f, s)).collect();
+        CallGraph::build(&files)
+    }
+
+    fn id(g: &CallGraph, name: &str) -> FnId {
+        g.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn free_fn_calls_resolve() {
+        let g = graph(&[(
+            "a.rs",
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
+        let (top, mid, leaf) = (id(&g, "top"), id(&g, "mid"), id(&g, "leaf"));
+        assert_eq!(g.calls[top], vec![mid]);
+        assert_eq!(g.calls[mid], vec![leaf]);
+        assert_eq!(g.callers[leaf], vec![mid]);
+    }
+
+    #[test]
+    fn qualified_calls_filter_by_impl_ctx() {
+        let g = graph(&[(
+            "a.rs",
+            "struct A; struct B;\nimpl A { fn f(&self) {} }\nimpl B { fn f(&self) {} }\nfn caller() { A::f(); }",
+        )]);
+        let caller = id(&g, "caller");
+        let a_f = g
+            .fns
+            .iter()
+            .position(|f| f.name == "f" && f.ctx.as_deref() == Some("A"))
+            .unwrap();
+        assert_eq!(g.calls[caller], vec![a_f]);
+    }
+
+    #[test]
+    fn self_calls_resolve_to_own_impl() {
+        let g = graph(&[(
+            "a.rs",
+            "impl A { fn go(&self) { Self::helper(); } fn helper() {} }\nimpl B { fn helper() {} }",
+        )]);
+        let go = id(&g, "go");
+        let a_helper = g
+            .fns
+            .iter()
+            .position(|f| f.name == "helper" && f.ctx.as_deref() == Some("A"))
+            .unwrap();
+        assert_eq!(g.calls[go], vec![a_helper]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let g = graph(&[(
+            "a.rs",
+            "impl A { fn run(&self) {} }\nimpl B { fn run(&self) {} }\nfn caller(x: A) { x.run(); }",
+        )]);
+        let caller = id(&g, "caller");
+        assert_eq!(g.calls[caller].len(), 2);
+    }
+
+    #[test]
+    fn bare_qualified_fn_references_count_as_edges() {
+        let g = graph(&[(
+            "a.rs",
+            "impl Term { fn collect(self) -> u32 { 0 } }\nfn caller(v: Vec<Term>) { v.into_iter().map(Term::collect); }",
+        )]);
+        let caller = id(&g, "caller");
+        let collect = id(&g, "collect");
+        assert!(g.calls[caller].contains(&collect));
+    }
+
+    #[test]
+    fn test_fns_are_never_callees() {
+        let g = graph(&[(
+            "a.rs",
+            "fn prod() { helper(); }\n#[cfg(test)]\nmod tests { fn helper() {} }",
+        )]);
+        let prod = id(&g, "prod");
+        assert!(g.calls[prod].is_empty());
+    }
+
+    #[test]
+    fn shortest_path_is_bfs_minimal_over_callers() {
+        // d is called directly by a and via b -> c; from source d the
+        // shortest chain to goal a must be the direct edge.
+        let g = graph(&[(
+            "a.rs",
+            "fn a() { b(); d(); }\nfn b() { c(); }\nfn c() { d(); }\nfn d() {}",
+        )]);
+        let (a, d) = (id(&g, "a"), id(&g, "d"));
+        let goals: BTreeSet<FnId> = [a].into_iter().collect();
+        let path = g.shortest_path_to(d, &goals).unwrap();
+        assert_eq!(path, vec![d, a]);
+    }
+
+    #[test]
+    fn cross_file_edges_resolve() {
+        let g = graph(&[
+            ("a.rs", "fn entry() { shared_helper(); }"),
+            ("b.rs", "pub fn shared_helper() {}"),
+        ]);
+        let entry = id(&g, "entry");
+        let helper = id(&g, "shared_helper");
+        assert_eq!(g.calls[entry], vec![helper]);
+    }
+}

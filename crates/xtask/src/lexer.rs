@@ -1,0 +1,512 @@
+//! A std-only Rust lexer: the syntax-aware foundation under every xtask
+//! check.
+//!
+//! The original lint gate matched tokens on comment/string-stripped
+//! *text* ([`crate::strip_source`]), which is sound for identifier
+//! matching but blind to structure: it cannot tell a method call from a
+//! path segment, cannot find an item boundary, and cannot hash a
+//! function body. This module lexes Rust source into a real token
+//! stream — identifiers, lifetimes, literals, and punctuation, each
+//! carrying its 1-based line — on which the item parser
+//! ([`crate::parser`]), the call graph ([`crate::callgraph`]), the taint
+//! pass ([`crate::taint`]), and the oracle-freeze witness
+//! ([`crate::oracle`]) are all built.
+//!
+//! Deliberate scope: this is a *lexer*, not a macro expander. Tokens
+//! inside macro invocations and `macro_rules!` bodies are lexed like any
+//! other code (which is exactly what the lint rules want: a planted
+//! `.offer(` inside `audit!` is still a call), and doc comments are
+//! dropped like ordinary comments (the `pub-enum-doc` rule keeps its
+//! raw-line lookback).
+//!
+//! The old stripper is kept as this lexer's differential oracle: for any
+//! source, the identifier sequence produced here must equal the
+//! identifier sequence readable from `strip_source`'s output (see the
+//! `lexer_agrees_with_stripper` tests and the whole-workspace
+//! cross-check in `tests/analyzer_gate.rs`).
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `offer`, `RunReport`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal, including suffix (`128`, `0xFF`, `1.5e-3`, `4u64`).
+    Num,
+    /// String, raw-string, byte-string, or raw-byte-string literal.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// A single punctuation character (`.`, `:`, `(`, `{`, `<`, ...).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based source line it
+/// starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact source text of the token (literals keep their quotes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex Rust source into tokens. Total: never panics, and consumes every
+/// character (malformed tails degrade to punctuation / unterminated
+/// literals rather than being dropped silently).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::with_capacity(n / 4);
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    // Count newlines in b[from..to) into `line`.
+    let bump = |line: &mut u32, b: &[char], from: usize, to: usize| {
+        *line += b[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            let start = i;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            bump(&mut line, &b, start, i.min(n));
+            continue;
+        }
+        // Raw string / raw byte string: r"..", r#".."#, br#".."#, ...
+        // Only when `r`/`br` *starts* an identifier position — an
+        // identifier ending in `r` directly followed by a quote (macro
+        // token soup like `attr"..."`) is NOT a raw-string opener; the
+        // seed stripper got this wrong and leaked string bytes as code.
+        let prev_is_ident = i > 0 && is_ident_continue(b[i - 1]);
+        if !prev_is_ident && (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r')) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            let mut j = start;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                let tok_start = i;
+                let tok_line = line;
+                i = j + 1;
+                while i < n {
+                    if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                bump(&mut line, &b, tok_start, i.min(n));
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[tok_start..i.min(n)].iter().collect(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            // `r#ident` raw identifier.
+            if c == 'r' && hashes == 1 && j < n && is_ident_start(b[j]) {
+                let tok_start = i;
+                i = j;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[tok_start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        // String literal / byte string.
+        if c == '"' || (!prev_is_ident && c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let tok_start = i;
+            let tok_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            bump(&mut line, &b, tok_start, i.min(n));
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[tok_start..i.min(n)].iter().collect(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Byte char b'x'.
+        if !prev_is_ident && c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+            let tok_start = i;
+            i += 2;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: b[tok_start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\..' is a literal; 'ident
+        // without a closing quote right after is a lifetime.
+        if c == '\'' && i + 1 < n {
+            let is_char = b[i + 1] == '\\' || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'');
+            if is_char {
+                let tok_start = i;
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[tok_start..i.min(n)].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            if is_ident_start(b[i + 1]) {
+                let tok_start = i;
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[tok_start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+        }
+        // Number: digits, `_`, alnum suffixes/hex, fraction, exponent.
+        if c.is_ascii_digit() {
+            let tok_start = i;
+            let hex =
+                c == '0' && i + 1 < n && (b[i + 1] == 'x' || b[i + 1] == 'b' || b[i + 1] == 'o');
+            i += 1;
+            while i < n {
+                let d = b[i];
+                if is_ident_continue(d) {
+                    // Decimal exponent may carry a sign: 1e-5, 2.5E+3.
+                    if !hex
+                        && (d == 'e' || d == 'E')
+                        && i + 1 < n
+                        && (b[i + 1] == '+' || b[i + 1] == '-')
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Fractional part: `.` followed by a digit (so `1..4`
+                // stays a range and `x.0` keeps its dot as punct).
+                if d == '.'
+                    && i + 1 < n
+                    && b[i + 1].is_ascii_digit()
+                    && !b[tok_start..i].contains(&'.')
+                {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[tok_start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let tok_start = i;
+            i += 1;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[tok_start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// The identifier sequence of a token stream — the view the lint rules
+/// and the differential stripper oracle compare on.
+pub fn ident_seq(toks: &[Tok]) -> Vec<&str> {
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn basic_token_classes() {
+        let toks = lex("fn f<'a>(x: &'a str) -> u64 { x.len() as u64 + 0xFF }");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0xFF"));
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = "// unsafe\n/* unsafe /* nested */ unsafe */ let s = \"unsafe\"; let c = 'u';";
+        assert_eq!(idents(src), vec!["let", "s", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_with_interior_quotes_and_hash_runs() {
+        // The satellite's named edge cases: interior `"` and nested `#`
+        // runs inside r#-strings must stay literal.
+        for src in [
+            "let a = r#\"say \"hi\" unsafe\"#;",
+            "let a = r##\"x \"# unsafe\"##;",
+            "let a = r#\"\"\"#; let b = 0;",
+            "let a = br#\"x \" unsafe\"#;",
+            "let a = r#\"multi\nline \" unsafe\nstill\"#;",
+        ] {
+            assert!(
+                !idents(src).iter().any(|t| t == "unsafe"),
+                "leaked out of {src:?}"
+            );
+        }
+        // ...and a genuine tail after the close is still code.
+        assert!(idents("let a = r#\"tail\"#; unsafe {}")
+            .iter()
+            .any(|t| t == "unsafe"));
+    }
+
+    #[test]
+    fn identifier_adjacent_quote_is_not_a_raw_string() {
+        // `attr"..."` in macro token soup: the `r` belongs to the
+        // identifier, the string is an ordinary escaped literal. The seed
+        // stripper leaked `unsafe` out of these.
+        for src in [
+            "m!(attr\"\\\" unsafe\");",
+            "let x = ptr\"a\\\" unsafe\";",
+            "let y = abr\"z\\\" unsafe\";",
+        ] {
+            assert!(
+                !idents(src).iter().any(|t| t == "unsafe"),
+                "leaked out of {src:?}"
+            );
+        }
+        // Genuine raw strings still lex as raw strings.
+        assert_eq!(idents("let z = br\"raw unsafe\";"), vec!["let", "z"]);
+        assert_eq!(idents("let w = r\"raw unsafe\";"), vec!["let", "w"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        let toks = lex("let r#match = r#fn + 1;");
+        assert!(toks.iter().any(|t| t.is_ident("r#match")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        // A raw ident is not its keyword.
+        assert!(!toks.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn numbers_cover_suffixes_fractions_exponents() {
+        let toks = lex("1_000u64 1.5e-3 0x1F 2.0f32 1..4 x.0");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["1_000u64", "1.5e-3", "0x1F", "2.0f32", "1", "4", "0"]
+        );
+    }
+
+    #[test]
+    fn lines_track_through_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nlet b = 1; /* c\nc */ let d = 2;";
+        let toks = lex(src);
+        let line_of = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 3);
+        assert_eq!(line_of("d"), 4);
+    }
+
+    #[test]
+    fn lexer_agrees_with_stripper_on_identifiers() {
+        // `strip_source` is the lexer's differential oracle: both views
+        // must expose exactly the same identifier sequence.
+        let srcs = [
+            "fn f<'a>(x: &'a str) -> &'a str { x } // unsafe",
+            "let a = r#\"say \"hi\" unsafe\"#; let done = true;",
+            "let s = \"esc \\\" unsafe\"; let c = '\\'';",
+            "impl Foo { fn bar(&self) { self.baz.offer(1); } }",
+            "macro_rules! m { ($x:expr) => { $x + 1 } }",
+        ];
+        for src in srcs {
+            let stripped = crate::strip_source(src);
+            let from_strip: Vec<String> = extract_idents(&stripped);
+            let from_lex: Vec<String> = idents(src);
+            assert_eq!(from_lex, from_strip, "disagree on {src:?}");
+        }
+    }
+
+    /// Identifier extraction over stripped text (the old engine's view):
+    /// whole identifiers, skipping lifetimes (`'a` survives stripping)
+    /// and re-joining raw identifiers (`r#match`) the way the lexer
+    /// tokenizes them.
+    pub(crate) fn extract_idents(stripped: &str) -> Vec<String> {
+        let b: Vec<char> = stripped.chars().collect();
+        let n = b.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let c = b[i];
+            if is_ident_start(c) && (i == 0 || !is_ident_continue(b[i - 1])) {
+                // Lifetime: identifier directly preceded by a tick.
+                if i > 0 && b[i - 1] == '\'' {
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    continue;
+                }
+                let start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                // Raw identifier: lone `r` followed by `#ident`.
+                if i == start + 1
+                    && b[start] == 'r'
+                    && i + 1 < n
+                    && b[i] == '#'
+                    && is_ident_start(b[i + 1])
+                {
+                    i += 1;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.push(b[start..i].iter().collect());
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}

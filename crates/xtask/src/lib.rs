@@ -1,4 +1,5 @@
-//! Repo-level static checks behind `cargo run -p xtask -- lint`.
+//! Repo-level static analysis behind `cargo run -p xtask -- lint` and
+//! `cargo run -p xtask -- analyze`.
 //!
 //! The workspace's correctness story leans on a handful of *global*
 //! conventions no single crate can enforce about the others:
@@ -36,13 +37,25 @@
 //!    bypass the offload equivalence suite exists to rule out.
 //!
 //! The scanner is deliberately std-only (the build environment has no
-//! registry access, so `syn` is unavailable): sources are stripped of
-//! comments and string/char literals by a small state machine, then the
-//! rules match tokens on the stripped text — no false positives from
-//! prose or test fixtures, no parse step to keep in sync with rustc.
+//! registry access, so `syn` is unavailable). Since PR 10 the rules run
+//! over a real token stream ([`lexer`]) and an item-level parse
+//! ([`parser`]) instead of stripped text, which kills the remaining
+//! path-in-string and macro-token edge cases; [`strip_source`] is kept
+//! as the lexer's differential test oracle. On top of the same parse,
+//! [`taint`] propagates nondeterminism sources to sim-visible sinks
+//! over the [`callgraph`], and [`oracle`] freezes every bit-identity
+//! oracle arm behind a token-hash witness (`oracle.lock`).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod callgraph;
+pub mod lexer;
+pub mod oracle;
+pub mod parser;
+pub mod taint;
+
+use lexer::{lex, Tok, TokKind};
 
 /// Files allowed to contain `unsafe` (workspace-relative, `/`-separated).
 pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/workload/src/sweep.rs", "shims/loom/src/lib.rs"];
@@ -129,12 +142,16 @@ impl fmt::Display for Violation {
 /// with spaces. Handles nested block comments, raw strings with any
 /// number of `#`s, byte strings, char literals, and lifetimes (which are
 /// *not* char literals and pass through).
+///
+/// Kept as the differential oracle for [`lexer::lex`]: both views must
+/// agree on which identifiers are code (see the lexer's tests).
 pub fn strip_source(src: &str) -> String {
     let b: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut i = 0;
     let n = b.len();
     let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let is_ident_char = |c: char| c.is_alphanumeric() || c == '_';
     while i < n {
         let c = b[i];
         // Line comment.
@@ -169,8 +186,12 @@ pub fn strip_source(src: &str) -> String {
             }
             continue;
         }
+        // An `r`/`b` that *continues* an identifier (`attr"..."`,
+        // `ptr"..."` in macro token soup) is not a literal prefix; only
+        // a leading `r`/`br`/`b` can open a raw/byte string.
+        let prev_is_ident = i > 0 && is_ident_char(b[i - 1]);
         // Raw (byte) string: r"...", r#"..."#, br#"..."#, ...
-        if c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r') {
+        if !prev_is_ident && (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r')) {
             let start = if c == 'b' { i + 2 } else { i + 1 };
             let mut hashes = 0;
             let mut j = start;
@@ -208,7 +229,7 @@ pub fn strip_source(src: &str) -> String {
             // through as a normal character.
         }
         // String literal (and byte string b"...").
-        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+        if c == '"' || (!prev_is_ident && c == 'b' && i + 1 < n && b[i + 1] == '"') {
             if c == 'b' {
                 out.push(' ');
                 i += 1;
@@ -223,6 +244,29 @@ pub fn strip_source(src: &str) -> String {
                     continue;
                 }
                 if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Byte char b'x': blank the prefix too — `b'` can never start a
+        // lifetime, so no disambiguation is needed.
+        if !prev_is_ident && c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
                     out.push(' ');
                     i += 1;
                     break;
@@ -265,6 +309,9 @@ pub fn strip_source(src: &str) -> String {
 
 /// True if `needle` occurs in `hay` as a whole identifier (not embedded
 /// in a longer one); returns the byte offset of the first such match.
+/// Production lints match tokens now; this survives as the assertion
+/// helper for the stripper-oracle tests.
+#[cfg(test)]
 fn find_ident(hay: &str, needle: &str) -> Option<usize> {
     let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
     let hb = hay.as_bytes();
@@ -323,8 +370,18 @@ fn rel_path(path: &Path, root: &Path) -> String {
         .replace(std::path::MAIN_SEPARATOR, "/")
 }
 
-fn line_of(stripped: &str, offset: usize) -> usize {
-    stripped[..offset].matches('\n').count() + 1
+/// First token that is the identifier `name`.
+fn first_ident<'a>(toks: &'a [Tok], name: &str) -> Option<&'a Tok> {
+    toks.iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// First `.name(` method-call site (the only shape the bypass lints
+/// police; a bare `name(` free call is a different function).
+fn first_method_call<'a>(toks: &'a [Tok], name: &str) -> Option<&'a Tok> {
+    toks.windows(3).find_map(|w| {
+        (w[0].is_punct('.') && w[1].is_ident(name) && w[2].is_punct('(')).then(|| &w[1])
+    })
 }
 
 /// Run every lint rule over the workspace at `root`. Empty result =
@@ -333,28 +390,67 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
     let sources = collect_sources(root)?;
     let mut violations = Vec::new();
     for (file, raw) in &sources {
-        let stripped = strip_source(raw);
-        check_unsafe(file, &stripped, &mut violations);
-        check_wall_clock(file, &stripped, &mut violations);
-        check_device_bypass(file, &stripped, &mut violations);
-        check_nand_compute_bypass(file, &stripped, &mut violations);
-        check_admission_bypass(file, &stripped, &mut violations);
-        check_segment_bypass(file, &stripped, &mut violations);
-        check_sim_rng_only(file, &stripped, &mut violations);
-        check_pub_enum_docs(file, raw, &stripped, &mut violations);
+        let toks = lex(raw);
+        check_unsafe(file, &toks, &mut violations);
+        check_wall_clock(file, &toks, &mut violations);
+        check_device_bypass(file, &toks, &mut violations);
+        check_nand_compute_bypass(file, &toks, &mut violations);
+        check_admission_bypass(file, &toks, &mut violations);
+        check_segment_bypass(file, &toks, &mut violations);
+        check_sim_rng_only(file, &toks, &mut violations);
+        check_pub_enum_docs(file, raw, &toks, &mut violations);
     }
     check_forbid_unsafe(root, &mut violations);
     Ok(violations)
 }
 
-fn check_unsafe(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+/// Run the syntax-aware determinism analysis (taint propagation + the
+/// oracle-freeze witness) over the tree at `root`, with an explicit
+/// oracle registry so fixture trees can register scratch arms.
+pub fn analyze_tree(root: &Path, specs: &[oracle::OracleSpec]) -> std::io::Result<Vec<Violation>> {
+    let sources = collect_sources(root)?;
+    let mut files = Vec::new();
+    for (file, raw) in &sources {
+        if !taint_scope(file) {
+            continue;
+        }
+        files.push(parser::parse_file(file, raw));
+    }
+    let graph = callgraph::CallGraph::build(&files);
+    let allow = std::fs::read_to_string(root.join(taint::ALLOW_REL_PATH)).ok();
+    let mut violations = taint::taint_violations(&files, &graph, allow.as_deref());
+    violations.extend(oracle::check(root, specs)?);
+    violations.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(violations)
+}
+
+/// [`analyze_tree`] with the workspace's registered oracle arms.
+pub fn analyze_default(root: &Path) -> std::io::Result<Vec<Violation>> {
+    analyze_tree(root, &oracle::default_registry())
+}
+
+/// Taint analysis covers library/binary sources of the simulation
+/// crates: `crates/<name>/src/**`, excluding the analyzer itself.
+/// Integration tests, benches, and the shims are out of scope — they
+/// never feed a sim figure.
+fn taint_scope(file: &str) -> bool {
+    let Some(rest) = file.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return false;
+    };
+    krate != "xtask" && tail.starts_with("src/")
+}
+
+fn check_unsafe(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if UNSAFE_ALLOWLIST.contains(&file) {
         return;
     }
-    if let Some(at) = find_ident(stripped, "unsafe") {
+    if let Some(t) = first_ident(toks, "unsafe") {
         out.push(Violation {
             file: file.to_string(),
-            line: line_of(stripped, at),
+            line: t.line as usize,
             rule: "no-unsafe",
             detail: "`unsafe` outside the audited allowlist (crates/workload/src/sweep.rs, \
                      shims/loom) — extend the allowlist only with a loom model or Miri \
@@ -364,7 +460,7 @@ fn check_unsafe(file: &str, stripped: &str, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_wall_clock(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_wall_clock(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if WALL_CLOCK_ALLOW_FILES.contains(&file)
         || WALL_CLOCK_ALLOW_PREFIXES
             .iter()
@@ -373,10 +469,10 @@ fn check_wall_clock(file: &str, stripped: &str, out: &mut Vec<Violation>) {
         return;
     }
     for token in ["Instant", "SystemTime"] {
-        if let Some(at) = find_ident(stripped, token) {
+        if let Some(t) = first_ident(toks, token) {
             out.push(Violation {
                 file: file.to_string(),
-                line: line_of(stripped, at),
+                line: t.line as usize,
                 rule: "no-wall-clock",
                 detail: format!(
                     "`{token}` in a simulation crate — simulated figures must be pure \
@@ -387,18 +483,18 @@ fn check_wall_clock(file: &str, stripped: &str, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_device_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_device_bypass(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if DEVICE_LAYER_PREFIXES.iter().any(|p| file.starts_with(p)) {
         return;
     }
-    for token in [".ftl_mut(", ".program(", ".program_at(", ".erase("] {
-        if let Some(pos) = stripped.find(token) {
+    for name in ["ftl_mut", "program", "program_at", "erase"] {
+        if let Some(t) = first_method_call(toks, name) {
             out.push(Violation {
                 file: file.to_string(),
-                line: line_of(stripped, pos),
+                line: t.line as usize,
                 rule: "no-device-bypass",
                 detail: format!(
-                    "raw device mutator `{token})` outside the device layer — all I/O must \
+                    "raw device mutator `.{name}()` outside the device layer — all I/O must \
                      flow through BlockDevice::request (or the queued submit path) so the \
                      queue, trace sink, and invariant audits see it"
                 ),
@@ -407,14 +503,14 @@ fn check_device_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_nand_compute_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_nand_compute_bypass(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if DEVICE_LAYER_PREFIXES.iter().any(|p| file.starts_with(p)) {
         return;
     }
-    if let Some(pos) = stripped.find(".offload_read(") {
+    if let Some(t) = first_method_call(toks, "offload_read") {
         out.push(Violation {
             file: file.to_string(),
-            line: line_of(stripped, pos),
+            line: t.line as usize,
             rule: "no-nand-compute-bypass",
             detail: "direct in-flash compute entry point `.offload_read()` outside the \
                      device layer — offload execution must flow through \
@@ -425,21 +521,21 @@ fn check_nand_compute_bypass(file: &str, stripped: &str, out: &mut Vec<Violation
     }
 }
 
-fn check_admission_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_admission_bypass(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if ADMISSION_GATE_ALLOW_PREFIXES
         .iter()
         .any(|p| file.starts_with(p))
     {
         return;
     }
-    for token in [".offer(", ".seed_static("] {
-        if let Some(pos) = stripped.find(token) {
+    for name in ["offer", "seed_static"] {
+        if let Some(t) = first_method_call(toks, name) {
             out.push(Violation {
                 file: file.to_string(),
-                line: line_of(stripped, pos),
+                line: t.line as usize,
                 rule: "no-admission-bypass",
                 detail: format!(
-                    "raw SSD-store entry point `{token})` outside the cache manager — \
+                    "raw SSD-store entry point `.{name}()` outside the cache manager — \
                      SSD writes must flow through CacheManager's flush paths so the \
                      AdmissionPolicy gate (static EV or sketch tier) decides them"
                 ),
@@ -448,18 +544,18 @@ fn check_admission_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) 
     }
 }
 
-fn check_segment_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_segment_bypass(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if file.starts_with(SEGMENT_ALLOW_PREFIX) {
         return;
     }
-    for token in [".write_segment_mut(", ".wal_mut("] {
-        if let Some(pos) = stripped.find(token) {
+    for name in ["write_segment_mut", "wal_mut"] {
+        if let Some(t) = first_method_call(toks, name) {
             out.push(Violation {
                 file: file.to_string(),
-                line: line_of(stripped, pos),
+                line: t.line as usize,
                 rule: "no-segment-bypass",
                 detail: format!(
-                    "raw live-index mutation surface `{token})` outside crates/searchidx — \
+                    "raw live-index mutation surface `.{name}()` outside crates/searchidx — \
                      mutations must flow through LiveIndex's public API \
                      (add_document/delete_document/seal/compact) so the WAL, the \
                      dirty-term set, and the invariant audits see them"
@@ -469,7 +565,7 @@ fn check_segment_bypass(file: &str, stripped: &str, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_sim_rng_only(file: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_sim_rng_only(file: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     if !SIM_RNG_ONLY_FILES.contains(&file) {
         return;
     }
@@ -482,10 +578,10 @@ fn check_sim_rng_only(file: &str, stripped: &str, out: &mut Vec<Violation>) {
         "Instant",
         "SystemTime",
     ] {
-        if let Some(at) = find_ident(stripped, token) {
+        if let Some(t) = first_ident(toks, token) {
             out.push(Violation {
                 file: file.to_string(),
-                line: line_of(stripped, at),
+                line: t.line as usize,
                 rule: "sim-rng-only",
                 detail: format!(
                     "`{token}` in an arrival/serving module — the open-loop schedule must \
@@ -497,13 +593,13 @@ fn check_sim_rng_only(file: &str, stripped: &str, out: &mut Vec<Violation>) {
     }
 }
 
-fn check_pub_enum_docs(file: &str, raw: &str, stripped: &str, out: &mut Vec<Violation>) {
+fn check_pub_enum_docs(file: &str, raw: &str, toks: &[Tok], out: &mut Vec<Violation>) {
     let raw_lines: Vec<&str> = raw.lines().collect();
-    for (idx, line) in stripped.lines().enumerate() {
-        let t = line.trim_start();
-        if !(t.starts_with("pub enum ") || t == "pub enum") {
+    for w in toks.windows(2) {
+        if !(w[0].is_ident("pub") && w[1].is_ident("enum")) {
             continue;
         }
+        let idx = w[0].line as usize - 1;
         // Walk upward over attributes to the nearest non-attribute line;
         // it must be a doc comment.
         let mut j = idx;
@@ -575,5 +671,51 @@ mod tests {
         assert!(find_ident("let InstantX = 1;", "Instant").is_none());
         assert!(find_ident("let x: Instant = now();", "Instant").is_some());
         assert!(find_ident("my_unsafe_fn()", "unsafe").is_none());
+    }
+
+    #[test]
+    fn raw_strings_with_interior_quotes_and_hash_runs_strip_fully() {
+        // The satellite's named edge cases: interior `"` and nested `#`
+        // counts inside r#-strings must not leak literal text as code.
+        let src = r###"let a = r#"interior " quote unsafe"#; let b = r##"x "# y unsafe"##; let ok = 1;"###;
+        let stripped = strip_source(src);
+        assert!(find_ident(&stripped, "unsafe").is_none(), "{stripped}");
+        assert!(stripped.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn identifier_adjacent_quote_is_not_a_raw_string_prefix() {
+        // `attr"..."` / `ptr"..."` (macro token soup): the trailing `r`
+        // of an identifier must not open raw-string mode — the old
+        // scanner did exactly that and, because raw mode ignores
+        // escapes, closed at the wrong quote and leaked string bytes
+        // back out as code.
+        for src in [
+            "m!(attr\"\\\" unsafe\"); let tail = 1;",
+            "let x = ptr\"a\\\" unsafe\"; let tail = 1;",
+            "m!(abr\"z\\\" unsafe\"); let tail = 1;",
+        ] {
+            let stripped = strip_source(src);
+            assert!(
+                find_ident(&stripped, "unsafe").is_none(),
+                "{src} -> {stripped}"
+            );
+            assert!(stripped.contains("let tail = 1;"), "{src} -> {stripped}");
+        }
+        // Genuine raw / byte-raw strings still strip.
+        let genuine = "let a = r\"unsafe\"; let b = br\"unsafe\"; let tail = 1;";
+        let stripped = strip_source(genuine);
+        assert!(find_ident(&stripped, "unsafe").is_none(), "{stripped}");
+        assert!(stripped.contains("let tail = 1;"));
+    }
+
+    #[test]
+    fn taint_scope_covers_crate_src_only() {
+        assert!(taint_scope("crates/core/src/mem.rs"));
+        assert!(taint_scope("crates/bench/src/bin/fig03.rs"));
+        assert!(!taint_scope("crates/core/tests/equivalence.rs"));
+        assert!(!taint_scope("crates/bench/benches/micro.rs"));
+        assert!(!taint_scope("crates/xtask/src/lib.rs"));
+        assert!(!taint_scope("shims/loom/src/lib.rs"));
     }
 }

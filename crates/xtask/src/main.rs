@@ -1,7 +1,40 @@
-//! `cargo run -p xtask -- lint`: run the repo-level lint gate (see the
-//! library docs for the rule catalogue) and exit non-zero on violations.
+//! `cargo run -p xtask -- <command>`: the repo-level static-analysis
+//! gates. `lint` runs the convention lints, `analyze` runs the
+//! determinism taint pass + oracle-freeze witness, `bless-oracles`
+//! regenerates the witness after a reviewed oracle edit.
 
 use std::path::PathBuf;
+
+const HELP: &str = "\
+xtask — workspace static analysis
+
+USAGE:
+    cargo run -p xtask -- <COMMAND>
+
+COMMANDS:
+    lint           Convention lints (unsafe quarantine, wall-clock ban,
+                   device/admission/segment bypass, pub-enum docs) over
+                   a syntax-aware token scan of crates/ and shims/.
+    analyze        Determinism analysis: call-graph taint propagation
+                   from nondeterminism sources (wall clock, ad-hoc RNG,
+                   std HashMap/HashSet iteration, env reads,
+                   available_parallelism, NaN-swallowing comparisons)
+                   to sim-visible sinks (RunReport, IoStats, CacheStats,
+                   figure emitters, ...), reporting the full source->sink
+                   call path; plus the oracle-freeze witness comparing
+                   every registered bit-identity oracle arm against
+                   crates/xtask/oracle.lock. Benign findings live in
+                   crates/xtask/determinism.allow with justifications.
+    bless-oracles  Recompute crates/xtask/oracle.lock from the current
+                   tree. Run only after a *reviewed* edit to an oracle
+                   arm; the diff of the lock file is the review record.
+    --help         This text.
+
+EXIT STATUS:
+    0  clean
+    1  violations found (printed one per line: file:line: [rule] detail)
+    2  usage error or scan failure
+";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> crates -> workspace root.
@@ -14,30 +47,61 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+fn report(gate: &str, result: std::io::Result<Vec<xtask::Violation>>) -> ! {
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask {gate}: OK");
+            std::process::exit(0);
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask {gate}: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("xtask {gate}: failed to scan workspace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
+        Some("lint") => report("lint", xtask::lint_tree(&workspace_root())),
+        Some("analyze") => report("analyze", xtask::analyze_default(&workspace_root())),
+        Some("bless-oracles") => {
             let root = workspace_root();
-            match xtask::lint_tree(&root) {
-                Ok(violations) if violations.is_empty() => {
-                    println!("xtask lint: OK");
+            match xtask::oracle::bless_text(&root, &xtask::oracle::default_registry()) {
+                Ok((text, violations)) if violations.is_empty() => {
+                    let path = root.join(xtask::oracle::LOCK_REL_PATH);
+                    if let Err(e) = std::fs::write(&path, text) {
+                        eprintln!("xtask bless-oracles: cannot write {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                    println!("xtask bless-oracles: wrote {}", path.display());
                 }
-                Ok(violations) => {
+                Ok((_, violations)) => {
                     for v in &violations {
                         eprintln!("{v}");
                     }
-                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    eprintln!(
+                        "xtask bless-oracles: refusing to bless with {} unresolved registry problem(s)",
+                        violations.len()
+                    );
                     std::process::exit(1);
                 }
                 Err(e) => {
-                    eprintln!("xtask lint: failed to scan workspace: {e}");
+                    eprintln!("xtask bless-oracles: failed to scan workspace: {e}");
                     std::process::exit(2);
                 }
             }
         }
+        Some("--help") | Some("help") | Some("-h") => print!("{HELP}"),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|analyze|bless-oracles|--help>");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,654 @@
+//! Item-level parse over the [`crate::lexer`] token stream: functions,
+//! impl blocks, modules, `use` trees, and struct fields — the syntax the
+//! call graph, the taint pass, and the oracle witness need. Deliberately
+//! *not* a full expression grammar: bodies stay flat token ranges.
+//!
+//! Soundness caveats (documented in DESIGN.md §16): macro-generated
+//! items are invisible (only macro *invocations'* tokens are seen),
+//! `dyn`/trait-object dispatch erases the callee type, and type
+//! inference is absent — the taint pass compensates with name-level
+//! over-approximation plus a reviewed allowlist.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One `fn` item: where it is, what it's called, and its token extent.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing `impl` type name, if any (`SearchCluster` for methods).
+    pub ctx: Option<String>,
+    /// The function's bare name.
+    pub name: String,
+    /// Inside a `#[cfg(test)]` module or under `#[test]`.
+    pub is_test: bool,
+    /// Token index of the `fn` keyword (signature start).
+    pub sig_start: usize,
+    /// Token index of the body's opening `{` (== `body_end` when the
+    /// item is a bodiless trait declaration).
+    pub body_start: usize,
+    /// Token index one past the body's closing `}` (exclusive).
+    pub body_end: usize,
+}
+
+impl FnItem {
+    /// `file::Ctx::name` — the qualified form used by allowlist entries,
+    /// the oracle registry, and violation paths.
+    pub fn qualified(&self) -> String {
+        match &self.ctx {
+            Some(c) => format!("{}::{}::{}", self.file, c, self.name),
+            None => format!("{}::{}", self.file, self.name),
+        }
+    }
+
+    /// Does this item have a body (trait declarations don't)?
+    pub fn has_body(&self) -> bool {
+        self.body_end > self.body_start
+    }
+}
+
+/// Everything the analyzer needs from one source file.
+#[derive(Debug)]
+pub struct FileAst {
+    /// Workspace-relative path.
+    pub file: String,
+    /// The full token stream.
+    pub toks: Vec<Tok>,
+    /// Every `fn` item found (including nested and test functions).
+    pub fns: Vec<FnItem>,
+    /// `use` imports: local name → full `::`-joined path.
+    pub uses: BTreeMap<String, String>,
+    /// Struct fields whose declared type names a `std` unordered
+    /// container (`HashMap`/`HashSet` resolving to `std::collections`).
+    pub unordered_fields: BTreeSet<String>,
+}
+
+/// Does `name`, as imported in `uses`, denote a std unordered container?
+/// Bare unresolved `HashMap`/`HashSet` count as std (the prelude doesn't
+/// export them, so in compiled code an unimported use means an inline
+/// `std::collections::` path the caller also checks — and for macro
+/// fixtures, conservative is the right direction).
+pub fn is_std_unordered(uses: &BTreeMap<String, String>, name: &str) -> bool {
+    if name != "HashMap" && name != "HashSet" {
+        return false;
+    }
+    match uses.get(name) {
+        Some(path) => path.starts_with("std::collections") || path.starts_with("collections"),
+        None => true,
+    }
+}
+
+/// True when the type token run `toks` (e.g. a field or binding
+/// annotation) names a std unordered container, either bare-imported or
+/// via an inline `std :: collections ::` path.
+pub fn type_names_std_unordered(uses: &BTreeMap<String, String>, toks: &[Tok]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Inline-qualified: `std :: collections :: HashMap` (or any
+        // `collections :: HashMap` tail).
+        if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            let mut j = i as isize - 3;
+            // Walk back over `ident :: ident ::` segments.
+            let mut segs = Vec::new();
+            while j >= 0 && toks[j as usize].kind == TokKind::Ident {
+                segs.push(toks[j as usize].text.as_str());
+                if j >= 2
+                    && toks[j as usize - 1].is_punct(':')
+                    && toks[j as usize - 2].is_punct(':')
+                {
+                    j -= 3;
+                } else {
+                    break;
+                }
+            }
+            if segs.contains(&"collections") {
+                return true;
+            }
+            // Qualified through some other path (e.g. `fxmap::HashMap`
+            // alias — none today, but the rule is "std only").
+            continue;
+        }
+        if is_std_unordered(uses, &t.text) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Parse one file. Total: item recognition degrades gracefully on token
+/// soup it does not understand (macro bodies, exotic grammar) rather
+/// than erroring — missed items are a documented soundness caveat.
+pub fn parse_file(file: &str, src: &str) -> FileAst {
+    let toks = lex(src);
+    let uses = collect_uses(&toks);
+    let unordered_fields = collect_unordered_fields(&toks, &uses);
+    let fns = collect_fns(file, &toks);
+    FileAst {
+        file: file.to_string(),
+        toks,
+        fns,
+        uses,
+        unordered_fields,
+    }
+}
+
+/// Parse every `use` declaration into local-name → full-path entries.
+fn collect_uses(toks: &[Tok]) -> BTreeMap<String, String> {
+    let mut uses = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            // Find the terminating `;`.
+            let mut end = i + 1;
+            let mut depth = 0i32;
+            while end < toks.len() {
+                if toks[end].is_punct('{') {
+                    depth += 1;
+                } else if toks[end].is_punct('}') {
+                    depth -= 1;
+                } else if toks[end].is_punct(';') && depth == 0 {
+                    break;
+                }
+                end += 1;
+            }
+            parse_use_tree(
+                &toks[i + 1..end.min(toks.len())],
+                &mut Vec::new(),
+                &mut uses,
+            );
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    uses
+}
+
+/// Recursive `use` tree: `a::b::{c, d as e, f::*}`.
+fn parse_use_tree(toks: &[Tok], prefix: &mut Vec<String>, out: &mut BTreeMap<String, String>) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident || t.is_punct('*') {
+            // `as` alias: the previous segments bind to the alias name.
+            if t.is_ident("as") {
+                if let Some(alias) = toks.get(i + 1) {
+                    let full: Vec<&str> = prefix
+                        .iter()
+                        .map(String::as_str)
+                        .chain(segs.iter().map(String::as_str))
+                        .collect();
+                    out.insert(alias.text.clone(), full.join("::"));
+                }
+                return;
+            }
+            segs.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            // Group: recurse per comma-separated subtree.
+            let mut depth = 1;
+            let start = i + 1;
+            let mut j = start;
+            let mut item_start = start;
+            prefix.append(&mut segs);
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 && item_start < j {
+                        parse_use_tree(&toks[item_start..j], prefix, out);
+                    }
+                } else if toks[j].is_punct(',') && depth == 1 {
+                    if item_start < j {
+                        parse_use_tree(&toks[item_start..j], prefix, out);
+                    }
+                    item_start = j + 1;
+                }
+                j += 1;
+            }
+            return;
+        }
+        i += 1;
+    }
+    if let Some(last) = segs.last() {
+        if last != "*" {
+            let name = last.clone();
+            let full: Vec<&str> = prefix
+                .iter()
+                .map(String::as_str)
+                .chain(segs.iter().map(String::as_str))
+                .collect();
+            out.insert(name, full.join("::"));
+        }
+    }
+}
+
+/// Struct fields typed as std unordered containers: `field: HashMap<..>`.
+fn collect_unordered_fields(toks: &[Tok], uses: &BTreeMap<String, String>) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].kind == TokKind::Ident {
+            // Find the body `{` (skip generics / where clauses; tuple
+            // structs and unit structs have none before `;`).
+            let mut j = i + 2;
+            let mut body = None;
+            let mut pdepth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    pdepth += 1;
+                } else if t.is_punct(')') {
+                    pdepth -= 1;
+                } else if t.is_punct(';') && pdepth == 0 {
+                    break;
+                } else if t.is_punct('{') && pdepth == 0 {
+                    body = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                // Fields at depth 1: `name : <type tokens> ,`
+                let mut depth = 1;
+                let mut k = open + 1;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct('{') || toks[k].is_punct('(') || toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct('}')
+                        || toks[k].is_punct(')')
+                        || toks[k].is_punct(']')
+                    {
+                        depth -= 1;
+                    } else if depth == 1
+                        && toks[k].kind == TokKind::Ident
+                        && k + 1 < toks.len()
+                        && toks[k + 1].is_punct(':')
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                    {
+                        // Type run: to the `,` or closing `}` at depth 1
+                        // (angle brackets don't nest the depth counter,
+                        // so scan until a depth-1 comma).
+                        let mut adepth = 0i32;
+                        let mut e = k + 2;
+                        while e < toks.len() {
+                            let t = &toks[e];
+                            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                                adepth += 1;
+                            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                                if t.is_punct('>') && adepth == 0 {
+                                    break;
+                                }
+                                adepth -= 1;
+                            } else if (t.is_punct(',') || t.is_punct('}')) && adepth <= 0 {
+                                break;
+                            }
+                            e += 1;
+                        }
+                        if type_names_std_unordered(uses, &toks[k + 2..e.min(toks.len())]) {
+                            fields.insert(toks[k].text.clone());
+                        }
+                        k = e;
+                        continue;
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+#[derive(Debug)]
+enum Scope {
+    Mod { test: bool },
+    Impl { name: Option<String> },
+    Block,
+}
+
+/// Scan for every `fn` item, tracking impl context and test scope.
+fn collect_fns(file: &str, toks: &[Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // Stack of (scope, depth it opened at). Depth counts `{` only.
+    let mut scopes: Vec<(Scope, u32)> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut pending_test = false;
+    let mut i = 0;
+    let n = toks.len();
+    while i < n {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            while scopes.last().is_some_and(|(_, d)| *d == depth) {
+                scopes.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[...]` — note cfg(test)/test for the next item.
+        if t.is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            let mut adepth = 1;
+            let mut j = i + 2;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < n && adepth > 0 {
+                if toks[j].is_punct('[') {
+                    adepth += 1;
+                } else if toks[j].is_punct(']') {
+                    adepth -= 1;
+                } else if toks[j].kind == TokKind::Ident {
+                    idents.push(&toks[j].text);
+                }
+                j += 1;
+            }
+            // `#[test]` or `#[cfg(test)]` (but not `#[cfg(not(test))]`).
+            if idents == ["test"]
+                || (idents.contains(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"))
+            {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "mod" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
+                    // Inline module opens a scope at the `{` we are about
+                    // to see; `mod x;` declarations don't.
+                    if toks.get(i + 2).is_some_and(|t| t.is_punct('{')) {
+                        let inherited = in_test(&scopes) || pending_test;
+                        scopes.push((Scope::Mod { test: inherited }, depth + 1));
+                        depth += 1;
+                        i += 3;
+                    } else {
+                        i += 2;
+                    }
+                    pending_test = false;
+                    continue;
+                }
+                "impl" if is_item_position(toks, i) => {
+                    if let Some((name, open)) = parse_impl_header(toks, i + 1) {
+                        scopes.push((Scope::Impl { name }, depth + 1));
+                        depth += 1;
+                        i = open + 1;
+                        pending_test = false;
+                        continue;
+                    }
+                }
+                "fn" if i + 1 < n && toks[i + 1].kind == TokKind::Ident => {
+                    let name = toks[i + 1].text.clone();
+                    let line = t.line;
+                    let (body_start, body_end) = fn_body_extent(toks, i + 2);
+                    let ctx = scopes.iter().rev().find_map(|(s, _)| match s {
+                        Scope::Impl { name } => Some(name.clone()),
+                        _ => None,
+                    });
+                    fns.push(FnItem {
+                        file: file.to_string(),
+                        line,
+                        ctx: ctx.flatten(),
+                        name,
+                        is_test: in_test(&scopes) || pending_test,
+                        sig_start: i,
+                        body_start,
+                        body_end,
+                    });
+                    pending_test = false;
+                    // Continue scanning from after the name so nested
+                    // items inside the body are still discovered.
+                    i += 2;
+                    continue;
+                }
+                "struct" | "enum" | "trait" | "const" | "static" | "type" | "use" => {
+                    pending_test = false;
+                }
+                _ => {}
+            }
+        }
+        let _ = Scope::Block; // variants are matched by construction above
+        i += 1;
+    }
+    fns
+}
+
+fn in_test(scopes: &[(Scope, u32)]) -> bool {
+    scopes
+        .iter()
+        .any(|(s, _)| matches!(s, Scope::Mod { test: true }))
+}
+
+/// Distinguish an `impl` *item* from `impl Trait` in type position
+/// (`-> impl Iterator`, `x: impl Fn()`, `Box<dyn ..>` never applies).
+fn is_item_position(toks: &[Tok], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+        return true;
+    };
+    match prev.kind {
+        TokKind::Punct => !matches!(
+            prev.text.as_str(),
+            ">" | ":" | "(" | "," | "+" | "=" | "&" | "<" | "|"
+        ),
+        TokKind::Ident => !matches!(prev.text.as_str(), "dyn" | "as" | "where"),
+        _ => true,
+    }
+}
+
+/// Parse an impl header starting after the `impl` keyword. Returns the
+/// implemented type's name (last path segment, generics stripped) and
+/// the index of the body's `{`.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> Option<(Option<String>, usize)> {
+    let n = toks.len();
+    // Skip leading generics `<...>`.
+    if toks.get(i)?.is_punct('<') {
+        let mut adepth = 1;
+        i += 1;
+        while i < n && adepth > 0 {
+            if toks[i].is_punct('<') {
+                adepth += 1;
+            } else if toks[i].is_punct('>') {
+                adepth -= 1;
+            }
+            i += 1;
+        }
+    }
+    // Collect header tokens until the body `{` (depth 0), restarting the
+    // collection after a depth-0 `for` (trait impls) and stopping the
+    // *type* collection at `where`.
+    let mut ty: Vec<&Tok> = Vec::new();
+    let mut adepth = 0i32;
+    let mut in_where = false;
+    while i < n {
+        let t = &toks[i];
+        if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+            adepth += 1;
+        } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+            adepth -= 1;
+        } else if t.is_punct('{') && adepth <= 0 {
+            break;
+        } else if t.is_ident("for") && adepth == 0 {
+            ty.clear();
+            in_where = false;
+            i += 1;
+            continue;
+        } else if t.is_ident("where") && adepth == 0 {
+            in_where = true;
+        } else if t.is_punct(';') && adepth <= 0 {
+            return None;
+        }
+        if !in_where {
+            ty.push(t);
+        }
+        i += 1;
+    }
+    if i >= n {
+        return None;
+    }
+    // Type name: last identifier before the type's own generics.
+    let mut name = None;
+    for t in &ty {
+        if t.is_punct('<') {
+            break;
+        }
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn" | "const") {
+            name = Some(t.text.clone());
+        }
+    }
+    Some((name, i))
+}
+
+/// From the token after the fn name, find the body `{ ... }` extent.
+/// Returns `(open, one_past_close)`, or `(k, k)` for bodiless items.
+fn fn_body_extent(toks: &[Tok], mut i: usize) -> (usize, usize) {
+    let n = toks.len();
+    let mut pdepth = 0i32;
+    while i < n {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            pdepth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            pdepth -= 1;
+        } else if t.is_punct(';') && pdepth == 0 {
+            return (i, i);
+        } else if t.is_punct('{') && pdepth == 0 {
+            // Body: match braces.
+            let open = i;
+            let mut bdepth = 1;
+            i += 1;
+            while i < n && bdepth > 0 {
+                if toks[i].is_punct('{') {
+                    bdepth += 1;
+                } else if toks[i].is_punct('}') {
+                    bdepth -= 1;
+                }
+                i += 1;
+            }
+            return (open, i);
+        }
+        i += 1;
+    }
+    (n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_file("crates/demo/src/lib.rs", src).fns
+    }
+
+    #[test]
+    fn free_and_impl_fns_get_contexts() {
+        let src = "pub fn free() {}\nimpl Foo { fn method(&self) -> u32 { 1 } }\nimpl<T: Clone> Bar<T> { pub fn generic(&self) {} }\nimpl Display for Baz { fn fmt(&self) {} }";
+        let items = fns(src);
+        let by_name: BTreeMap<&str, &FnItem> = items.iter().map(|f| (f.name.as_str(), f)).collect();
+        assert_eq!(by_name["free"].ctx, None);
+        assert_eq!(by_name["method"].ctx.as_deref(), Some("Foo"));
+        assert_eq!(by_name["generic"].ctx.as_deref(), Some("Bar"));
+        assert_eq!(by_name["fmt"].ctx.as_deref(), Some("Baz"));
+        assert_eq!(by_name["free"].line, 1);
+        assert_eq!(by_name["method"].line, 2);
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_block() {
+        let src = "fn f() -> impl Iterator<Item = u32> { (0..3) }\nfn g(x: impl Fn()) { x() }\nimpl Real { fn h(&self) {} }";
+        let items = fns(src);
+        let h = items.iter().find(|f| f.name == "h").unwrap();
+        assert_eq!(h.ctx.as_deref(), Some("Real"));
+        let f = items.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.ctx, None);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn case() {}\n}\nfn prod2() {}\n#[test]\nfn standalone_case() {}";
+        let items = fns(src);
+        let test_of = |n: &str| items.iter().find(|f| f.name == n).unwrap().is_test;
+        assert!(!test_of("prod"));
+        assert!(test_of("helper"));
+        assert!(test_of("case"));
+        assert!(!test_of("prod2"));
+        assert!(test_of("standalone_case"));
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_bodies_span_correctly() {
+        let src = "fn outer() { let x = 1; fn inner() { let y = 2; } use_it(); }";
+        let items = fns(src);
+        assert_eq!(items.len(), 2);
+        let outer = &items[0];
+        let ast = parse_file("f.rs", src);
+        let body: Vec<&str> = ast.toks[outer.body_start..outer.body_end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(body.contains(&"use_it"));
+        assert!(body.contains(&"inner"));
+    }
+
+    #[test]
+    fn use_trees_resolve_groups_aliases_and_nesting() {
+        let ast = parse_file(
+            "f.rs",
+            "use std::collections::{HashMap, HashSet};\nuse fxmap::FxHashMap;\nuse std::{time::Instant, env};\nuse a::b::C as D;",
+        );
+        assert_eq!(ast.uses["HashMap"], "std::collections::HashMap");
+        assert_eq!(ast.uses["HashSet"], "std::collections::HashSet");
+        assert_eq!(ast.uses["FxHashMap"], "fxmap::FxHashMap");
+        assert_eq!(ast.uses["Instant"], "std::time::Instant");
+        assert_eq!(ast.uses["env"], "std::env");
+        assert_eq!(ast.uses["D"], "a::b::C");
+    }
+
+    #[test]
+    fn unordered_struct_fields_are_detected() {
+        let ast = parse_file(
+            "f.rs",
+            "use std::collections::HashMap;\nstruct S { map: HashMap<u64, u64>, ordered: BTreeMap<u64, u64>, inline: std::collections::HashSet<u32>, v: Vec<u8> }",
+        );
+        assert!(ast.unordered_fields.contains("map"));
+        assert!(ast.unordered_fields.contains("inline"));
+        assert!(!ast.unordered_fields.contains("ordered"));
+        assert!(!ast.unordered_fields.contains("v"));
+        // An FxHashMap-typed field is ordered-deterministic (no
+        // RandomState), so it must not register.
+        let ast2 = parse_file(
+            "g.rs",
+            "use fxmap::FxHashMap;\nstruct T { map: FxHashMap<u64, u64> }",
+        );
+        assert!(ast2.unordered_fields.is_empty());
+    }
+
+    #[test]
+    fn bodiless_trait_fns_have_empty_extent() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { self.decl() } }";
+        let items = fns(src);
+        let decl = items.iter().find(|f| f.name == "decl").unwrap();
+        assert!(!decl.has_body());
+        let def = items.iter().find(|f| f.name == "with_default").unwrap();
+        assert!(def.has_body());
+    }
+}

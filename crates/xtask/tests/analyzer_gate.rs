@@ -1,0 +1,330 @@
+//! The determinism analyzer gating itself, mirroring the lint-gate
+//! pattern: the real workspace must analyze clean (modulo the justified
+//! allowlist), and every new lint must fire on a deliberately planted
+//! violation with its full source→sink chain — so a silent analyzer
+//! regression cannot pass CI.
+
+use std::path::{Path, PathBuf};
+use xtask::oracle::OracleSpec;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// A scratch workspace tree that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("xtask-analyze-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, contents).unwrap();
+    }
+
+    fn analyze(&self) -> Vec<xtask::Violation> {
+        xtask::analyze_tree(&self.0, &[]).unwrap()
+    }
+
+    fn analyze_with(&self, specs: &[OracleSpec]) -> Vec<xtask::Violation> {
+        xtask::analyze_tree(&self.0, specs).unwrap()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn the_real_workspace_analyzes_clean() {
+    let root = repo_root();
+    let violations = xtask::analyze_default(&root).unwrap();
+    assert!(
+        violations.is_empty(),
+        "workspace determinism violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The oracle check skips registered files that don't exist (so
+    // synthetic trees work); pin here that every registered arm's file
+    // is really present, and that the witness lock is committed.
+    for spec in xtask::oracle::default_registry() {
+        assert!(
+            root.join(&spec.file).is_file(),
+            "oracle `{}`: {} missing from the workspace",
+            spec.key,
+            spec.file
+        );
+    }
+    assert!(
+        root.join(xtask::oracle::LOCK_REL_PATH).is_file(),
+        "oracle.lock missing — run `cargo run -p xtask -- bless-oracles`"
+    );
+    assert!(
+        root.join(xtask::taint::ALLOW_REL_PATH).is_file(),
+        "determinism.allow missing"
+    );
+}
+
+#[test]
+fn planted_direct_source_in_sink_is_caught() {
+    let s = Scratch::new("direct");
+    s.write(
+        "crates/demo/src/lib.rs",
+        "use std::time::Instant;\npub fn emit_report(r: &mut RunReport) {\n    r.wall = Instant::now();\n}\n",
+    );
+    let v = s.analyze();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "taint-wall-clock");
+    assert_eq!(v[0].file, "crates/demo/src/lib.rs");
+    assert_eq!(v[0].line, 3);
+    assert!(v[0].detail.contains("crates/demo/src/lib.rs::emit_report"));
+}
+
+#[test]
+fn planted_transitive_three_hop_taint_reports_the_chain() {
+    let s = Scratch::new("threehop");
+    // Source three calls deep, crossing a file boundary on the way to
+    // the sink — exactly the shape the token lints could never see.
+    s.write(
+        "crates/demo/src/time_util.rs",
+        "pub fn jitter_ns() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().subsec_nanos() as u64\n}\n",
+    );
+    s.write(
+        "crates/demo/src/mid.rs",
+        "pub fn sample() -> u64 { crate::time_util::jitter_ns() }\npub fn aggregate() -> u64 { sample() * 2 }\n",
+    );
+    s.write(
+        "crates/demo/src/lib.rs",
+        "pub mod mid;\npub mod time_util;\npub fn build_report() -> RunReport {\n    RunReport { jitter: mid::aggregate() }\n}\n",
+    );
+    let v = s.analyze();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "taint-wall-clock");
+    assert_eq!(v[0].file, "crates/demo/src/time_util.rs");
+    let d = &v[0].detail;
+    let src = d.find("::jitter_ns").expect("source in chain");
+    let hop1 = d.find("::sample").expect("first hop in chain");
+    let hop2 = d.find("::aggregate").expect("second hop in chain");
+    let sink = d.find("::build_report").expect("sink in chain");
+    assert!(
+        src < hop1 && hop1 < hop2 && hop2 < sink,
+        "chain must run source -> sink: {d}"
+    );
+}
+
+#[test]
+fn planted_unordered_iteration_is_caught_and_ordered_variants_pass() {
+    let s = Scratch::new("unordered");
+    s.write(
+        "crates/demo/src/lib.rs",
+        "use std::collections::HashMap;\npub fn tally() -> CacheStats {\n    let mut m: HashMap<u64, u64> = HashMap::new();\n    m.insert(1, 2);\n    let mut total = 0;\n    for (_, v) in &m {\n        total += v;\n    }\n    CacheStats { total }\n}\n",
+    );
+    let v = s.analyze();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "taint-unordered-iter");
+    assert_eq!(v[0].line, 6);
+
+    // Same shape over deterministic containers must pass: BTreeMap,
+    // FxHashMap (keyless hasher), and lookup-only std HashMap use.
+    let clean = Scratch::new("ordered");
+    clean.write(
+        "crates/demo/src/lib.rs",
+        "use std::collections::{BTreeMap, HashMap};\nuse fxmap::FxHashMap;\npub fn tally(lookup: &HashMap<u64, u64>) -> CacheStats {\n    let mut m: BTreeMap<u64, u64> = BTreeMap::new();\n    m.insert(1, 2);\n    let f: FxHashMap<u64, u64> = FxHashMap::default();\n    let mut total = m.values().sum::<u64>() + f.values().sum::<u64>();\n    total += lookup.get(&1).copied().unwrap_or(0);\n    CacheStats { total }\n}\n",
+    );
+    let v = clean.analyze();
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn planted_findings_suppress_via_allowlist_only_with_justification() {
+    let src = "use std::time::Instant;\npub fn emit_report(r: &mut RunReport) { r.wall = Instant::now(); }\n";
+
+    let s = Scratch::new("allow-ok");
+    s.write("crates/demo/src/lib.rs", src);
+    s.write(
+        "crates/xtask/determinism.allow",
+        "wall-clock fn:crates/demo/src/lib.rs::emit_report # harness wall-time, reported beside sim figures\n",
+    );
+    assert!(s.analyze().is_empty());
+
+    let bare = Scratch::new("allow-bare");
+    bare.write("crates/demo/src/lib.rs", src);
+    bare.write(
+        "crates/xtask/determinism.allow",
+        "wall-clock fn:crates/demo/src/lib.rs::emit_report\n",
+    );
+    let v = bare.analyze();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "allow-justification");
+
+    let stale = Scratch::new("allow-stale");
+    stale.write("crates/demo/src/lib.rs", "pub fn quiet() {}\n");
+    stale.write(
+        "crates/xtask/determinism.allow",
+        "wall-clock fn:crates/demo/src/lib.rs::long_gone # obsolete\n",
+    );
+    let v = stale.analyze();
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "allow-stale");
+}
+
+#[test]
+fn oracle_edit_without_bless_fails_the_analyze_gate() {
+    let arm_v1 = "pub struct Gate;\nimpl Gate {\n    pub fn admit(&self, ev: f64, tev: f64) -> bool {\n        ev >= tev\n    }\n}\n";
+    let specs = vec![OracleSpec::new(
+        "scratch-gate",
+        "crates/demo/src/lib.rs",
+        Some("Gate"),
+        "admit",
+    )];
+
+    let s = Scratch::new("oracle");
+    s.write("crates/demo/src/lib.rs", arm_v1);
+    // No lock yet: the gate demands one.
+    let v = s.analyze_with(&specs);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "oracle-lock-missing");
+
+    // Bless, then the gate passes.
+    let (lock, probs) = xtask::oracle::bless_text(&s.0, &specs).unwrap();
+    assert!(probs.is_empty());
+    s.write("crates/xtask/oracle.lock", &lock);
+    assert!(s.analyze_with(&specs).is_empty());
+
+    // Formatting/comment-only edit: witness unchanged, still passes.
+    s.write(
+        "crates/demo/src/lib.rs",
+        "pub struct Gate;\nimpl Gate {\n    // the paper's static gate, verbatim\n    pub fn admit(&self, ev: f64, tev: f64) -> bool { ev >= tev }\n}\n",
+    );
+    assert!(s.analyze_with(&specs).is_empty());
+
+    // Semantic edit without bless: the gate fails and names the arm.
+    s.write(
+        "crates/demo/src/lib.rs",
+        "pub struct Gate;\nimpl Gate {\n    pub fn admit(&self, ev: f64, tev: f64) -> bool {\n        ev > tev\n    }\n}\n",
+    );
+    let v = s.analyze_with(&specs);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "oracle-freeze");
+    assert!(v[0].detail.contains("scratch-gate"), "{}", v[0].detail);
+    assert!(v[0].detail.contains("bless-oracles"), "{}", v[0].detail);
+
+    // Re-bless: passes again.
+    let (lock2, _) = xtask::oracle::bless_text(&s.0, &specs).unwrap();
+    s.write("crates/xtask/oracle.lock", &lock2);
+    assert!(s.analyze_with(&specs).is_empty());
+}
+
+#[test]
+fn lexer_and_stripper_agree_on_every_workspace_file() {
+    // The stripper is the lexer's differential oracle (and vice versa):
+    // on every real source file, the identifiers the lexer emits must be
+    // exactly the identifiers that survive stripping. A divergence means
+    // one of the two mis-lexed a literal/comment edge case.
+    let root = repo_root();
+    let mut checked = 0usize;
+    let mut stack = vec![root.join("crates"), root.join("shims")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if entry.file_name() != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                let toks = xtask::lexer::lex(&src);
+                let lexed: Vec<&str> = xtask::lexer::ident_seq(&toks);
+                let stripped = xtask::strip_source(&src);
+                let from_stripper = extract_idents(&stripped);
+                assert_eq!(
+                    lexed,
+                    from_stripper.iter().map(String::as_str).collect::<Vec<_>>(),
+                    "lexer/stripper ident divergence in {}",
+                    path.display()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100, "only {checked} files checked — wrong root?");
+}
+
+/// Identifier extraction over stripped text: skip lifetimes (`'a`
+/// survives stripping but lexes as a Lifetime token) and re-join raw
+/// identifiers (`r#match` strips to itself but would split naively).
+fn extract_idents(stripped: &str) -> Vec<String> {
+    let b: Vec<char> = stripped.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let n = b.len();
+    let start_ch = |c: char| c.is_alphabetic() || c == '_';
+    let cont_ch = |c: char| c.is_alphanumeric() || c == '_';
+    while i < n {
+        let c = b[i];
+        if start_ch(c) {
+            let begin = i;
+            while i < n && cont_ch(b[i]) {
+                i += 1;
+            }
+            let word: String = b[begin..i].iter().collect();
+            let after_quote = begin > 0 && b[begin - 1] == '\'';
+            let raw_prefix = (word == "r" || word == "b" || word == "br")
+                && i + 1 < n
+                && b[i] == '#'
+                && start_ch(b[i + 1]);
+            if raw_prefix && word == "r" {
+                // Raw identifier `r#ident`: one token, prefix kept.
+                let mut j = i + 1;
+                while j < n && cont_ch(b[j]) {
+                    j += 1;
+                }
+                let ident: String = b[begin..j].iter().collect();
+                out.push(ident);
+                i = j;
+                continue;
+            }
+            // Byte-char prefix `b'_'`: the lexer folds the `b` into the
+            // Char token, so it is not an identifier here either.
+            let byte_char_prefix = word == "b" && i < n && b[i] == '\'';
+            if !after_quote && !byte_char_prefix {
+                out.push(word);
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Skip numeric literals (suffixes like u64 are part of the
+            // number token, not identifiers). A `.` continues the number
+            // only when a digit follows — `self.0.sample(..)` must stop
+            // at the second dot so `sample` survives as an identifier.
+            while i < n
+                && (cont_ch(b[i]) || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
